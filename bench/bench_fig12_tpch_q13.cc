@@ -1,0 +1,79 @@
+// Figure 12: TPC-H Query 13 (SF 0.1) with the string predicate served by
+// LIKE, ILIKE and the hardware operator.
+//
+// Paper: ILIKE doubles MonetDB's response time; the FPGA operator is ~30%
+// faster than LIKE and provides case-insensitivity at no extra cost.
+#include "bench_util.h"
+
+#include "workload/tpch_generator.h"
+
+using namespace doppio;
+using namespace doppio::bench;
+
+namespace {
+
+std::string Q13WithFpga(bool case_insensitive) {
+  std::string udf = case_insensitive ? "regexp_fpga_ci" : "regexp_fpga";
+  return
+      "SELECT c_count, COUNT(*) AS custdist FROM ("
+      "SELECT c_custkey, count(o_orderkey) FROM customer "
+      "LEFT OUTER JOIN orders ON c_custkey = o_custkey "
+      "AND " + udf + "('special.*requests', o_comment) = 0 "
+      "GROUP BY c_custkey) AS c_orders (c_custkey, c_count) "
+      "GROUP BY c_count ORDER BY custdist DESC, c_count DESC;";
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 12: TPC-H Q13, LIKE vs ILIKE vs FPGA",
+              "MonetDB ILIKE ~2x LIKE; FPGA ~30% faster than LIKE and "
+              "case-insensitive for free");
+
+  TpchOptions tpch;
+  tpch.scale_factor = 0.1 * ScaleFactor();
+  BenchSystem sys = MakeSystem(int64_t{1} << 30);
+  auto customer = GenerateCustomerTable(tpch, sys.engine->allocator());
+  auto orders = GenerateOrdersTable(tpch, sys.engine->allocator());
+  if (!customer.ok() || !orders.ok()) return 1;
+  if (!sys.engine->catalog()->AddTable(std::move(*customer)).ok()) return 1;
+  if (!sys.engine->catalog()->AddTable(std::move(*orders)).ok()) return 1;
+
+  std::printf("SF %.2f: %lld customers, %lld orders\n\n", tpch.scale_factor,
+              static_cast<long long>(tpch.num_customers()),
+              static_cast<long long>(tpch.num_orders()));
+
+  struct Variant {
+    const char* label;
+    std::string sql_text;
+    bool uses_fpga;
+  } variants[] = {
+      {"MonetDB LIKE", TpchQ13Sql(false), false},
+      {"MonetDB ILIKE", TpchQ13Sql(true), false},
+      {"FPGA (case-sensitive)", Q13WithFpga(false), true},
+      {"FPGA (case-insensitive)", Q13WithFpga(true), true},
+  };
+
+  std::printf("%-26s %14s %14s %10s\n", "variant",
+              "string op [s]", "whole query [s]", "rows");
+  for (const Variant& v : variants) {
+    auto outcome = MustExecute(sys.engine.get(), v.sql_text);
+    // The string predicate's cost: software ops land in database_seconds
+    // together with the join; report the predicate phase for FPGA and the
+    // modeled 10-core total either way.
+    double string_op = v.uses_fpga
+                           ? outcome.stats.hw_seconds
+                           : ModelParallel(outcome.stats.database_seconds);
+    double total =
+        v.uses_fpga
+            ? outcome.stats.hw_seconds +
+                  ModelParallel(SoftwareSeconds(outcome.stats))
+            : ModelParallel(SoftwareSeconds(outcome.stats));
+    std::printf("%-26s %14.4f %14.4f %10lld\n", v.label, string_op, total,
+                static_cast<long long>(outcome.result.num_rows()));
+  }
+  std::printf(
+      "\nshape check: ILIKE slows the software variant down; the two FPGA\n"
+      "variants cost the same (collation registers are free in hardware).\n");
+  return 0;
+}

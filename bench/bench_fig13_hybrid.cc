@@ -1,0 +1,72 @@
+// Figure 13: hybrid execution of QH — the pattern exceeds the deployed
+// PU's character matchers, so the FPGA evaluates the Q2 prefix and the CPU
+// post-processes the selected tuples against the full expression. The
+// x-axis sweeps the prefix selectivity, which is exactly the fraction of
+// tuples the CPU must touch.
+//
+// Paper: hybrid reaches up to 13x MonetDB's throughput; as selectivity
+// approaches 1 the advantage shrinks toward the software baseline.
+#include "bench_util.h"
+
+#include "db/hybrid_executor.h"
+
+using namespace doppio;
+using namespace doppio::bench;
+
+int main() {
+  const int64_t rows = ScaledRows(2'500'000);
+  PrintHeader("Figure 13: hybrid execution of QH vs selectivity",
+              "hybrid up to ~13x MonetDB; converges as the CPU fraction "
+              "grows with selectivity");
+
+  std::printf("records: %lld, pattern: %s (28 matcher slots; deployed PU "
+              "has %d)\n\n",
+              static_cast<long long>(rows),
+              QueryPattern(EvalQuery::kQH).c_str(),
+              DeviceConfig{}.max_chars);
+  std::printf("%12s %16s %16s %10s %16s\n", "selectivity",
+              "monetdb [q/s]", "hybrid [q/s]", "speedup",
+              "cpu fraction");
+
+  for (double selectivity : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    BenchSystem sys = MakeSystem(int64_t{4} << 30);
+    AddressDataOptions data;
+    data.num_records = rows;
+    data.selectivity = 0.0;
+    data.q2_selectivity = 0.0;
+    data.qh_selectivity = selectivity;
+    auto table = GenerateAddressTable(data, "address_table",
+                                      sys.engine->allocator());
+    if (!table.ok()) return 1;
+    if (!sys.engine->catalog()->AddTable(std::move(*table)).ok()) return 1;
+
+    // Software baseline: REGEXP_LIKE on the full pattern, modeled on the
+    // paper's 10 cores.
+    auto monet = MustExecute(
+        sys.engine.get(),
+        QuerySql(EvalQuery::kQH, QueryEngineVariant::kMonetSoftware));
+    double monet_seconds = ModelParallel(SoftwareSeconds(monet.stats));
+
+    // Hybrid UDF: virtual hardware time + measured CPU post-processing
+    // (modeled on 10 cores — the paper's post-processing also runs inside
+    // the parallel UDF).
+    auto hybrid = MustExecute(
+        sys.engine.get(),
+        QuerySql(EvalQuery::kQH, QueryEngineVariant::kHybrid));
+    double hybrid_seconds =
+        hybrid.stats.hw_seconds +
+        ModelParallel(hybrid.stats.udf_software_seconds +
+                      hybrid.stats.database_seconds) +
+        hybrid.stats.config_gen_seconds + hybrid.stats.hal_seconds;
+
+    double monet_qps = 1.0 / monet_seconds;
+    double hybrid_qps = 1.0 / hybrid_seconds;
+    std::printf("%12.1f %16.2f %16.2f %9.1fx %15.1f%%\n", selectivity,
+                monet_qps, hybrid_qps, hybrid_qps / monet_qps,
+                100.0 * selectivity);
+  }
+  std::printf(
+      "\nshape check: the hybrid advantage is largest at low selectivity\n"
+      "and decays as the CPU post-processes a growing fraction.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 14: FPGA resource usage from the calibrated area model.
+//  (a) engines x PUs configurations (1x16 .. 4x16, 5x16, 2x32, 1x64);
+//  (b) character count sweep at 4x16, 8 states;
+//  (c) state count sweep at 4x16 (quadratic State Graph growth).
+#include "bench_util.h"
+
+#include "hw/resource_model.h"
+#include "hw/timing_model.h"
+
+using namespace doppio;
+using namespace doppio::bench;
+
+namespace {
+
+void PrintRow(const char* label, const DeviceConfig& config) {
+  ResourceUsage usage = EstimateResources(config);
+  Status timing = CheckDeployment(config);
+  std::printf("%-10s %8.1f %8.1f %8.1f %8.1f | %8.1f %8.1f  %s\n", label,
+              usage.qpi_endpoint_pct, usage.arbitration_pct,
+              usage.string_reader_pct, usage.processing_units_pct,
+              usage.logic_pct, usage.bram_pct,
+              timing.ok() ? "ok"
+                          : (timing.IsTimingViolation() ? "TIMING NOT MET"
+                                                        : "DOES NOT FIT"));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 14: resource usage scaling",
+              "QPI endpoint 28% logic / 4% BRAM constant; 4x16 ~80% logic, "
+              "42% BRAM; 5x16 fits but fails timing; chars linear, states "
+              "quadratic");
+
+  std::printf("\n(a) engines x PUs (default PU: %d chars, %d states)\n",
+              DeviceConfig{}.max_chars, DeviceConfig{}.max_states);
+  std::printf("%-10s %8s %8s %8s %8s | %8s %8s\n", "config", "qpi%",
+              "arb%", "reader%", "pus%", "logic%", "bram%");
+  struct {
+    const char* label;
+    int engines;
+    int pus;
+  } configs[] = {{"1x16", 1, 16}, {"2x16", 2, 16}, {"3x16", 3, 16},
+                 {"4x16", 4, 16}, {"5x16", 5, 16}, {"2x32", 2, 32},
+                 {"1x64", 1, 64}};
+  for (const auto& c : configs) {
+    DeviceConfig config;
+    config.num_engines = c.engines;
+    config.pus_per_engine = c.pus;
+    PrintRow(c.label, config);
+  }
+
+  std::printf("\n(b) max characters at 4x16, 8 states (linear)\n");
+  std::printf("%-10s %8s %8s %8s %8s | %8s %8s\n", "chars", "qpi%", "arb%",
+              "reader%", "pus%", "logic%", "bram%");
+  for (int chars : {16, 24, 32, 48, 64}) {
+    DeviceConfig config;
+    config.max_chars = chars;
+    PrintRow(std::to_string(chars).c_str(), config);
+  }
+
+  std::printf("\n(c) max states at 4x16, %d chars (quadratic)\n",
+              DeviceConfig{}.max_chars);
+  std::printf("%-10s %8s %8s %8s %8s | %8s %8s\n", "states", "qpi%",
+              "arb%", "reader%", "pus%", "logic%", "bram%");
+  for (int states : {4, 8, 12, 16}) {
+    DeviceConfig config;
+    config.max_states = states;
+    PrintRow(std::to_string(states).c_str(), config);
+  }
+
+  std::printf(
+      "\nshape check: (a) five engines exceed routable utilization at\n"
+      "400 MHz; (b) character cost is linear and 64 chars still fit;\n"
+      "(c) the fully connected State Graph grows quadratically and 16\n"
+      "states consume a significant share of the chip.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark): per-byte cost of each matching
+// strategy — the quantitative backdrop for "evaluating regular expressions
+// is costly in software" and for the PU's constant consumption rate.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hw/config_compiler.h"
+#include "hw/processing_unit.h"
+#include "regex/backtrack_matcher.h"
+#include "regex/dfa_matcher.h"
+#include "regex/nfa_matcher.h"
+#include "regex/substring_search.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+std::vector<std::string> MakeCorpus(int64_t rows) {
+  AddressDataOptions options;
+  options.num_records = rows;
+  Rng rng(1);
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    corpus.push_back(GenerateAddressString(
+        &rng, options, rng.Bernoulli(0.2), rng.Bernoulli(0.2),
+        rng.Bernoulli(0.2), rng.Bernoulli(0.2), false));
+  }
+  return corpus;
+}
+
+const std::vector<std::string>& Corpus() {
+  static const std::vector<std::string> corpus = MakeCorpus(10'000);
+  return corpus;
+}
+
+int64_t CorpusBytes() {
+  int64_t bytes = 0;
+  for (const auto& s : Corpus()) bytes += static_cast<int64_t>(s.size());
+  return bytes;
+}
+
+EvalQuery QueryForIndex(int64_t index) {
+  switch (index) {
+    case 1:
+      return EvalQuery::kQ1;
+    case 2:
+      return EvalQuery::kQ2;
+    case 3:
+      return EvalQuery::kQ3;
+    default:
+      return EvalQuery::kQ4;
+  }
+}
+
+void BM_Dfa(benchmark::State& state) {
+  auto matcher = DfaMatcher::Compile(QueryPattern(QueryForIndex(state.range(0))));
+  if (!matcher.ok()) state.SkipWithError("compile failed");
+  int64_t matches = 0;
+  for (auto _ : state) {
+    for (const auto& s : Corpus()) {
+      matches += (*matcher)->Matches(s);
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetBytesProcessed(state.iterations() * CorpusBytes());
+}
+BENCHMARK(BM_Dfa)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_NfaSimulation(benchmark::State& state) {
+  auto matcher = NfaMatcher::Compile(QueryPattern(QueryForIndex(state.range(0))));
+  if (!matcher.ok()) state.SkipWithError("compile failed");
+  int64_t matches = 0;
+  for (auto _ : state) {
+    for (const auto& s : Corpus()) {
+      matches += (*matcher)->Matches(s);
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetBytesProcessed(state.iterations() * CorpusBytes());
+}
+BENCHMARK(BM_NfaSimulation)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_Backtracking(benchmark::State& state) {
+  auto matcher =
+      BacktrackMatcher::Compile(QueryPattern(QueryForIndex(state.range(0))));
+  if (!matcher.ok()) state.SkipWithError("compile failed");
+  int64_t matches = 0;
+  for (auto _ : state) {
+    for (const auto& s : Corpus()) {
+      matches += (*matcher)->Matches(s);
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetBytesProcessed(state.iterations() * CorpusBytes());
+}
+BENCHMARK(BM_Backtracking)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_MultiSubstringLike(benchmark::State& state) {
+  auto matcher = MultiSubstringMatcher::Create({"Strasse"});
+  if (!matcher.ok()) state.SkipWithError("create failed");
+  int64_t matches = 0;
+  for (auto _ : state) {
+    for (const auto& s : Corpus()) {
+      matches += (*matcher)->Matches(s);
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetBytesProcessed(state.iterations() * CorpusBytes());
+}
+BENCHMARK(BM_MultiSubstringLike)->Unit(benchmark::kMillisecond);
+
+void BM_ProcessingUnitSim(benchmark::State& state) {
+  DeviceConfig device;
+  ProcessingUnit pu(device);
+  auto config =
+      CompileRegexConfig(QueryPattern(QueryForIndex(state.range(0))), device);
+  if (!config.ok()) state.SkipWithError("compile failed");
+  if (!pu.Configure(config->vector).ok()) state.SkipWithError("config");
+  int64_t matches = 0;
+  for (auto _ : state) {
+    for (const auto& s : Corpus()) {
+      matches += pu.ProcessString(s) != 0;
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetBytesProcessed(state.iterations() * CorpusBytes());
+}
+BENCHMARK(BM_ProcessingUnitSim)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_ConfigCompile(benchmark::State& state) {
+  DeviceConfig device;
+  for (auto _ : state) {
+    auto config = CompileRegexConfig(QueryPattern(EvalQuery::kQ2), device);
+    benchmark::DoNotOptimize(config);
+  }
+}
+BENCHMARK(BM_ConfigCompile)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace doppio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Projection for the next-generation platform (paper §9): Intel's
+// follow-up Xeon+FPGA adds PCIe links next to QPI, lifting the memory
+// bandwidth that caps the current system at ~6.5 GB/s. With the deployed
+// 4x16 engines (25.6 GB/s processing capacity), how far does the extra
+// bandwidth take the same queries?
+#include "bench_util.h"
+
+#include "hw/fpga_device.h"
+#include "hw/perf_model.h"
+
+using namespace doppio;
+using namespace doppio::bench;
+
+namespace {
+
+double PartitionedResponse(const DeviceConfig& device, const Bat& strings,
+                           int64_t heap_bytes) {
+  FpgaDevice fpga(device);
+  auto config = CompileRegexConfig(QueryPattern(EvalQuery::kQ2), device);
+  if (!config.ok()) std::exit(1);
+  Bat scratch(ValueType::kInt16);
+  if (!scratch.AppendZeros(strings.count()).ok()) std::exit(1);
+
+  // One query partitioned across all engines (§7.5 execution model).
+  const int64_t chunk =
+      (strings.count() + device.num_engines - 1) / device.num_engines;
+  const uint32_t* offsets =
+      reinterpret_cast<const uint32_t*>(strings.tail_data());
+  std::vector<JobId> jobs;
+  for (int p = 0; p < device.num_engines; ++p) {
+    int64_t first = p * chunk;
+    if (first >= strings.count()) break;
+    int64_t rows = std::min<int64_t>(chunk, strings.count() - first);
+    JobParams params;
+    params.offsets = strings.tail_data() + first * 4;
+    params.heap = strings.heap()->data();
+    params.result = scratch.mutable_tail_data() + first * 2;
+    params.count = rows;
+    params.heap_bytes = first + rows < strings.count()
+                            ? static_cast<int64_t>(offsets[first + rows])
+                            : heap_bytes;
+    params.config = config->vector.bytes();
+    params.timing_only = true;
+    auto job = fpga.Submit(std::move(params));
+    if (!job.ok()) std::exit(1);
+    jobs.push_back(*job);
+  }
+  SimTime end = fpga.RunToIdle();
+  return SecondsFromPicos(end);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t rows = ScaledRows(2'500'000);
+  PrintHeader("Next-generation platform projection (paper §9)",
+              "QPI+PCIe links lift the ~6.5 GB/s cap toward the engines' "
+              "25.6 GB/s capacity");
+
+  AddressDataOptions data;
+  data.num_records = rows;
+  auto table = GenerateAddressTable(data, "addr");
+  if (!table.ok()) return 1;
+  const Bat* strings = (*table)->GetColumn("address_string");
+  const int64_t heap_bytes = strings->heap()->size_bytes();
+
+  struct Platform {
+    const char* label;
+    DeviceConfig config;
+  } platforms[] = {
+      {"HARP v1 (QPI only, ~6.5 GB/s)", DefaultDeviceConfig()},
+      {"next-gen (QPI + 2x PCIe, ~20 GB/s)", NextGenDeviceConfig()},
+  };
+
+  std::printf("records: %lld, single Q2 query partitioned across 4 "
+              "engines\n\n",
+              static_cast<long long>(rows));
+  std::printf("%-38s %14s %16s %12s\n", "platform", "response [s]",
+              "bandwidth [GB/s]", "q/s (1/t)");
+  double baseline = 0;
+  for (const Platform& p : platforms) {
+    double seconds = PartitionedResponse(p.config, *strings, heap_bytes);
+    double bw = static_cast<double>(heap_bytes) / seconds / 1e9;
+    std::printf("%-38s %14.4f %16.2f %12.1f\n", p.label, seconds, bw,
+                1.0 / seconds);
+    if (baseline == 0) baseline = seconds;
+  }
+  // Capacity bound: each of the 4 engines chews its quarter at the full
+  // 6.4 GB/s PU rate — the 25.6 GB/s aggregate.
+  PerfEstimate ideal = EstimateJob(DefaultDeviceConfig(), rows / 4,
+                                   heap_bytes / 4, 1, /*ideal=*/true);
+  std::printf("%-38s %14.4f %16s %12.1f\n",
+              "engine capacity bound (25.6 GB/s)", ideal.seconds, "-",
+              1.0 / ideal.seconds);
+
+  std::printf(
+      "\nshape check: the next-gen link roughly triples delivered\n"
+      "bandwidth; the engines themselves only become the limit beyond\n"
+      "~25 GB/s — the deployment is provisioned for the faster platform,\n"
+      "as the paper argues.\n");
+  return 0;
+}

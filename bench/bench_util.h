@@ -1,0 +1,116 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Timing convention (see DESIGN.md §2): software numbers are measured on
+// the host; since the benchmark host may have fewer cores than the paper's
+// 10-core Xeon, CPU-side parallel response times are *modeled* as the
+// measured single-thread time divided by the paper's core count.
+// FPGA numbers are virtual (simulated) time.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "db/column_store.h"
+#include "hal/hal.h"
+#include "sql/executor.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace bench {
+
+/// The evaluation machine of the paper.
+inline constexpr int kPaperCores = 10;
+
+/// DOPPIO_SCALE scales every row count (default 1.0; use e.g. 0.1 for a
+/// quick pass).
+inline double ScaleFactor() {
+  const char* env = std::getenv("DOPPIO_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline int64_t ScaledRows(int64_t rows) {
+  double scaled = static_cast<double>(rows) * ScaleFactor();
+  return scaled < 1000 ? 1000 : static_cast<int64_t>(scaled);
+}
+
+/// Models the paper's 10-core intra-operator parallelism from a measured
+/// single-thread time.
+inline double ModelParallel(double single_thread_seconds,
+                            int cores = kPaperCores) {
+  return single_thread_seconds / static_cast<double>(cores);
+}
+
+struct BenchSystem {
+  std::unique_ptr<Hal> hal;
+  std::unique_ptr<ColumnStoreEngine> engine;  // MonetDB stand-in
+};
+
+/// MonetDB-sim + HAL, in the paper's HUDF configuration: sequential_pipe,
+/// BATs in shared memory. `num_threads=1` because CPU times are measured
+/// single-threaded and projected (see ModelParallel).
+inline BenchSystem MakeSystem(int64_t shared_bytes = int64_t{4} << 30) {
+  BenchSystem sys;
+  Hal::Options hal_options;
+  hal_options.shared_memory_bytes = shared_bytes;
+  hal_options.functional_threads = 1;
+  sys.hal = std::make_unique<Hal>(hal_options);
+  ColumnStoreEngine::Options options;
+  options.num_threads = 1;
+  options.sequential_pipe = true;
+  options.hal = sys.hal.get();
+  sys.engine = std::make_unique<ColumnStoreEngine>(options);
+  return sys;
+}
+
+/// Loads an address table into the engine's catalog; returns row count.
+inline int64_t LoadAddressTable(BenchSystem* sys, int64_t rows,
+                                double selectivity = 0.2,
+                                const std::string& name = "address_table") {
+  AddressDataOptions data;
+  data.num_records = rows;
+  data.selectivity = selectivity;
+  auto table = GenerateAddressTable(data, name, sys->engine->allocator());
+  if (!table.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 table.status().ToString().c_str());
+    std::exit(1);
+  }
+  Status st = sys->engine->catalog()->AddTable(std::move(*table));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return rows;
+}
+
+/// Executes a SQL statement; exits loudly on failure.
+inline sql::QueryOutcome MustExecute(ColumnStoreEngine* engine,
+                                     const std::string& sql_text) {
+  auto outcome = sql::ExecuteQuery(engine, sql_text);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n", sql_text.c_str(),
+                 outcome.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*outcome);
+}
+
+/// Software wall seconds of a finished query (everything but hw).
+inline double SoftwareSeconds(const QueryStats& stats) {
+  return stats.database_seconds + stats.udf_software_seconds +
+         stats.config_gen_seconds + stats.hal_seconds;
+}
+
+inline void PrintHeader(const char* title, const char* paper_reference) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper reference: %s\n", paper_reference);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace doppio

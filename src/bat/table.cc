@@ -1,0 +1,63 @@
+#include "bat/table.h"
+
+namespace doppio {
+
+Status Table::AddColumn(std::string name, std::unique_ptr<Bat> bat) {
+  if (index_.count(name) != 0) {
+    return Status::AlreadyExists("column '" + name + "' already exists");
+  }
+  index_[name] = static_cast<int>(columns_.size());
+  column_names_.push_back(std::move(name));
+  columns_.push_back(std::move(bat));
+  return Status::OK();
+}
+
+Bat* Table::GetColumn(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : columns_[it->second].get();
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Status Table::Validate() const {
+  for (size_t i = 1; i < columns_.size(); ++i) {
+    if (columns_[i]->count() != columns_[0]->count()) {
+      return Status::Internal("table '" + name_ +
+                              "': column cardinality mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace doppio

@@ -1,0 +1,62 @@
+// Relational table = named collection of equally-sized BATs, plus a small
+// catalog. This is the storage-side view; query processing lives in src/db.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/status.h"
+
+namespace doppio {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a column; all columns must stay equally sized (checked lazily by
+  /// Validate, since bulk loads append column-by-column).
+  Status AddColumn(std::string name, std::unique_ptr<Bat> bat);
+
+  /// Column by name, or nullptr.
+  Bat* GetColumn(const std::string& name) const;
+
+  /// Index of a column, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::string& column_name(int i) const { return column_names_[i]; }
+  Bat* column(int i) const { return columns_[i].get(); }
+
+  /// Row count (0 for empty tables). All columns must agree — see Validate.
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->count();
+  }
+
+  /// Checks that all columns have equal cardinality.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<std::unique_ptr<Bat>> columns_;
+  std::map<std::string, int> index_;
+};
+
+/// Catalog of tables owned by a database engine instance.
+class Catalog {
+ public:
+  Status AddTable(std::unique_ptr<Table> table);
+  Table* GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace doppio

@@ -1,0 +1,48 @@
+// Minimal leveled logging with a process-wide severity threshold.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace doppio {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is emitted (default: kWarning,
+/// so library internals stay quiet in tests and benchmarks).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace doppio
+
+#define DOPPIO_LOG(level)                                          \
+  ::doppio::internal::LogMessage(::doppio::LogLevel::k##level,     \
+                                 __FILE__, __LINE__)
+
+// Invariant check that aborts with a message; active in all build types.
+#define DOPPIO_CHECK(cond)                                             \
+  if (!(cond))                                                         \
+  ::doppio::internal::LogMessage(::doppio::LogLevel::kError, __FILE__, \
+                                 __LINE__)                             \
+      << "Check failed: " #cond " ",                                   \
+      ::abort()

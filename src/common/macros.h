@@ -1,0 +1,27 @@
+// Common helper macros, following the Arrow/RocksDB conventions.
+#pragma once
+
+#define DOPPIO_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagates a non-OK Status out of the current function.
+#define DOPPIO_RETURN_NOT_OK(expr)              \
+  do {                                          \
+    ::doppio::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+// error Status.
+#define DOPPIO_CONCAT_IMPL(a, b) a##b
+#define DOPPIO_CONCAT(a, b) DOPPIO_CONCAT_IMPL(a, b)
+
+#define DOPPIO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define DOPPIO_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DOPPIO_ASSIGN_OR_RETURN_IMPL(             \
+      DOPPIO_CONCAT(_doppio_result_, __LINE__), lhs, rexpr)

@@ -1,0 +1,43 @@
+#include "common/sim_scheduler.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+void SimScheduler::ScheduleAt(SimTime when, std::function<void()> fn) {
+  DOPPIO_CHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime SimScheduler::Run() {
+  while (!queue_.empty()) {
+    // The event callback may schedule more events, so copy out first.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+  return now_;
+}
+
+bool SimScheduler::RunOne() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+SimTime SimScheduler::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace doppio

@@ -1,0 +1,157 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Apache Arrow / RocksDB. Library code returns Status (or Result<T>) for
+// every fallible operation; exceptions are not used.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace doppio {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kCapacityExceeded = 5,  // pattern does not fit the deployed PU geometry
+  kIOError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kTimingViolation = 9,  // circuit configuration fails timing closure
+  kParseError = 10,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Mirrors the Arrow/RocksDB idiom mandated by the project style.
+class Status {
+ public:
+  Status() noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TimingViolation(std::string msg) {
+    return Status(StatusCode::kTimingViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsTimingViolation() const {
+    return code() == StatusCode::kTimingViolation;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status)                          // NOLINT implicit
+      : value_(std::move(status)) {
+    assert(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace doppio

@@ -1,0 +1,45 @@
+// Fixed-size worker pool used to model MonetDB's intra-operator parallelism
+// (the paper's machine exposes 10 cores; the column store partitions BATs
+// ten ways and fans work out to a pool of this kind).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace doppio {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues `fn`; returns a future completing when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// invocations finish. The calling thread also participates.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace doppio

@@ -1,0 +1,195 @@
+#include "db/bat_algebra.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace doppio {
+namespace batalg {
+
+namespace {
+
+Result<int64_t> IntAt(const Bat& column, int64_t row) {
+  switch (column.type()) {
+    case ValueType::kInt32:
+      return static_cast<int64_t>(column.GetInt32(row));
+    case ValueType::kInt64:
+      return column.GetInt64(row);
+    case ValueType::kInt16:
+      return static_cast<int64_t>(column.GetInt16(row));
+    case ValueType::kString:
+      return Status::InvalidArgument("integer operator on string BAT");
+  }
+  return Status::Internal("unknown BAT type");
+}
+
+Status CheckIntColumn(const Bat& column) {
+  if (column.type() == ValueType::kString) {
+    return Status::InvalidArgument("integer operator on string BAT");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CandidateList> SelectEq(const Bat& column, int64_t value,
+                               BufferAllocator* allocator) {
+  return SelectRange(column, value, value, allocator);
+}
+
+Result<CandidateList> SelectRange(const Bat& column, int64_t lo, int64_t hi,
+                                  BufferAllocator* allocator) {
+  DOPPIO_RETURN_NOT_OK(CheckIntColumn(column));
+  auto out = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  for (int64_t row = 0; row < column.count(); ++row) {
+    DOPPIO_ASSIGN_OR_RETURN(int64_t v, IntAt(column, row));
+    if (v >= lo && v <= hi) {
+      DOPPIO_RETURN_NOT_OK(out->AppendInt64(row));
+    }
+  }
+  return out;
+}
+
+Result<CandidateList> SelectNonZero(const Bat& shorts, bool select_zero,
+                                    BufferAllocator* allocator) {
+  if (shorts.type() != ValueType::kInt16) {
+    return Status::InvalidArgument(
+        "SelectNonZero expects a short (HUDF result) BAT");
+  }
+  auto out = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  for (int64_t row = 0; row < shorts.count(); ++row) {
+    bool nonzero = shorts.GetInt16(row) != 0;
+    if (nonzero != select_zero) {
+      DOPPIO_RETURN_NOT_OK(out->AppendInt64(row));
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Bat>> Project(const Bat& candidates,
+                                     const Bat& column,
+                                     BufferAllocator* allocator) {
+  if (candidates.type() != ValueType::kInt64) {
+    return Status::InvalidArgument("candidate list must be a kInt64 BAT");
+  }
+  auto out = std::make_unique<Bat>(column.type(), allocator);
+  for (int64_t i = 0; i < candidates.count(); ++i) {
+    int64_t row = candidates.GetInt64(i);
+    if (row < 0 || row >= column.count()) {
+      return Status::InvalidArgument("candidate OID out of range");
+    }
+    switch (column.type()) {
+      case ValueType::kInt32:
+        DOPPIO_RETURN_NOT_OK(out->AppendInt32(column.GetInt32(row)));
+        break;
+      case ValueType::kInt64:
+        DOPPIO_RETURN_NOT_OK(out->AppendInt64(column.GetInt64(row)));
+        break;
+      case ValueType::kInt16:
+        DOPPIO_RETURN_NOT_OK(out->AppendInt16(column.GetInt16(row)));
+        break;
+      case ValueType::kString:
+        DOPPIO_RETURN_NOT_OK(out->AppendString(column.GetString(row)));
+        break;
+    }
+  }
+  return out;
+}
+
+Result<JoinResult> HashJoin(const Bat& left, const Bat& right,
+                            BufferAllocator* allocator) {
+  DOPPIO_RETURN_NOT_OK(CheckIntColumn(left));
+  DOPPIO_RETURN_NOT_OK(CheckIntColumn(right));
+  // Build on the smaller side.
+  const bool build_left = left.count() <= right.count();
+  const Bat& build = build_left ? left : right;
+  const Bat& probe = build_left ? right : left;
+
+  std::unordered_map<int64_t, std::vector<int64_t>> table;
+  table.reserve(static_cast<size_t>(build.count()));
+  for (int64_t row = 0; row < build.count(); ++row) {
+    DOPPIO_ASSIGN_OR_RETURN(int64_t v, IntAt(build, row));
+    table[v].push_back(row);
+  }
+
+  JoinResult out;
+  out.left = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  out.right = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  for (int64_t row = 0; row < probe.count(); ++row) {
+    DOPPIO_ASSIGN_OR_RETURN(int64_t v, IntAt(probe, row));
+    auto it = table.find(v);
+    if (it == table.end()) continue;
+    for (int64_t match : it->second) {
+      int64_t l = build_left ? match : row;
+      int64_t r = build_left ? row : match;
+      DOPPIO_RETURN_NOT_OK(out.left->AppendInt64(l));
+      DOPPIO_RETURN_NOT_OK(out.right->AppendInt64(r));
+    }
+  }
+  return out;
+}
+
+Result<CandidateList> Intersect(const Bat& a, const Bat& b,
+                                BufferAllocator* allocator) {
+  if (a.type() != ValueType::kInt64 || b.type() != ValueType::kInt64) {
+    return Status::InvalidArgument("candidate lists must be kInt64 BATs");
+  }
+  auto out = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  int64_t i = 0;
+  int64_t j = 0;
+  while (i < a.count() && j < b.count()) {
+    int64_t va = a.GetInt64(i);
+    int64_t vb = b.GetInt64(j);
+    if (va == vb) {
+      DOPPIO_RETURN_NOT_OK(out->AppendInt64(va));
+      ++i;
+      ++j;
+    } else if (va < vb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+Result<GroupResult> Group(const Bat& column, BufferAllocator* allocator) {
+  DOPPIO_RETURN_NOT_OK(CheckIntColumn(column));
+  GroupResult out;
+  out.group_ids = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  out.representatives = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  std::unordered_map<int64_t, int64_t> ids;
+  for (int64_t row = 0; row < column.count(); ++row) {
+    DOPPIO_ASSIGN_OR_RETURN(int64_t v, IntAt(column, row));
+    auto [it, inserted] =
+        ids.try_emplace(v, static_cast<int64_t>(ids.size()));
+    if (inserted) {
+      DOPPIO_RETURN_NOT_OK(out.representatives->AppendInt64(row));
+    }
+    DOPPIO_RETURN_NOT_OK(out.group_ids->AppendInt64(it->second));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Bat>> GroupCount(const Bat& group_ids,
+                                        int64_t num_groups,
+                                        BufferAllocator* allocator) {
+  if (group_ids.type() != ValueType::kInt64) {
+    return Status::InvalidArgument("group ids must be a kInt64 BAT");
+  }
+  auto out = std::make_unique<Bat>(ValueType::kInt64, allocator);
+  DOPPIO_RETURN_NOT_OK(out->AppendZeros(num_groups));
+  int64_t* counts = reinterpret_cast<int64_t*>(out->mutable_tail_data());
+  for (int64_t row = 0; row < group_ids.count(); ++row) {
+    int64_t g = group_ids.GetInt64(row);
+    if (g < 0 || g >= num_groups) {
+      return Status::InvalidArgument("group id out of range");
+    }
+    ++counts[g];
+  }
+  return out;
+}
+
+int64_t Count(const Bat& candidates) { return candidates.count(); }
+
+}  // namespace batalg
+}  // namespace doppio

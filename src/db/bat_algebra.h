@@ -1,0 +1,83 @@
+// BAT algebra kernel (paper §2.3, §4.2.2).
+//
+// MonetDB executes queries as sequences of BAT-algebra operators, each a
+// tight loop over whole BATs with fully materialized intermediates — the
+// execution model that makes a BAT-at-a-time hardware UDF cheap to call.
+// These are the kernel primitives that model provides, in the classic
+// MonetDB style: selections produce candidate (OID) lists, projections
+// fetch values through candidate lists, joins return matching OID pairs.
+//
+// All results are materialized BATs allocated from the given allocator
+// (the HAL's shared allocator inside the HUDF-enabled engine).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bat/bat.h"
+#include "common/status.h"
+
+namespace doppio {
+namespace batalg {
+
+/// Candidate list: a kInt64 BAT of row ids (OIDs), ascending.
+using CandidateList = std::unique_ptr<Bat>;
+
+/// select(b, v): OIDs of rows whose integer value equals `v`.
+Result<CandidateList> SelectEq(
+    const Bat& column, int64_t value,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// thetaselect(b, lo, hi): OIDs with lo <= value <= hi (int columns).
+Result<CandidateList> SelectRange(
+    const Bat& column, int64_t lo, int64_t hi,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// select over a boolean-ish short column (the HUDF result): OIDs with a
+/// nonzero (or zero, when `select_zero`) value — how REGEXP_FPGA's result
+/// BAT becomes a candidate list.
+Result<CandidateList> SelectNonZero(
+    const Bat& shorts, bool select_zero = false,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// projection(cands, b): values of `column` at the candidate OIDs, in
+/// candidate order (MonetDB's leftfetchjoin).
+Result<std::unique_ptr<Bat>> Project(
+    const Bat& candidates, const Bat& column,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// join(l, r): OID pairs (li, ri) with l.value == r.value (int columns).
+struct JoinResult {
+  CandidateList left;
+  CandidateList right;
+};
+Result<JoinResult> HashJoin(
+    const Bat& left, const Bat& right,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// intersect(a, b): candidate lists intersection (both ascending).
+Result<CandidateList> Intersect(
+    const Bat& a, const Bat& b,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// group(b): dense group ids per row plus one representative OID per
+/// group (MonetDB's group.new on an int column).
+struct GroupResult {
+  std::unique_ptr<Bat> group_ids;       // kInt64, |column| entries
+  std::unique_ptr<Bat> representatives; // kInt64, one OID per group
+};
+Result<GroupResult> Group(
+    const Bat& column,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// count per group id (groups must be dense ids from Group()).
+Result<std::unique_ptr<Bat>> GroupCount(
+    const Bat& group_ids, int64_t num_groups,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// aggr.count(cands): scalar count of a candidate list (trivial but part
+/// of the kernel surface).
+int64_t Count(const Bat& candidates);
+
+}  // namespace batalg
+}  // namespace doppio

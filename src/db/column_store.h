@@ -1,0 +1,111 @@
+// Column-store engine standing in for MonetDB (paper §2.3, §7.1).
+//
+// Matches the integration-relevant behaviour of the real system:
+//  * tables are collections of BATs; string columns use offset+heap;
+//  * operators are BAT-at-a-time and fully materialize intermediates;
+//  * a query's string predicate is served by one of the strategies the
+//    paper compares — LIKE fast path, PCRE-style REGEXP_LIKE, CONTAINS
+//    over a pre-built inverted index, or the REGEXP_FPGA HUDF;
+//  * intra-operator parallelism partitions the input horizontally across
+//    `num_threads` (10 on the paper's machine); `sequential_pipe` disables
+//    it, as the paper does for the modified MonetDB build.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/table.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "db/engine_stats.h"
+#include "hal/hal.h"
+#include "text/inverted_index.h"
+
+namespace doppio {
+
+/// A string predicate as it appears in a WHERE clause.
+struct StringFilterSpec {
+  enum class Op {
+    kLike,        // LIKE / ILIKE (fast substring path where possible)
+    kRegexpLike,  // REGEXP_LIKE via PCRE-style backtracking
+    kRegexpFpga,  // REGEXP_FPGA HUDF (needs a HAL)
+    kHybrid,      // REGEXP_FPGA with automatic hybrid fallback
+    kContains,    // CONTAINS over the inverted index
+    kAuto,        // cost-model-driven choice among the above (see
+                  // db/cost_model.h — the optimizer capability §9 wants)
+  };
+  Op op = Op::kLike;
+  std::string pattern;
+  bool case_insensitive = false;
+  bool negated = false;
+};
+
+class ColumnStoreEngine {
+ public:
+  struct Options {
+    int num_threads = 10;
+    bool sequential_pipe = false;
+    /// When set, REGEXP_FPGA is available and BATs should be allocated
+    /// from the HAL's shared-memory allocator.
+    Hal* hal = nullptr;
+  };
+
+  explicit ColumnStoreEngine(const Options& options);
+  ~ColumnStoreEngine();
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(ColumnStoreEngine);
+
+  Catalog* catalog() { return &catalog_; }
+  ThreadPool* pool() { return pool_.get(); }
+  Hal* hal() const { return options_.hal; }
+  const Options& options() const { return options_; }
+
+  /// Allocator for new BATs: the HAL's shared allocator when available
+  /// (every BAT in FPGA-visible memory, §4.2.1), else malloc.
+  BufferAllocator* allocator() const;
+
+  /// Evaluates a string predicate over a column; returns one byte per row
+  /// (1 = row satisfies the predicate, after negation is applied).
+  Result<std::vector<uint8_t>> EvalStringFilter(const Bat& column,
+                                                const StringFilterSpec& spec,
+                                                QueryStats* stats);
+
+  /// Builds (or rebuilds) the CONTAINS index for table.column.
+  Status BuildContainsIndex(const std::string& table,
+                            const std::string& column);
+  const InvertedIndex* contains_index(const Bat* column) const;
+
+  /// Effective partition count for intra-operator parallelism.
+  int partitions() const {
+    return options_.sequential_pipe ? 1 : options_.num_threads;
+  }
+
+  /// The engine's operator cost model (calibrated lazily on first use).
+  const class OperatorCostModel& cost_model();
+
+ private:
+  Result<std::vector<uint8_t>> EvalLike(const Bat& column,
+                                        const StringFilterSpec& spec);
+  Result<std::vector<uint8_t>> EvalRegexp(const Bat& column,
+                                          const StringFilterSpec& spec);
+  Result<std::vector<uint8_t>> EvalFpga(const Bat& column,
+                                        const StringFilterSpec& spec,
+                                        QueryStats* stats);
+  Result<std::vector<uint8_t>> EvalContains(const Bat& column,
+                                            const StringFilterSpec& spec);
+
+  /// Runs `fn(first_row, end_row, partition)` across partitions.
+  void ParallelOverRows(int64_t num_rows,
+                        const std::function<void(int64_t, int64_t, int)>& fn);
+
+  Options options_;
+  Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::map<const Bat*, std::unique_ptr<InvertedIndex>> contains_indexes_;
+  std::unique_ptr<class OperatorCostModel> cost_model_;
+};
+
+}  // namespace doppio

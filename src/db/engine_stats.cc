@@ -1,0 +1,36 @@
+#include "db/engine_stats.h"
+
+#include <sstream>
+
+namespace doppio {
+
+std::string QueryStats::ToString() const {
+  std::ostringstream out;
+  out << "total=" << TotalSeconds() << "s"
+      << " db=" << database_seconds << "s"
+      << " udf_sw=" << udf_software_seconds << "s"
+      << " config=" << config_gen_seconds << "s"
+      << " hal=" << hal_seconds << "s"
+      << " hw=" << hw_seconds << "s"
+      << " scanned=" << rows_scanned << " matched=" << rows_matched
+      << " strategy=" << strategy;
+  return out.str();
+}
+
+void QueryStats::Accumulate(const QueryStats& other) {
+  database_seconds += other.database_seconds;
+  udf_software_seconds += other.udf_software_seconds;
+  config_gen_seconds += other.config_gen_seconds;
+  hal_seconds += other.hal_seconds;
+  hw_seconds += other.hw_seconds;
+  sim_host_seconds += other.sim_host_seconds;
+  rows_scanned += other.rows_scanned;
+  rows_matched += other.rows_matched;
+  if (strategy.empty()) {
+    strategy = other.strategy;
+  } else if (!other.strategy.empty() && other.strategy != strategy) {
+    strategy += "+" + other.strategy;
+  }
+}
+
+}  // namespace doppio

@@ -1,0 +1,45 @@
+// Per-query timing breakdown (paper Fig. 10): time spent in the database
+// proper, in the UDF's software part, generating the configuration vector,
+// in the HAL, and in the hardware execution itself.
+//
+// Software phases are host wall-clock; the hardware phase is virtual
+// (simulated) time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace doppio {
+
+struct QueryStats {
+  // Phase breakdown, seconds.
+  double database_seconds = 0;    // everything but the UDF
+  double udf_software_seconds = 0;  // UDF overhead minus the parts below
+  double config_gen_seconds = 0;  // pattern -> configuration vector
+  double hal_seconds = 0;         // job creation/bookkeeping in the HAL
+  double hw_seconds = 0;          // virtual time on the FPGA (queue+exec)
+
+  /// Host time spent *running the simulator* (busy-wait draining virtual
+  /// events). A measurement artifact: excluded from every phase and from
+  /// TotalSeconds(), tracked so callers can reconcile wall clocks.
+  double sim_host_seconds = 0;
+
+  // Volume.
+  int64_t rows_scanned = 0;
+  int64_t rows_matched = 0;
+
+  /// Which execution strategy served the string predicate.
+  std::string strategy;
+
+  double TotalSeconds() const {
+    return database_seconds + udf_software_seconds + config_gen_seconds +
+           hal_seconds + hw_seconds;
+  }
+
+  std::string ToString() const;
+
+  /// Accumulates phase times and volumes (for multi-operator queries).
+  void Accumulate(const QueryStats& other);
+};
+
+}  // namespace doppio

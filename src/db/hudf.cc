@@ -1,0 +1,140 @@
+#include "db/hudf.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace doppio {
+
+Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
+                                         const RegexConfig& config,
+                                         int partitions) {
+  if (input.type() != ValueType::kString) {
+    return Status::InvalidArgument("regex job input must be a string BAT");
+  }
+  if (partitions <= 0) partitions = hal->device_config().num_engines;
+  partitions = static_cast<int>(
+      std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
+
+  Stopwatch udf_watch;
+  HudfResult out;
+  out.stats.strategy = "fpga";  // partitioning is internal to the operator
+  out.stats.rows_scanned = input.count();
+
+  DOPPIO_ASSIGN_OR_RETURN(
+      out.result,
+      Bat::New(ValueType::kInt16, input.count(), hal->bat_allocator()));
+  DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(input.count()));
+
+  // One job per slice; all slices share the heap and the result BAT.
+  Stopwatch hal_watch;
+  const int64_t chunk = (input.count() + partitions - 1) / partitions;
+  const uint32_t* all_offsets =
+      reinterpret_cast<const uint32_t*>(input.tail_data());
+  std::vector<FpgaJob> jobs;
+  for (int p = 0; p < partitions; ++p) {
+    const int64_t first = p * chunk;
+    if (first >= input.count()) break;
+    const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
+    JobParams params;
+    params.offsets = input.tail_data() + first * input.offset_width();
+    params.heap = input.heap()->data();
+    params.result = out.result->mutable_tail_data() + first * 2;
+    params.count = rows;
+    params.offset_width = static_cast<int32_t>(input.offset_width());
+    // Heap extent of this slice: up to the next slice's first string (the
+    // heap is written in row order), or the heap end for the last slice.
+    params.heap_bytes =
+        first + rows < input.count()
+            ? static_cast<int64_t>(all_offsets[first + rows])
+            : input.heap()->size_bytes();
+    params.config = config.vector.bytes();
+    DOPPIO_ASSIGN_OR_RETURN(JobId id,
+                            hal->device()->Submit(std::move(params)));
+    jobs.emplace_back(hal->device(), id);
+  }
+  out.stats.hal_seconds = hal_watch.ElapsedSeconds();
+
+  Stopwatch wait_watch;
+  SimTime first_enqueue = std::numeric_limits<SimTime>::max();
+  SimTime last_finish = 0;
+  for (FpgaJob& job : jobs) {
+    DOPPIO_RETURN_NOT_OK(job.Wait());
+    const JobStatus& status = job.status();
+    first_enqueue = std::min(first_enqueue, status.enqueue_time);
+    last_finish = std::max(last_finish, status.finish_time);
+    out.stats.rows_matched += status.matches;
+  }
+  out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
+  out.stats.hw_seconds = SecondsFromPicos(last_finish - first_enqueue);
+  out.stats.udf_software_seconds =
+      std::max(0.0, udf_watch.ElapsedSeconds() - out.stats.hal_seconds -
+                        out.stats.sim_host_seconds);
+  return out;
+}
+
+Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
+                                         std::string_view pattern,
+                                         const CompileOptions& options,
+                                         int partitions) {
+  Stopwatch config_watch;
+  DOPPIO_ASSIGN_OR_RETURN(RegexConfig config,
+                          hal->CompileConfig(pattern, options));
+  DOPPIO_ASSIGN_OR_RETURN(
+      HudfResult out, RegexpFpgaPartitioned(hal, input, config, partitions));
+  out.stats.config_gen_seconds = config.compile_seconds;
+  return out;
+}
+
+Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
+                              std::string_view pattern,
+                              const CompileOptions& options) {
+  Stopwatch config_watch;
+  DOPPIO_ASSIGN_OR_RETURN(RegexConfig config,
+                          hal->CompileConfig(pattern, options));
+  DOPPIO_ASSIGN_OR_RETURN(HudfResult out, RegexpFpga(hal, input, config));
+  out.stats.config_gen_seconds = config.compile_seconds;
+  out.stats.udf_software_seconds -= config.compile_seconds;
+  if (out.stats.udf_software_seconds < 0) out.stats.udf_software_seconds = 0;
+  return out;
+}
+
+Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
+                              const RegexConfig& config) {
+  Stopwatch udf_watch;
+  HudfResult out;
+  out.stats.strategy = "fpga";
+  out.stats.rows_scanned = input.count();
+
+  // Allocate the result BAT (BATnew(TYPE_void, TYPE_short, count)).
+  DOPPIO_ASSIGN_OR_RETURN(
+      out.result,
+      Bat::New(ValueType::kInt16, input.count(), hal->bat_allocator()));
+  DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(input.count()));
+
+  // Create the FPGA job through the HAL and busy-wait on the done bit.
+  Stopwatch hal_watch;
+  DOPPIO_ASSIGN_OR_RETURN(FpgaJob job,
+                          hal->CreateRegexJob(input, out.result.get(),
+                                              config));
+  out.stats.hal_seconds = hal_watch.ElapsedSeconds();
+
+  // The busy-wait advances the simulator's virtual clock; the host time it
+  // burns doing so is a simulation artifact and is excluded from the
+  // software phases. The hardware phase is virtual time.
+  Stopwatch wait_watch;
+  DOPPIO_RETURN_NOT_OK(job.Wait());
+  const double wait_host_seconds = wait_watch.ElapsedSeconds();
+  out.stats.sim_host_seconds = wait_host_seconds;
+  out.stats.hw_seconds = job.HwSeconds();  // virtual (simulated) time
+  out.stats.rows_matched = job.status().matches;
+  out.stats.udf_software_seconds = udf_watch.ElapsedSeconds() -
+                                   out.stats.hal_seconds -
+                                   wait_host_seconds;
+  if (out.stats.udf_software_seconds < 0) out.stats.udf_software_seconds = 0;
+  return out;
+}
+
+}  // namespace doppio

@@ -1,0 +1,54 @@
+// The Hardware User Defined Function: REGEXP_FPGA (paper §4.1).
+//
+// Mirrors the paper's regexp_fpga() pseudo-code: convert the pattern into
+// a configuration vector, allocate the result BAT, create the FPGA job
+// through the HAL, busy-wait on the done bit, hand the result BAT back.
+// The returned column is of type short: nonzero = 1-based position of the
+// match's last character, zero = no match.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "bat/bat.h"
+#include "common/status.h"
+#include "db/engine_stats.h"
+#include "hal/hal.h"
+#include "regex/matcher.h"
+
+namespace doppio {
+
+struct HudfResult {
+  std::unique_ptr<Bat> result;  // kInt16, one entry per input string
+  QueryStats stats;             // udf/config/hal/hw phase breakdown
+};
+
+/// Runs the REGEXP_FPGA HUDF over a string BAT. The pattern uses the regex
+/// dialect (LIKE patterns are translated before reaching this layer).
+/// Fails with CapacityExceeded when the pattern does not fit the deployed
+/// geometry — callers fall back to hybrid or software execution.
+Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
+                              std::string_view pattern,
+                              const CompileOptions& options = {});
+
+/// Variant reusing an already-compiled configuration (amortizes compile
+/// time across concurrent clients issuing the same query).
+Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
+                              const RegexConfig& config);
+
+/// Single-query intra-operator parallelism (paper §7.5: "the FPGA
+/// parallelizes by horizontally partitioning the data to the four Regex
+/// Engines"): the BAT is split into `partitions` slices, one job per
+/// engine, all sharing the string heap; results land in disjoint slices
+/// of one result BAT. 0 = one partition per deployed engine.
+Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
+                                         const RegexConfig& config,
+                                         int partitions = 0);
+
+/// Pattern-level convenience for the partitioned variant.
+Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
+                                         std::string_view pattern,
+                                         const CompileOptions& options = {},
+                                         int partitions = 0);
+
+}  // namespace doppio

@@ -1,0 +1,150 @@
+#include "db/hybrid_executor.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "hw/config_compiler.h"
+#include "regex/pattern_parser.h"
+
+namespace doppio {
+
+namespace {
+
+bool IsDotStarNode(const AstNode& node) {
+  return node.kind == AstKind::kRepeat && node.repeat_min == 0 &&
+         node.repeat_max == -1 &&
+         node.children[0]->kind == AstKind::kCharClass &&
+         node.children[0]->char_class == CharSet::AnyChar();
+}
+
+// Clones children [0, end) of a concat into a prefix AST.
+AstNodePtr ConcatPrefix(const AstNode& concat, size_t end) {
+  std::vector<AstNodePtr> parts;
+  parts.reserve(end);
+  for (size_t i = 0; i < end; ++i) {
+    parts.push_back(concat.children[i]->Clone());
+  }
+  return AstNode::Concat(std::move(parts));
+}
+
+}  // namespace
+
+Result<HybridPlan> PlanHybrid(std::string_view pattern,
+                              const DeviceConfig& device,
+                              const CompileOptions& options) {
+  HybridPlan plan;
+  plan.full_pattern = std::string(pattern);
+
+  DOPPIO_ASSIGN_OR_RETURN(AnchoredPattern parsed,
+                          ParseAnchoredPattern(pattern));
+  if (parsed.anchor_start || parsed.anchor_end) {
+    // The hardware searches unanchored, and splitting an anchored pattern
+    // would change its semantics: software handles it end to end.
+    plan.strategy = HybridStrategy::kSoftwareOnly;
+    return plan;
+  }
+  AstNodePtr ast = std::move(parsed.ast);
+  auto full = CompileRegexConfig(*ast, device, options);
+  if (full.ok()) {
+    plan.strategy = HybridStrategy::kFpgaOnly;
+    plan.fpga_pattern = plan.full_pattern;
+    return plan;
+  }
+  if (!full.status().IsCapacityExceeded()) return full.status();
+
+  // Split at '.*' boundaries: try the longest prefix first.
+  if (ast->kind == AstKind::kConcat) {
+    std::vector<size_t> cut_points;  // index of each top-level dot-star
+    for (size_t i = 0; i < ast->children.size(); ++i) {
+      if (IsDotStarNode(*ast->children[i])) cut_points.push_back(i);
+    }
+    for (auto it = cut_points.rbegin(); it != cut_points.rend(); ++it) {
+      if (*it == 0) continue;  // empty prefix
+      AstNodePtr prefix = ConcatPrefix(*ast, *it);
+      auto attempt = CompileRegexConfig(*prefix, device, options);
+      if (attempt.ok()) {
+        plan.strategy = HybridStrategy::kHybrid;
+        plan.fpga_pattern = prefix->ToString();
+        return plan;
+      }
+      if (!attempt.status().IsCapacityExceeded()) return attempt.status();
+    }
+  }
+  plan.strategy = HybridStrategy::kSoftwareOnly;
+  return plan;
+}
+
+Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
+                                   std::string_view pattern,
+                                   const CompileOptions& options) {
+  Stopwatch total_watch;
+  DOPPIO_ASSIGN_OR_RETURN(HybridPlan plan,
+                          PlanHybrid(pattern, hal->device_config(), options));
+
+  HybridResult out;
+  out.strategy = plan.strategy;
+
+  if (plan.strategy == HybridStrategy::kFpgaOnly) {
+    DOPPIO_ASSIGN_OR_RETURN(HudfResult hw,
+                            RegexpFpga(hal, input, pattern, options));
+    out.result = std::move(hw.result);
+    out.stats = hw.stats;
+    return out;
+  }
+
+  if (plan.strategy == HybridStrategy::kHybrid) {
+    // FPGA pre-filter on the prefix.
+    DOPPIO_ASSIGN_OR_RETURN(
+        HudfResult hw, RegexpFpga(hal, input, plan.fpga_pattern, options));
+    out.stats = hw.stats;
+    out.stats.strategy = "hybrid";
+
+    // CPU post-processing of the tuples that passed, against the full
+    // expression (lazy DFA; the prefix already pruned the bulk).
+    Stopwatch cpu_watch;
+    DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
+                            DfaMatcher::Compile(pattern, options));
+    int64_t matched = 0;
+    for (int64_t i = 0; i < input.count(); ++i) {
+      int16_t prefilter = hw.result->GetInt16(i);
+      if (prefilter == 0) continue;
+      ++out.cpu_postprocessed;
+      MatchResult m = matcher->Find(input.GetString(i));
+      if (!m.matched) {
+        reinterpret_cast<int16_t*>(hw.result->mutable_tail_data())[i] = 0;
+      } else {
+        reinterpret_cast<int16_t*>(hw.result->mutable_tail_data())[i] =
+            static_cast<int16_t>(std::min<int32_t>(m.end, 32767));
+        ++matched;
+      }
+    }
+    out.stats.udf_software_seconds += cpu_watch.ElapsedSeconds();
+    out.stats.rows_matched = matched;
+    out.result = std::move(hw.result);
+    return out;
+  }
+
+  // Pure software fallback.
+  Stopwatch cpu_watch;
+  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
+                          DfaMatcher::Compile(pattern, options));
+  DOPPIO_ASSIGN_OR_RETURN(
+      out.result, Bat::New(ValueType::kInt16, input.count()));
+  int64_t matched = 0;
+  for (int64_t i = 0; i < input.count(); ++i) {
+    MatchResult m = matcher->Find(input.GetString(i));
+    int16_t value =
+        m.matched ? static_cast<int16_t>(std::min<int32_t>(
+                        std::max<int32_t>(m.end, 1), 32767))
+                  : 0;
+    if (m.matched) ++matched;
+    DOPPIO_RETURN_NOT_OK(out.result->AppendInt16(value));
+  }
+  out.stats.strategy = "software";
+  out.stats.rows_scanned = input.count();
+  out.stats.rows_matched = matched;
+  out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace doppio

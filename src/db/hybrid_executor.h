@@ -1,0 +1,53 @@
+// Hybrid CPU-FPGA execution (paper §6.4, §7.8).
+//
+// When a pattern needs more character matchers or states than the deployed
+// PU provides, it is split at a '.*' wildcard: the longest prefix that fits
+// runs on the FPGA as a pre-filter, and only the matching tuples are
+// post-processed on the CPU against the full expression. If no prefix
+// fits, execution falls back to pure software.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "bat/bat.h"
+#include "common/status.h"
+#include "db/engine_stats.h"
+#include "db/hudf.h"
+#include "hal/hal.h"
+#include "regex/dfa_matcher.h"
+#include "regex/pattern_ast.h"
+
+namespace doppio {
+
+enum class HybridStrategy { kFpgaOnly, kHybrid, kSoftwareOnly };
+
+struct HybridPlan {
+  HybridStrategy strategy = HybridStrategy::kSoftwareOnly;
+  /// The prefix offloaded to the FPGA (kHybrid/kFpgaOnly).
+  std::string fpga_pattern;
+  /// Elements of the full pattern (always post-processed for kHybrid).
+  std::string full_pattern;
+};
+
+/// Decides how to execute `pattern` on the given deployment.
+Result<HybridPlan> PlanHybrid(std::string_view pattern,
+                              const DeviceConfig& device,
+                              const CompileOptions& options = {});
+
+struct HybridResult {
+  /// Boolean-ish short column: nonzero = the full pattern matches.
+  std::unique_ptr<Bat> result;
+  QueryStats stats;
+  HybridStrategy strategy = HybridStrategy::kSoftwareOnly;
+  /// Tuples the FPGA pre-filter passed on to the CPU (kHybrid).
+  int64_t cpu_postprocessed = 0;
+};
+
+/// Executes a pattern with automatic FPGA/hybrid/software selection.
+Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
+                                   std::string_view pattern,
+                                   const CompileOptions& options = {});
+
+}  // namespace doppio

@@ -1,0 +1,34 @@
+#include "db/result_set.h"
+
+#include <sstream>
+
+namespace doppio {
+
+std::string ResultSet::ToString(int64_t max_rows) const {
+  std::ostringstream out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out << (c > 0 ? " | " : "") << columns[c].name;
+  }
+  out << "\n";
+  const int64_t rows = std::min(num_rows(), max_rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out << " | ";
+      const OwnedColumn& col = columns[c];
+      if (!col.IsValid(r)) {
+        out << "NULL";
+      } else if (col.is_string) {
+        out << col.strings[static_cast<size_t>(r)];
+      } else {
+        out << col.ints[static_cast<size_t>(r)];
+      }
+    }
+    out << "\n";
+  }
+  if (num_rows() > rows) {
+    out << "... (" << num_rows() - rows << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace doppio

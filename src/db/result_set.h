@@ -1,0 +1,62 @@
+// Materialized intermediate/final results of the query executor.
+//
+// MonetDB's execution model materializes every intermediate as BATs
+// (paper §4.2.2); this is the executor-side equivalent: fully materialized
+// typed columns with optional validity (nulls only arise from outer joins).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace doppio {
+
+struct OwnedColumn {
+  std::string name;
+  // Exactly one of these holds data.
+  std::vector<int64_t> ints;
+  std::vector<std::string> strings;
+  bool is_string = false;
+  // Validity mask; empty = all valid.
+  std::vector<uint8_t> valid;
+
+  int64_t size() const {
+    return is_string ? static_cast<int64_t>(strings.size())
+                     : static_cast<int64_t>(ints.size());
+  }
+  bool IsValid(int64_t row) const {
+    return valid.empty() || valid[static_cast<size_t>(row)] != 0;
+  }
+};
+
+struct ResultSet {
+  std::vector<OwnedColumn> columns;
+
+  int64_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].size();
+  }
+  int num_columns() const { return static_cast<int>(columns.size()); }
+
+  const OwnedColumn* Find(const std::string& name) const {
+    for (const auto& col : columns) {
+      if (col.name == name) return &col;
+    }
+    return nullptr;
+  }
+
+  /// Scalar convenience for count(*) style results.
+  Result<int64_t> ScalarInt() const {
+    if (num_rows() != 1 || columns.empty() || columns[0].is_string) {
+      return Status::InvalidArgument("result is not a scalar integer");
+    }
+    return columns[0].ints[0];
+  }
+
+  /// Debug rendering (header + rows, pipe separated).
+  std::string ToString(int64_t max_rows = 20) const;
+};
+
+}  // namespace doppio

@@ -1,0 +1,205 @@
+#include "db/row_store.h"
+
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "regex/backtrack_matcher.h"
+#include "regex/dfa_matcher.h"
+#include "regex/like_translator.h"
+#include "regex/substring_search.h"
+#include "regex/thompson_nfa.h"
+
+namespace doppio {
+
+namespace {
+
+void AppendRaw(std::vector<uint8_t>* out, const void* src, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(src);
+  out->insert(out->end(), p, p + n);
+}
+
+}  // namespace
+
+Status RowStoreEngine::LoadTable(const Table& source) {
+  DOPPIO_RETURN_NOT_OK(source.Validate());
+  if (tables_.count(source.name()) != 0) {
+    return Status::AlreadyExists("table '" + source.name() + "' exists");
+  }
+  RowTable table;
+  for (int c = 0; c < source.num_columns(); ++c) {
+    table.column_names.push_back(source.column_name(c));
+    table.column_types.push_back(source.column(c)->type());
+  }
+  const int64_t rows = source.num_rows();
+  table.row_offsets.reserve(static_cast<size_t>(rows) + 1);
+  for (int64_t r = 0; r < rows; ++r) {
+    table.row_offsets.push_back(static_cast<int64_t>(table.data.size()));
+    for (int c = 0; c < source.num_columns(); ++c) {
+      const Bat* col = source.column(c);
+      switch (col->type()) {
+        case ValueType::kInt32: {
+          int64_t v = col->GetInt32(r);
+          AppendRaw(&table.data, &v, sizeof(v));
+          break;
+        }
+        case ValueType::kInt64: {
+          int64_t v = col->GetInt64(r);
+          AppendRaw(&table.data, &v, sizeof(v));
+          break;
+        }
+        case ValueType::kInt16: {
+          int64_t v = col->GetInt16(r);
+          AppendRaw(&table.data, &v, sizeof(v));
+          break;
+        }
+        case ValueType::kString: {
+          std::string_view s = col->GetString(r);
+          uint32_t len = static_cast<uint32_t>(s.size());
+          AppendRaw(&table.data, &len, sizeof(len));
+          AppendRaw(&table.data, s.data(), s.size());
+          break;
+        }
+      }
+    }
+  }
+  table.row_offsets.push_back(static_cast<int64_t>(table.data.size()));
+  tables_[source.name()] = std::move(table);
+  return Status::OK();
+}
+
+std::string_view RowStoreEngine::ExtractString(const RowTable& table,
+                                               int64_t row, int col) const {
+  const uint8_t* p = table.data.data() + table.row_offsets[static_cast<size_t>(row)];
+  for (int c = 0; c < col; ++c) {
+    if (table.column_types[static_cast<size_t>(c)] == ValueType::kString) {
+      uint32_t len;
+      std::memcpy(&len, p, sizeof(len));
+      p += sizeof(len) + len;
+    } else {
+      p += sizeof(int64_t);
+    }
+  }
+  uint32_t len;
+  std::memcpy(&len, p, sizeof(len));
+  return std::string_view(reinterpret_cast<const char*>(p + sizeof(len)),
+                          len);
+}
+
+Result<int64_t> RowStoreEngine::CountWhere(const std::string& table_name,
+                                           const std::string& column,
+                                           const StringFilterSpec& spec,
+                                           QueryStats* stats) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table_name + "'");
+  }
+  const RowTable& table = it->second;
+  int col = -1;
+  for (size_t c = 0; c < table.column_names.size(); ++c) {
+    if (table.column_names[c] == column) col = static_cast<int>(c);
+  }
+  if (col < 0) return Status::NotFound("no column '" + column + "'");
+  if (table.column_types[static_cast<size_t>(col)] != ValueType::kString) {
+    return Status::InvalidArgument("string filter over non-string column");
+  }
+
+  Stopwatch watch;
+  int64_t count = 0;
+
+  if (spec.op == StringFilterSpec::Op::kContains) {
+    auto idx = table.contains.find(column);
+    if (idx == table.contains.end()) {
+      return Status::InvalidArgument(
+          "CONTAINS requires a pre-built index (BuildContainsIndex)");
+    }
+    DOPPIO_ASSIGN_OR_RETURN(count, idx->second->Count(spec.pattern));
+    if (spec.negated) count = table.rows() - count;
+  } else {
+    // Build the matcher once, then scan row-at-a-time, single-threaded.
+    std::unique_ptr<StringMatcher> matcher;
+    CompileOptions copts;
+    copts.case_insensitive = spec.case_insensitive;
+    switch (spec.op) {
+      case StringFilterSpec::Op::kLike: {
+        DOPPIO_ASSIGN_OR_RETURN(LikeAnalysis like,
+                                TranslateLike(spec.pattern));
+        if (like.is_multi_substring) {
+          DOPPIO_ASSIGN_OR_RETURN(
+              matcher, MultiSubstringMatcher::Create(
+                           like.substrings, spec.case_insensitive));
+        } else {
+          copts.anchor_start = like.anchored_start;
+          copts.anchor_end = like.anchored_end;
+          DOPPIO_ASSIGN_OR_RETURN(Program program,
+                                  CompileProgram(*like.ast, copts));
+          matcher = DfaMatcher::FromProgram(std::move(program));
+        }
+        break;
+      }
+      case StringFilterSpec::Op::kRegexpLike: {
+        DOPPIO_ASSIGN_OR_RETURN(
+            matcher, BacktrackMatcher::Compile(spec.pattern, copts));
+        break;
+      }
+      default:
+        return Status::NotImplemented(
+            "DBx has no FPGA operator (that is the point of the paper)");
+    }
+    if (spec.op == StringFilterSpec::Op::kRegexpLike) {
+      // Scalar regex function: PCRE-style setup per row (see the column
+      // store's EvalRegexp for the rationale).
+      for (int64_t r = 0; r < table.rows(); ++r) {
+        DOPPIO_ASSIGN_OR_RETURN(
+            auto per_row, BacktrackMatcher::Compile(spec.pattern, copts));
+        bool m = per_row->Matches(ExtractString(table, r, col));
+        if (m != spec.negated) ++count;
+      }
+    } else {
+      for (int64_t r = 0; r < table.rows(); ++r) {
+        bool m = matcher->Matches(ExtractString(table, r, col));
+        if (m != spec.negated) ++count;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->database_seconds += watch.ElapsedSeconds();
+    stats->rows_scanned += table.rows();
+    stats->rows_matched += count;
+    stats->strategy = "dbx";
+  }
+  return count;
+}
+
+Result<double> RowStoreEngine::BuildContainsIndex(
+    const std::string& table_name, const std::string& column) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table_name + "'");
+  }
+  RowTable& table = it->second;
+  int col = -1;
+  for (size_t c = 0; c < table.column_names.size(); ++c) {
+    if (table.column_names[c] == column) col = static_cast<int>(c);
+  }
+  if (col < 0) return Status::NotFound("no column '" + column + "'");
+
+  Stopwatch watch;
+  // Materialize the strings into a BAT for the index builder.
+  auto bat = std::make_unique<Bat>(ValueType::kString);
+  for (int64_t r = 0; r < table.rows(); ++r) {
+    DOPPIO_RETURN_NOT_OK(bat->AppendString(ExtractString(table, r, col)));
+  }
+  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<InvertedIndex> index,
+                          InvertedIndex::Build(*bat));
+  table.contains[column] = std::move(index);
+  table.index_source[column] = std::move(bat);
+  return watch.ElapsedSeconds();
+}
+
+int64_t RowStoreEngine::num_rows(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.rows();
+}
+
+}  // namespace doppio

@@ -1,0 +1,83 @@
+#include "db/udf.h"
+
+#include <algorithm>
+
+#include "db/hudf.h"
+#include "db/hybrid_executor.h"
+#include "regex/backtrack_matcher.h"
+#include "regex/dfa_matcher.h"
+
+namespace doppio {
+
+Status UdfRegistry::Register(const std::string& name, StringBatUdf udf) {
+  if (udfs_.count(name) != 0) {
+    return Status::AlreadyExists("UDF '" + name + "' already registered");
+  }
+  udfs_[name] = std::move(udf);
+  return Status::OK();
+}
+
+const StringBatUdf* UdfRegistry::Lookup(const std::string& name) const {
+  auto it = udfs_.find(name);
+  return it == udfs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(udfs_.size());
+  for (const auto& [name, _] : udfs_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+template <typename MatcherT>
+Result<std::unique_ptr<Bat>> RunSoftwareMatcher(const Bat& input,
+                                                const std::string& pattern) {
+  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<MatcherT> matcher,
+                          MatcherT::Compile(pattern));
+  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<Bat> result,
+                          Bat::New(ValueType::kInt16, input.count()));
+  for (int64_t i = 0; i < input.count(); ++i) {
+    MatchResult m = matcher->Find(input.GetString(i));
+    int16_t value = 0;
+    if (m.matched) {
+      value = static_cast<int16_t>(
+          std::min<int32_t>(std::max<int32_t>(m.end, 1), 32767));
+    }
+    DOPPIO_RETURN_NOT_OK(result->AppendInt16(value));
+  }
+  return result;
+}
+
+}  // namespace
+
+Status RegisterBuiltinUdfs(UdfRegistry* registry, Hal* hal) {
+  DOPPIO_RETURN_NOT_OK(registry->Register(
+      "regexp_like", [](const Bat& input, const std::string& pattern) {
+        return RunSoftwareMatcher<BacktrackMatcher>(input, pattern);
+      }));
+  DOPPIO_RETURN_NOT_OK(registry->Register(
+      "regexp_dfa", [](const Bat& input, const std::string& pattern) {
+        return RunSoftwareMatcher<DfaMatcher>(input, pattern);
+      }));
+  if (hal != nullptr) {
+    DOPPIO_RETURN_NOT_OK(registry->Register(
+        "regexp_fpga", [hal](const Bat& input, const std::string& pattern)
+                           -> Result<std::unique_ptr<Bat>> {
+          DOPPIO_ASSIGN_OR_RETURN(HudfResult hw,
+                                  RegexpFpga(hal, input, pattern));
+          return std::move(hw.result);
+        }));
+    DOPPIO_RETURN_NOT_OK(registry->Register(
+        "regexp_hybrid", [hal](const Bat& input, const std::string& pattern)
+                             -> Result<std::unique_ptr<Bat>> {
+          DOPPIO_ASSIGN_OR_RETURN(HybridResult hybrid,
+                                  ExecuteHybrid(hal, input, pattern));
+          return std::move(hybrid.result);
+        }));
+  }
+  return Status::OK();
+}
+
+}  // namespace doppio

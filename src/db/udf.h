@@ -1,0 +1,47 @@
+// User-defined-function registry (paper §2.3.2, §4.1).
+//
+// MonetDB compiles UDFs directly into the engine and lets them operate on
+// whole BATs — the property that makes hardware offload viable (per-tuple
+// UDF interfaces would drown the accelerator in invocation overhead).
+// This registry models that: a UDF is a named BAT -> BAT function. The
+// software REGEXP_LIKE and the hardware REGEXP_FPGA register here with the
+// same signature and are interchangeable in queries, exactly as in the
+// paper's example SQL.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/status.h"
+#include "hal/hal.h"
+
+namespace doppio {
+
+/// A BAT-at-a-time string UDF: input string column + pattern -> short
+/// column (nonzero = match position, 0 = no match).
+using StringBatUdf = std::function<Result<std::unique_ptr<Bat>>(
+    const Bat& input, const std::string& pattern)>;
+
+class UdfRegistry {
+ public:
+  Status Register(const std::string& name, StringBatUdf udf);
+  /// nullptr when not registered.
+  const StringBatUdf* Lookup(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, StringBatUdf> udfs_;
+};
+
+/// Registers the built-in UDFs:
+///   regexp_like  — software (PCRE-style backtracking)
+///   regexp_dfa   — software (lazy DFA)
+///   regexp_fpga  — hardware (requires `hal`; skipped when null)
+///   regexp_hybrid— hardware with automatic hybrid/software fallback
+Status RegisterBuiltinUdfs(UdfRegistry* registry, Hal* hal);
+
+}  // namespace doppio

@@ -1,0 +1,43 @@
+#include "hal/aal.h"
+
+#include <new>
+
+#include "hw/fpga_device.h"
+
+namespace doppio {
+
+Result<std::unique_ptr<AalSession>> AalSession::Bootstrap(
+    SharedArena* arena, FpgaDevice* device) {
+  if (arena == nullptr || device == nullptr) {
+    return Status::InvalidArgument("AAL bootstrap needs arena and device");
+  }
+  // The DSM page lives in the pinned shared region.
+  DOPPIO_ASSIGN_OR_RETURN(PageRun run,
+                          arena->AllocatePages(sizeof(DeviceStatusMemory)));
+  auto* dsm = new (run.data) DeviceStatusMemory();
+
+  // Hardware side of the handshake: the device publishes its AFU id and
+  // raises the completion flag.
+  device->PublishDsm(dsm);
+  if (dsm->handshake_complete.load(std::memory_order_acquire) == 0) {
+    (void)arena->FreePages(run);
+    return Status::IOError("FPGA did not complete the AAL handshake");
+  }
+  const uint64_t afu = dsm->afu_id.load(std::memory_order_relaxed);
+  if (afu != kRegexAfuId) {
+    (void)arena->FreePages(run);
+    return Status::NotFound(
+        "unexpected AFU instantiated (wrong bitstream loaded): 0x" +
+        std::to_string(afu));
+  }
+  return std::unique_ptr<AalSession>(
+      new AalSession(arena, device, dsm, run));
+}
+
+AalSession::~AalSession() {
+  dsm_->~DeviceStatusMemory();
+  Status st = arena_->FreePages(dsm_run_);
+  (void)st;
+}
+
+}  // namespace doppio

@@ -1,0 +1,68 @@
+// Model of Intel's Accelerator Abstraction Layer bootstrap (paper §2.2).
+//
+// Before any job can run, software performs a handshake with the FPGA: it
+// verifies that the expected Accelerator Functional Unit (AFU) is
+// instantiated, then allocates a Device Status Memory (DSM) page through
+// which control and status information is shared. The HAL builds on top of
+// this session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "mem/arena.h"
+
+namespace doppio {
+
+class FpgaDevice;
+
+/// The AFU identifier of the regex-engine bitstream, as published in DSM.
+inline constexpr uint64_t kRegexAfuId = 0xD0BB10D8'4A5E0001ULL;
+
+/// Device Status Memory: one pinned page of control/status state shared
+/// between software and hardware. Fields are cache-line separated as on
+/// real coherent-memory designs.
+struct alignas(64) DeviceStatusMemory {
+  // Written by hardware during the handshake.
+  std::atomic<uint64_t> afu_id{0};
+  std::atomic<uint32_t> handshake_complete{0};
+
+  alignas(64) std::atomic<uint32_t> fatal_error{0};
+  // Address (within shared memory) of the job queue, published by software
+  // so the Job Distributor knows where to poll.
+  alignas(64) std::atomic<uint64_t> job_queue_addr{0};
+  // Engines currently idle, mirrored by hardware for diagnostics.
+  alignas(64) std::atomic<uint32_t> idle_engines{0};
+};
+
+/// An established software<->FPGA session: handshake done, DSM live.
+class AalSession {
+ public:
+  /// Performs the bootstrap: allocates the DSM in the shared region,
+  /// asks the device to publish itself, and verifies the AFU id.
+  /// Fails with NotFound when the device does not carry the expected AFU.
+  static Result<std::unique_ptr<AalSession>> Bootstrap(SharedArena* arena,
+                                                       FpgaDevice* device);
+
+  ~AalSession();
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(AalSession);
+
+  DeviceStatusMemory* dsm() { return dsm_; }
+  FpgaDevice* device() { return device_; }
+
+ private:
+  AalSession(SharedArena* arena, FpgaDevice* device,
+             DeviceStatusMemory* dsm, PageRun dsm_run)
+      : arena_(arena), device_(device), dsm_(dsm), dsm_run_(dsm_run) {}
+
+  SharedArena* arena_;
+  FpgaDevice* device_;
+  DeviceStatusMemory* dsm_;
+  PageRun dsm_run_;
+};
+
+}  // namespace doppio

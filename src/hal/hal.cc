@@ -1,0 +1,88 @@
+#include "hal/hal.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace doppio {
+
+HalAllocator::HalAllocator(SlabAllocator* slab, int64_t malloc_threshold)
+    : slab_(slab), malloc_threshold_(malloc_threshold) {
+  DOPPIO_CHECK(slab != nullptr);
+}
+
+Result<void*> HalAllocator::Allocate(int64_t bytes) {
+  if (bytes <= 0) return Status::InvalidArgument("bad allocation size");
+  if (bytes < malloc_threshold_) {
+    void* p = std::malloc(static_cast<size_t>(bytes));
+    if (p == nullptr) return Status::OutOfMemory("malloc failed");
+    std::lock_guard<std::mutex> lock(mutex_);
+    malloced_.insert(p);
+    ++malloc_allocs_;
+    return p;
+  }
+  DOPPIO_ASSIGN_OR_RETURN(void* p, slab_->Allocate(bytes));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shared_allocs_;
+  return p;
+}
+
+Status HalAllocator::Free(void* ptr) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = malloced_.find(ptr);
+    if (it != malloced_.end()) {
+      malloced_.erase(it);
+      std::free(ptr);
+      return Status::OK();
+    }
+  }
+  return slab_->Free(ptr);
+}
+
+Hal::Hal(const Options& options) : options_(options) {
+  arena_ = std::make_unique<SharedArena>(options_.shared_memory_bytes);
+  slab_ = std::make_unique<SlabAllocator>(arena_.get());
+  allocator_ = std::make_unique<HalAllocator>(slab_.get());
+  bat_allocator_ =
+      std::make_unique<HalAllocator>(slab_.get(), /*malloc_threshold=*/0);
+  int threads = options_.functional_threads;
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  device_ =
+      std::make_unique<FpgaDevice>(options_.device, arena_.get(), pool_.get());
+  // AAL bootstrap: verify the regex AFU and establish the DSM page.
+  auto session = AalSession::Bootstrap(arena_.get(), device_.get());
+  DOPPIO_CHECK(session.ok());
+  aal_ = std::move(*session);
+}
+
+Hal::~Hal() = default;
+
+Result<FpgaJob> Hal::CreateRegexJob(const Bat& input, Bat* result,
+                                    const RegexConfig& config) {
+  if (input.type() != ValueType::kString) {
+    return Status::InvalidArgument("regex job input must be a string BAT");
+  }
+  if (result == nullptr || result->type() != ValueType::kInt16 ||
+      result->count() != input.count()) {
+    return Status::InvalidArgument(
+        "result BAT must be a short BAT sized to the input");
+  }
+  JobParams params;
+  params.offsets = input.tail_data();
+  params.heap = input.heap()->data();
+  params.result = result->mutable_tail_data();
+  params.count = input.count();
+  params.offset_width = static_cast<int32_t>(input.offset_width());
+  params.heap_bytes = input.heap()->size_bytes();
+  params.config = config.vector.bytes();
+
+  DOPPIO_ASSIGN_OR_RETURN(JobId id, device_->Submit(std::move(params)));
+  return FpgaJob(device_.get(), id);
+}
+
+}  // namespace doppio

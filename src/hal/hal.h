@@ -1,0 +1,105 @@
+// Hardware Operator Abstraction Layer (paper §4.2).
+//
+// The HAL sits between the HUDF in the database and the Regex Engines: it
+// bootstraps the (simulated) FPGA, owns the pinned CPU-FPGA shared region
+// with its slab allocator, and provides the job API — create, execute and
+// monitor jobs through shared-memory parameter/status structures and a job
+// queue.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "bat/bat.h"
+#include "bat/buffer.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "hal/aal.h"
+#include "hal/job.h"
+#include "hw/config_compiler.h"
+#include "hw/device_config.h"
+#include "hw/fpga_device.h"
+#include "mem/arena.h"
+#include "mem/slab_allocator.h"
+
+namespace doppio {
+
+/// Allocator handed to MonetDB (§4.2.1). Two views exist over the same
+/// slab: the *generic* view keeps requests below `malloc_threshold`
+/// (16 KB: metadata and auxiliary structures the FPGA never touches) on
+/// malloc, while the *BAT* view (threshold 0) places every BAT in the
+/// shared region "even if their size is smaller than 256 KB".
+class HalAllocator : public BufferAllocator {
+ public:
+  HalAllocator(SlabAllocator* slab, int64_t malloc_threshold = 16 * 1024);
+
+  Result<void*> Allocate(int64_t bytes) override;
+  Status Free(void* ptr) override;
+
+  int64_t malloc_allocations() const { return malloc_allocs_; }
+  int64_t shared_allocations() const { return shared_allocs_; }
+
+ private:
+  SlabAllocator* slab_;
+  int64_t malloc_threshold_;
+  std::mutex mutex_;
+  std::set<void*> malloced_;
+  int64_t malloc_allocs_ = 0;
+  int64_t shared_allocs_ = 0;
+};
+
+class Hal {
+ public:
+  struct Options {
+    /// Size of the pinned shared region; the prototype caps this at 4 GB
+    /// after the paper's kernel-module change.
+    int64_t shared_memory_bytes = int64_t{512} << 20;
+    DeviceConfig device;
+    /// Host threads for the simulator's functional pass (0 = hardware
+    /// concurrency).
+    int functional_threads = 0;
+  };
+
+  explicit Hal(const Options& options);
+  ~Hal();
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(Hal);
+
+  /// Generic allocator (metadata < 16 KB stays on malloc).
+  HalAllocator* allocator() { return allocator_.get(); }
+  /// BAT allocator: every request lands in the shared region, so even
+  /// tiny BATs are FPGA-visible.
+  HalAllocator* bat_allocator() { return bat_allocator_.get(); }
+  /// The bootstrapped AAL session (AFU handshake done, DSM live).
+  AalSession* aal() { return aal_.get(); }
+  SharedArena* arena() { return arena_.get(); }
+  FpgaDevice* device() { return device_.get(); }
+  const DeviceConfig& device_config() const { return options_.device; }
+
+  /// Creates and enqueues a regex job over a string BAT (steps 3-5 of
+  /// Fig. 3). `result` must be a kInt16 BAT pre-sized to input.count()
+  /// and allocated through allocator() (the engine writes straight into
+  /// its tail). Returns a handle to monitor the job.
+  Result<FpgaJob> CreateRegexJob(const Bat& input, Bat* result,
+                                 const RegexConfig& config);
+
+  /// Compiles a pattern against the deployed geometry (fpga_regex_get_config).
+  Result<RegexConfig> CompileConfig(std::string_view pattern,
+                                    const CompileOptions& options = {}) {
+    return CompileRegexConfig(pattern, options_.device, options);
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<SharedArena> arena_;
+  std::unique_ptr<SlabAllocator> slab_;
+  std::unique_ptr<HalAllocator> allocator_;
+  std::unique_ptr<HalAllocator> bat_allocator_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FpgaDevice> device_;
+  std::unique_ptr<AalSession> aal_;
+};
+
+}  // namespace doppio

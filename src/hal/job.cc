@@ -1,0 +1,29 @@
+#include "hal/job.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+Status FpgaJob::Wait() {
+  DOPPIO_CHECK(valid());
+  DOPPIO_ASSIGN_OR_RETURN(SimTime finish, device_->WaitForJob(id_));
+  (void)finish;
+  return Status::OK();
+}
+
+bool FpgaJob::Done() const {
+  DOPPIO_CHECK(valid());
+  return device_->status(id_)->done.load(std::memory_order_acquire) != 0;
+}
+
+const JobStatus& FpgaJob::status() const {
+  DOPPIO_CHECK(valid());
+  return *device_->status(id_);
+}
+
+double FpgaJob::HwSeconds() const {
+  const JobStatus& st = status();
+  return SecondsFromPicos(st.finish_time - st.enqueue_time);
+}
+
+}  // namespace doppio

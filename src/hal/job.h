@@ -1,0 +1,37 @@
+// Software-side job handle (paper §4.2.2): wraps the job descriptor and
+// lets the UDF busy-wait on the done bit and read execution statistics.
+#pragma once
+
+#include "common/status.h"
+#include "hw/fpga_device.h"
+#include "hw/job.h"
+
+namespace doppio {
+
+class FpgaJob {
+ public:
+  FpgaJob() = default;
+  FpgaJob(FpgaDevice* device, JobId id) : device_(device), id_(id) {}
+
+  bool valid() const { return device_ != nullptr; }
+  JobId id() const { return id_; }
+
+  /// Busy-waits on the done bit (the prototype has no FPGA-to-CPU
+  /// interrupts, §4.2.2). Advances the device's virtual clock.
+  Status Wait();
+
+  /// Non-blocking poll of the done bit.
+  bool Done() const;
+
+  /// Status/statistics block; stable once Done().
+  const JobStatus& status() const;
+
+  /// Virtual-time duration of the hardware execution (queue + engine).
+  double HwSeconds() const;
+
+ private:
+  FpgaDevice* device_ = nullptr;
+  JobId id_ = -1;
+};
+
+}  // namespace doppio

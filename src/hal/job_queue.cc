@@ -1,0 +1,84 @@
+#include "hal/job_queue.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "common/logging.h"
+
+namespace doppio {
+
+namespace {
+constexpr int64_t kHeaderBytes = 128;  // head line + tail line
+}  // namespace
+
+Result<std::unique_ptr<SharedJobQueue>> SharedJobQueue::Create(
+    SharedArena* arena, int capacity) {
+  if (capacity < 1) return Status::InvalidArgument("bad queue capacity");
+  const int64_t bytes =
+      kHeaderBytes + static_cast<int64_t>(capacity) * sizeof(JobDescriptor);
+  PageRun run;
+  if (arena != nullptr) {
+    DOPPIO_ASSIGN_OR_RETURN(run, arena->AllocatePages(bytes));
+  }
+  auto queue = std::unique_ptr<SharedJobQueue>(
+      new SharedJobQueue(arena, run, capacity));
+  return queue;
+}
+
+SharedJobQueue::SharedJobQueue(SharedArena* arena, PageRun run, int capacity)
+    : arena_(arena), run_(run), capacity_(capacity) {
+  uint8_t* base;
+  if (arena_ != nullptr) {
+    base = run_.data;
+  } else {
+    const int64_t bytes =
+        kHeaderBytes + static_cast<int64_t>(capacity) * sizeof(JobDescriptor);
+    heap_fallback_ = static_cast<uint8_t*>(
+        ::operator new(static_cast<size_t>(bytes), std::align_val_t{64}));
+    base = heap_fallback_;
+  }
+  head_ = new (base) std::atomic<int64_t>(0);
+  tail_ = new (base + 64) std::atomic<int64_t>(0);
+  slots_ = reinterpret_cast<JobDescriptor*>(base + kHeaderBytes);
+  for (int i = 0; i < capacity_; ++i) new (&slots_[i]) JobDescriptor();
+}
+
+SharedJobQueue::~SharedJobQueue() {
+  if (arena_ != nullptr) {
+    Status st = arena_->FreePages(run_);
+    (void)st;
+  } else {
+    ::operator delete(heap_fallback_, std::align_val_t{64});
+  }
+}
+
+bool SharedJobQueue::Push(const JobDescriptor& descriptor) {
+  const int64_t head = head_->load(std::memory_order_relaxed);
+  const int64_t tail = tail_->load(std::memory_order_acquire);
+  if (head - tail >= capacity_) return false;  // full
+  slots_[head % capacity_] = descriptor;
+  head_->store(head + 1, std::memory_order_release);
+  return true;
+}
+
+bool SharedJobQueue::Pop(JobDescriptor* out) {
+  const int64_t tail = tail_->load(std::memory_order_relaxed);
+  const int64_t head = head_->load(std::memory_order_acquire);
+  if (tail >= head) return false;  // empty
+  *out = slots_[tail % capacity_];
+  tail_->store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+bool SharedJobQueue::Empty() const {
+  return tail_->load(std::memory_order_acquire) >=
+         head_->load(std::memory_order_acquire);
+}
+
+bool SharedJobQueue::Full() const {
+  return head_->load(std::memory_order_acquire) -
+             tail_->load(std::memory_order_acquire) >=
+         capacity_;
+}
+
+}  // namespace doppio

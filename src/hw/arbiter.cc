@@ -1,0 +1,32 @@
+#include "hw/arbiter.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+Arbiter::Arbiter(QpiLink* link, int num_engines, int batch_lines)
+    : link_(link),
+      batch_lines_(batch_lines),
+      engine_lines_(static_cast<size_t>(num_engines), 0) {
+  DOPPIO_CHECK(link != nullptr);
+  DOPPIO_CHECK(batch_lines >= 1);
+}
+
+SimTime Arbiter::Transfer(int engine_id, SimTime now, int64_t lines) {
+  DOPPIO_CHECK(engine_id >= 0 &&
+               engine_id < static_cast<int>(engine_lines_.size()));
+  engine_lines_[static_cast<size_t>(engine_id)] += lines;
+  SimTime completion = now;
+  int64_t remaining = lines;
+  while (remaining > 0) {
+    int64_t batch = std::min<int64_t>(remaining, batch_lines_);
+    completion = link_->Transfer(engine_id, now, batch);
+    // Pipelined issue: the next batch goes out as soon as the window
+    // drains, not when the previous batch's data lands.
+    now = std::max(now, link_->EngineReady(engine_id));
+    remaining -= batch;
+  }
+  return completion;
+}
+
+}  // namespace doppio

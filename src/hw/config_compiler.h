@@ -1,0 +1,45 @@
+// Software-side compiler: SQL pattern -> configuration vector, with the
+// deployed geometry's capacity checks (paper §6.4, §7.9).
+//
+// This is the fpga_regex_get_config() step of the UDF pseudo-code: it runs
+// on the CPU (measured at < 1 µs in the paper) and fails with
+// CapacityExceeded when the pattern needs more character matchers or
+// state-graph nodes than the deployment provides — the signal that drives
+// hybrid execution.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "hw/config_vector.h"
+#include "hw/device_config.h"
+#include "regex/matcher.h"
+#include "regex/pattern_ast.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+
+struct RegexConfig {
+  ConfigVector vector;
+  TokenNfa nfa;  // decoded view, used by the simulator and for stats
+  int states_used = 0;
+  int matchers_used = 0;
+  /// CPU time spent generating the vector (the Fig. 10 "Config. Gen." bar).
+  double compile_seconds = 0;
+};
+
+/// Compiles a regex-dialect pattern against a deployment geometry.
+Result<RegexConfig> CompileRegexConfig(std::string_view pattern,
+                                       const DeviceConfig& device,
+                                       const CompileOptions& options = {});
+
+/// Same, from an already-parsed AST.
+Result<RegexConfig> CompileRegexConfig(const AstNode& ast,
+                                       const DeviceConfig& device,
+                                       const CompileOptions& options = {});
+
+/// Checks an extracted token NFA against a geometry.
+Status CheckCapacity(const TokenNfa& nfa, const DeviceConfig& device);
+
+}  // namespace doppio

@@ -1,0 +1,45 @@
+// Serialized configuration vector (paper §6.1, Fig. 6).
+//
+// A query's token NFA is flattened into 512-bit memory words holding the
+// Tokens (character-matcher programming, including range-coupling and
+// collation flags), Triggers (token -> state bipartite matrix), State
+// Transitions (state -> state matrix), latch flags and accept flags. The
+// Regex Engine reads these words from the job parameters and loads its
+// registers — no FPGA reconfiguration ever happens.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+
+inline constexpr int64_t kConfigWordBytes = 64;  // one 512-bit word
+
+class ConfigVector {
+ public:
+  /// Encodes a token NFA. Fails (Internal) only on structural violations —
+  /// geometry fitting is checked by the config compiler beforehand.
+  static Result<ConfigVector> Encode(const TokenNfa& nfa);
+
+  /// Decodes back into a token NFA — this is what the simulated PU does
+  /// when it parametrizes itself (step 7 in Fig. 3).
+  Result<TokenNfa> Decode() const;
+
+  /// Rebuilds a vector from raw bytes (e.g. out of a job parameter block);
+  /// validates by decoding.
+  static Result<ConfigVector> FromBytes(std::vector<uint8_t> bytes);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  /// Number of 512-bit words (bytes are zero-padded to whole words).
+  int64_t num_words() const {
+    return static_cast<int64_t>(bytes_.size()) / kConfigWordBytes;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace doppio

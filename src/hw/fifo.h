@@ -1,0 +1,66 @@
+// Bounded FIFO modelling the cache-line-wide BRAM FIFOs between the String
+// Reader, the PUs and the Output Collector (paper Fig. 4). Tracks
+// occupancy and stall statistics so backpressure behaviour is observable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace doppio {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(size_t capacity) : capacity_(capacity) {
+    DOPPIO_CHECK(capacity > 0);
+  }
+
+  bool Full() const { return items_.size() >= capacity_; }
+  bool Empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Pushes an item; returns false (and counts a stall) when full.
+  bool Push(T item) {
+    if (Full()) {
+      ++push_stalls_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    max_occupancy_ = std::max(max_occupancy_, items_.size());
+    ++total_pushed_;
+    return true;
+  }
+
+  /// Pops the oldest item; returns false when empty.
+  bool Pop(T* out) {
+    if (items_.empty()) {
+      ++pop_stalls_;
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  const T& Front() const { return items_.front(); }
+
+  int64_t push_stalls() const { return push_stalls_; }
+  int64_t pop_stalls() const { return pop_stalls_; }
+  int64_t total_pushed() const { return total_pushed_; }
+  size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+  int64_t push_stalls_ = 0;
+  int64_t pop_stalls_ = 0;
+  int64_t total_pushed_ = 0;
+  size_t max_occupancy_ = 0;
+};
+
+}  // namespace doppio

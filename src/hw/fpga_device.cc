@@ -1,0 +1,147 @@
+#include "hw/fpga_device.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "hw/config_vector.h"
+
+namespace doppio {
+
+FpgaDevice::FpgaDevice(const DeviceConfig& config, SharedArena* arena,
+                       ThreadPool* pool)
+    : config_(config),
+      arena_(arena),
+      qpi_(config),
+      arbiter_(&qpi_, config.num_engines, config.arbiter_batch_lines) {
+  std::vector<RegexEngine*> raw;
+  for (int i = 0; i < config_.num_engines; ++i) {
+    engines_.push_back(std::make_unique<RegexEngine>(i, config_, &arbiter_,
+                                                     &scheduler_, pool));
+    raw.push_back(engines_.back().get());
+  }
+  // The descriptor ring lives in the shared region when one exists; a
+  // heap ring backs device-only tests.
+  auto queue = SharedJobQueue::Create(arena_, /*capacity=*/64);
+  if (!queue.ok()) {
+    DOPPIO_LOG(Warning) << "shared job queue allocation failed ("
+                        << queue.status().ToString()
+                        << "); falling back to host memory";
+    queue = SharedJobQueue::Create(nullptr, /*capacity=*/64);
+    DOPPIO_CHECK(queue.ok());
+  }
+  distributor_ = std::make_unique<JobDistributor>(
+      &scheduler_, config_, std::move(raw), std::move(*queue));
+}
+
+void FpgaDevice::EnableTrace(TraceLog* trace) {
+  distributor_->set_trace(trace);
+  for (auto& engine : engines_) engine->set_trace(trace);
+}
+
+std::string FpgaDevice::UtilizationSummary() const {
+  std::string out;
+  const double total = SecondsFromPicos(scheduler_.now());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    const EngineStats& stats = engines_[i]->stats();
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "engine %zu: %lld jobs, %.1f MB streamed, %.1f%% busy\n",
+                  i, static_cast<long long>(stats.jobs_executed),
+                  static_cast<double>(stats.bytes_streamed) / 1e6,
+                  total > 0
+                      ? 100.0 * SecondsFromPicos(stats.busy_time) / total
+                      : 0.0);
+    out += line;
+  }
+  char qpi_line[120];
+  std::snprintf(qpi_line, sizeof(qpi_line),
+                "qpi: %.1f MB total, %.2f GB/s achieved\n",
+                static_cast<double>(qpi_.total_bytes()) / 1e6,
+                qpi_.AchievedBytesPerSec(scheduler_.now()) / 1e9);
+  out += qpi_line;
+  return out;
+}
+
+void FpgaDevice::PublishDsm(DeviceStatusMemory* dsm) {
+  dsm->afu_id.store(kRegexAfuId, std::memory_order_relaxed);
+  dsm->job_queue_addr.store(
+      reinterpret_cast<uint64_t>(distributor_->queue().ring_address()),
+      std::memory_order_relaxed);
+  distributor_->AttachDsm(dsm);
+  dsm->handshake_complete.store(1, std::memory_order_release);
+}
+
+Status FpgaDevice::ValidateJob(const JobParams& params) const {
+  if (params.count < 0) return Status::InvalidArgument("negative count");
+  if (params.offset_width != 4) {
+    return Status::NotImplemented("only 32-bit offsets are deployed");
+  }
+  if (params.count > 0 &&
+      (params.offsets == nullptr || params.heap == nullptr ||
+       params.result == nullptr)) {
+    return Status::InvalidArgument("null job pointer");
+  }
+  // Validate the configuration vector by decoding it.
+  DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
+                          ConfigVector::FromBytes(params.config));
+  (void)cv;
+  if (arena_ != nullptr && params.count > 0) {
+    // The FPGA's pagetable covers only the pinned shared region; touching
+    // anything else would be an unrecoverable fault (§4.2.1).
+    if (!arena_->Contains(params.offsets, params.count * 4) ||
+        !arena_->Contains(params.heap, params.heap_bytes) ||
+        !arena_->Contains(params.result, params.count * 2)) {
+      return Status::InvalidArgument(
+          "job memory outside the CPU-FPGA shared region");
+    }
+  }
+  return Status::OK();
+}
+
+Result<JobId> FpgaDevice::Submit(JobParams params,
+                                 std::function<void()> on_done) {
+  DOPPIO_RETURN_NOT_OK(ValidateJob(params));
+  std::lock_guard<std::mutex> lock(sim_mutex_);
+  auto record = std::make_unique<JobRecord>();
+  record->params = std::move(params);
+  JobRecord* raw = record.get();
+  JobId id = static_cast<JobId>(jobs_.size());
+  jobs_.push_back(std::move(record));
+  Status st =
+      distributor_->Enqueue(&raw->params, &raw->status, std::move(on_done));
+  if (!st.ok()) {
+    jobs_.pop_back();
+    return st;
+  }
+  return id;
+}
+
+JobStatus* FpgaDevice::status(JobId id) {
+  std::lock_guard<std::mutex> lock(sim_mutex_);
+  if (id < 0 || id >= static_cast<JobId>(jobs_.size())) return nullptr;
+  return &jobs_[static_cast<size_t>(id)]->status;
+}
+
+SimTime FpgaDevice::RunToIdle() {
+  std::lock_guard<std::mutex> lock(sim_mutex_);
+  return scheduler_.Run();
+}
+
+Result<SimTime> FpgaDevice::WaitForJob(JobId id) {
+  JobStatus* st = status(id);
+  if (st == nullptr) return Status::NotFound("unknown job id");
+  // Busy-wait on the done bit (the prototype has no interrupts). Waiting
+  // threads take turns driving the virtual clock, one event per lock hold,
+  // so concurrent clients make joint progress.
+  while (st->done.load(std::memory_order_acquire) == 0) {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    if (st->done.load(std::memory_order_acquire) != 0) break;
+    if (!scheduler_.RunOne()) {
+      return Status::Internal("device idle but job not done");
+    }
+  }
+  if (!st->error.ok()) return st->error;
+  return st->finish_time;
+}
+
+}  // namespace doppio

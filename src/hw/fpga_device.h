@@ -1,0 +1,102 @@
+// Top-level simulated FPGA (paper Fig. 3, hardware side): four Regex
+// Engines, the hardware HAL (Job Distributor + memory arbiter) and the QPI
+// endpoint, all driven by one virtual-time scheduler.
+//
+// Functional results (the result BAT contents) are always bit-exact per the
+// PU semantics; execution *time* is virtual and read off the scheduler
+// clock. Host wall-clock plays no role on this side of the system.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sim_scheduler.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "hw/arbiter.h"
+#include "hw/device_config.h"
+#include "hw/job.h"
+#include "hw/job_distributor.h"
+#include "hw/qpi_link.h"
+#include "hw/regex_engine.h"
+#include "mem/arena.h"
+
+namespace doppio {
+
+class FpgaDevice {
+ public:
+  /// `arena`: the CPU-FPGA shared region; when provided, every job pointer
+  /// is checked against it (the hardware cannot take page faults — see
+  /// §4.2.1). May be null for self-contained tests.
+  /// `pool`: optional host thread pool accelerating the functional pass.
+  FpgaDevice(const DeviceConfig& config, SharedArena* arena = nullptr,
+             ThreadPool* pool = nullptr);
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(FpgaDevice);
+
+  /// Enqueues a job at the current virtual time. The device stores the
+  /// parameter/status blocks; the returned id addresses them. `on_done`
+  /// (optional) fires on the virtual scheduler at completion.
+  Result<JobId> Submit(JobParams params,
+                       std::function<void()> on_done = nullptr);
+
+  /// Hardware side of the AAL handshake: publishes the AFU id into the
+  /// Device Status Memory and attaches it for diagnostics mirroring.
+  void PublishDsm(DeviceStatusMemory* dsm);
+
+  /// Streams scheduling/traffic events into `trace` from now on (null
+  /// disables). The log lives with the caller.
+  void EnableTrace(TraceLog* trace);
+
+  /// Per-engine utilization summary over [0, now()].
+  std::string UtilizationSummary() const;
+
+  /// Status block of a job (valid for the device's lifetime).
+  JobStatus* status(JobId id);
+
+  /// Advances virtual time until all submitted work is done.
+  /// Returns the final virtual time.
+  SimTime RunToIdle();
+
+  /// The UDF's busy-wait: advances virtual time until this job's done bit
+  /// is set; returns the job's finish time.
+  Result<SimTime> WaitForJob(JobId id);
+
+  SimScheduler* scheduler() { return &scheduler_; }
+  SimTime now() const { return scheduler_.now(); }
+  const DeviceConfig& config() const { return config_; }
+  const QpiLink& qpi() const { return qpi_; }
+  const RegexEngine& engine(int i) const { return *engines_[i]; }
+  JobDistributor* distributor() { return distributor_.get(); }
+  int64_t jobs_submitted() const { return static_cast<int64_t>(jobs_.size()); }
+
+ private:
+  Status ValidateJob(const JobParams& params) const;
+
+  /// Serializes access to the virtual-time machinery. Multiple host
+  /// threads may Submit/WaitForJob concurrently (the paper's multi-client
+  /// scenario); each scheduler event runs atomically under this lock and
+  /// the waiting threads cooperatively drain the event queue.
+  mutable std::mutex sim_mutex_;
+
+  DeviceConfig config_;
+  SharedArena* arena_;
+  SimScheduler scheduler_;
+  QpiLink qpi_;
+  Arbiter arbiter_;
+  std::vector<std::unique_ptr<RegexEngine>> engines_;
+  std::unique_ptr<JobDistributor> distributor_;
+
+  struct JobRecord {
+    JobParams params;
+    JobStatus status;
+  };
+  std::deque<std::unique_ptr<JobRecord>> jobs_;
+};
+
+}  // namespace doppio

@@ -1,0 +1,63 @@
+// Job structures shared between software (HAL) and the simulated FPGA
+// (paper §4.2.2). The HAL allocates these in the CPU-FPGA shared region,
+// wraps their addresses in a job descriptor and enqueues the descriptor;
+// the Job Distributor hands them to an idle Regex Engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_scheduler.h"
+#include "common/status.h"
+
+namespace doppio {
+
+using JobId = int64_t;
+
+/// Parameter structure (one per job, written by the HAL, read by the
+/// engine): pointers into shared memory plus the configuration vector.
+struct JobParams {
+  const uint8_t* offsets = nullptr;  // offset BAT tail (uint32 entries)
+  const uint8_t* heap = nullptr;     // string heap base
+  uint8_t* result = nullptr;         // result BAT tail (int16 entries)
+  int64_t count = 0;                 // number of strings
+  int32_t offset_width = 4;          // bytes per offset
+  int64_t heap_bytes = 0;            // heap extent (for prefetch sizing)
+  std::vector<uint8_t> config;       // configuration vector words
+
+  /// Simulator-only knob for throughput experiments: skip the functional
+  /// matching pass (results are zeroed) while still deriving the exact
+  /// cache-line traffic and timing from the real offsets/heap. Never set
+  /// on correctness paths.
+  bool timing_only = false;
+};
+
+/// Status structure the engine updates while executing (read by the UDF's
+/// busy-wait loop) plus execution statistics (paper step 8).
+struct JobStatus {
+  std::atomic<uint32_t> done{0};
+
+  /// Set (before the done bit) if the engine rejected or aborted the job.
+  Status error;
+
+  /// Descriptor id assigned when the job enters the shared queue.
+  uint64_t queue_job_id = 0;
+
+  // Statistics, valid once done != 0.
+  int64_t matches = 0;
+  int64_t strings_processed = 0;
+  int64_t bytes_streamed = 0;       // heap + offset + result traffic
+  int64_t engine_id = -1;
+  SimTime enqueue_time = 0;         // virtual time entering the job queue
+  SimTime start_time = 0;           // assigned to an engine
+  SimTime finish_time = 0;          // done bit set
+  double ExecSeconds() const {
+    return SecondsFromPicos(finish_time - start_time);
+  }
+  double QueueSeconds() const {
+    return SecondsFromPicos(start_time - enqueue_time);
+  }
+};
+
+}  // namespace doppio

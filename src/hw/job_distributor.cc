@@ -1,0 +1,112 @@
+#include "hw/job_distributor.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+JobDistributor::JobDistributor(SimScheduler* scheduler, DeviceConfig device,
+                               std::vector<RegexEngine*> engines,
+                               std::unique_ptr<SharedJobQueue> queue)
+    : scheduler_(scheduler),
+      device_(device),
+      engines_(std::move(engines)),
+      queue_(std::move(queue)) {
+  DOPPIO_CHECK(!engines_.empty());
+  DOPPIO_CHECK(queue_ != nullptr);
+}
+
+void JobDistributor::AttachDsm(DeviceStatusMemory* dsm) {
+  dsm_ = dsm;
+  UpdateIdleMirror();
+}
+
+void JobDistributor::UpdateIdleMirror() {
+  if (dsm_ == nullptr) return;
+  uint32_t idle = 0;
+  for (RegexEngine* e : engines_) idle += e->idle() ? 1 : 0;
+  dsm_->idle_engines.store(idle, std::memory_order_relaxed);
+}
+
+Status JobDistributor::Enqueue(JobParams* params, JobStatus* status,
+                               std::function<void()> on_done) {
+  status->enqueue_time = scheduler_->now();
+  JobDescriptor descriptor;
+  descriptor.params_addr = reinterpret_cast<uint64_t>(params);
+  descriptor.status_addr = reinterpret_cast<uint64_t>(status);
+  descriptor.job_id = next_job_id_++;
+  status->queue_job_id = descriptor.job_id;
+  if (on_done) callbacks_[descriptor.job_id] = std::move(on_done);
+  if (!queue_->Push(descriptor)) {
+    callbacks_.erase(descriptor.job_id);
+    return Status::IOError(
+        "shared job queue full: too many outstanding FPGA jobs");
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{scheduler_->now(),
+                              TraceEvent::Kind::kJobEnqueued,
+                              descriptor.job_id, -1, 0});
+  }
+  // The hardware polls the shared-memory queue; model that small delay.
+  scheduler_->ScheduleAfter(PicosFromSeconds(device_.job_poll_sec),
+                            [this] { TryDispatch(); });
+  return Status::OK();
+}
+
+void JobDistributor::TryDispatch() {
+  while (!queue_->Empty()) {
+    RegexEngine* engine = nullptr;
+    for (RegexEngine* e : engines_) {
+      if (e->idle()) {
+        engine = e;
+        break;
+      }
+    }
+    if (engine == nullptr) {
+      UpdateIdleMirror();
+      return;  // all busy; retried on job completion
+    }
+
+    JobDescriptor descriptor;
+    if (!queue_->Pop(&descriptor)) break;
+    auto* params = reinterpret_cast<JobParams*>(descriptor.params_addr);
+    auto* status = reinterpret_cast<JobStatus*>(descriptor.status_addr);
+    ++jobs_dispatched_;
+
+    const uint64_t id = descriptor.job_id;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEvent{scheduler_->now(),
+                                TraceEvent::Kind::kJobDispatched, id,
+                                engine->id(), 0});
+    }
+    Status st = engine->Start(params, status, [this, id, engine] {
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEvent{scheduler_->now(),
+                                  TraceEvent::Kind::kJobDone, id,
+                                  engine->id(), 0});
+      }
+      auto it = callbacks_.find(id);
+      std::function<void()> on_done;
+      if (it != callbacks_.end()) {
+        on_done = std::move(it->second);
+        callbacks_.erase(it);
+      }
+      if (on_done) on_done();
+      // A job finished: an engine is idle again.
+      TryDispatch();
+    });
+    if (!st.ok()) {
+      DOPPIO_LOG(Error) << "job dispatch failed: " << st.ToString();
+      status->error = st;
+      status->done.store(1, std::memory_order_release);
+      auto it = callbacks_.find(id);
+      if (it != callbacks_.end()) {
+        auto on_done = std::move(it->second);
+        callbacks_.erase(it);
+        if (on_done) on_done();
+      }
+    }
+  }
+  UpdateIdleMirror();
+}
+
+}  // namespace doppio

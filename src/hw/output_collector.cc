@@ -1,0 +1,20 @@
+#include "hw/output_collector.h"
+
+#include <cstring>
+
+namespace doppio {
+
+OutputCollector::OutputCollector(const JobParams& params) : params_(&params) {}
+
+Status OutputCollector::Append(uint16_t match_index) {
+  if (results_written_ >= params_->count) {
+    return Status::Internal("output collector overflow");
+  }
+  uint16_t* out = reinterpret_cast<uint16_t*>(params_->result);
+  out[results_written_] = match_index;
+  ++results_written_;
+  if (match_index != 0) ++matches_;
+  return Status::OK();
+}
+
+}  // namespace doppio

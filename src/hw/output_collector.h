@@ -1,0 +1,45 @@
+// Output Collector (paper §5.1): gathers 16-bit match indexes from the
+// per-PU result FIFOs in round-robin order — guaranteeing results leave in
+// input order — and packs 32 of them per 512-bit cache line written to the
+// result column.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hw/job.h"
+
+namespace doppio {
+
+inline constexpr int64_t kResultsPerLine = kCacheLineBytes / 2;  // 32
+
+class OutputCollector {
+ public:
+  explicit OutputCollector(const JobParams& params);
+
+  /// Appends the match index for the next string (input order).
+  Status Append(uint16_t match_index);
+
+  /// Strings emitted so far.
+  int64_t results_written() const { return results_written_; }
+  /// Cache lines of result traffic generated so far.
+  int64_t result_lines() const {
+    return (results_written_ + kResultsPerLine - 1) / kResultsPerLine;
+  }
+  /// Number of nonzero results (matches) — kept as a running statistic
+  /// for the job status block.
+  int64_t matches() const { return matches_; }
+
+  /// Total result lines for a job of `count` strings.
+  static int64_t TotalResultLines(int64_t count) {
+    return (count + kResultsPerLine - 1) / kResultsPerLine;
+  }
+
+ private:
+  const JobParams* params_;
+  int64_t results_written_ = 0;
+  int64_t matches_ = 0;
+};
+
+}  // namespace doppio

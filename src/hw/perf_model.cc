@@ -1,0 +1,59 @@
+#include "hw/perf_model.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "hw/output_collector.h"
+#include "hw/string_reader.h"
+
+namespace doppio {
+
+PerfEstimate EstimateJob(const DeviceConfig& config, int64_t count,
+                         int64_t heap_bytes, int active_engines,
+                         bool ideal) {
+  active_engines = std::max(1, std::min(active_engines, config.num_engines));
+
+  const int64_t offset_lines = StringReader::TotalOffsetLines(count);
+  const int64_t heap_lines =
+      (heap_bytes + kCacheLineBytes - 1) / kCacheLineBytes;
+  const int64_t result_lines = OutputCollector::TotalResultLines(count);
+  const int64_t param_lines = 2;
+  const int64_t total_lines =
+      offset_lines + heap_lines + result_lines + param_lines;
+  const int64_t total_bytes = total_lines * kCacheLineBytes;
+
+  // Effective per-engine streaming rate: the engine's window pacing, its
+  // fair share of the link, and the PU consumption rate all bound it.
+  const double window_rate = config.SingleEngineBytesPerSec();
+  const double link_share =
+      config.qpi_peak_bytes_per_sec / static_cast<double>(active_engines);
+  const double pu_rate = config.EngineBytesPerSec();
+  double rate;
+  if (ideal) {
+    rate = pu_rate;
+  } else {
+    rate = std::min({window_rate, link_share, pu_rate});
+  }
+
+  PerfEstimate est;
+  est.total_lines = total_lines;
+  est.total_bytes = total_bytes;
+  est.seconds = static_cast<double>(total_bytes) / rate +
+                config.job_setup_sec + config.job_poll_sec +
+                config.qpi_latency_sec;
+  est.effective_bytes_per_sec =
+      static_cast<double>(total_bytes) / est.seconds;
+  return est;
+}
+
+double SaturatedQueriesPerSec(const DeviceConfig& config, int64_t count,
+                              int64_t heap_bytes, int engines_used,
+                              bool ideal) {
+  engines_used = std::max(1, std::min(engines_used, config.num_engines));
+  PerfEstimate one = EstimateJob(config, count, heap_bytes, engines_used,
+                                 ideal);
+  // engines_used jobs in flight; each takes one.seconds at the shared rate.
+  return static_cast<double>(engines_used) / one.seconds;
+}
+
+}  // namespace doppio

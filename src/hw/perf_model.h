@@ -1,0 +1,36 @@
+// Closed-form performance model of a regex job (paper §7.3, §7.5).
+//
+// The discrete-event simulator and this model agree to within a few
+// percent (asserted by tests); large parameter sweeps use the closed form,
+// validation runs use the DES. The model also produces the paper's
+// "FPGA(ideal)" line: execution without the QPI bandwidth cap, i.e. each
+// engine running at its full 6.4 GB/s processing rate.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/device_config.h"
+
+namespace doppio {
+
+struct PerfEstimate {
+  double seconds = 0;               // end-to-end job time
+  double effective_bytes_per_sec = 0;  // total traffic / time
+  int64_t total_lines = 0;          // cache lines moved
+  int64_t total_bytes = 0;
+};
+
+/// Estimates one job of `count` strings over `heap_bytes` of heap, with
+/// `active_engines` engines concurrently streaming (they share the link).
+/// `ideal` removes the QPI cap (engine processing rate is the only limit).
+PerfEstimate EstimateJob(const DeviceConfig& config, int64_t count,
+                         int64_t heap_bytes, int active_engines = 1,
+                         bool ideal = false);
+
+/// Steady-state aggregate device throughput in queries/sec for a saturated
+/// closed-loop workload of identical jobs (Fig. 8 / Fig. 11 FPGA lines).
+double SaturatedQueriesPerSec(const DeviceConfig& config, int64_t count,
+                              int64_t heap_bytes, int engines_used,
+                              bool ideal = false);
+
+}  // namespace doppio

@@ -1,0 +1,115 @@
+#include "hw/processing_unit.h"
+
+#include "common/logging.h"
+#include "hw/config_compiler.h"
+
+namespace doppio {
+
+ProcessingUnit::ProcessingUnit(const DeviceConfig& device) : device_(device) {}
+
+Status ProcessingUnit::Configure(const ConfigVector& config) {
+  DOPPIO_ASSIGN_OR_RETURN(TokenNfa nfa, config.Decode());
+  // A real PU has exactly max_chars matchers and max_states graph nodes;
+  // configurations beyond that cannot be loaded.
+  DOPPIO_RETURN_NOT_OK(CheckCapacity(nfa, device_));
+  if (nfa.NumStates() > 64) {
+    return Status::CapacityExceeded("simulator supports up to 64 states");
+  }
+
+  nfa_ = std::move(nfa);
+  edges_.clear();
+  pred_masks_.assign(static_cast<size_t>(nfa_.NumStates()), 0);
+  start_gated_mask_ = latch_mask_ = accept_mask_ = 0;
+
+  for (size_t s = 0; s < nfa_.states.size(); ++s) {
+    const HwState& state = nfa_.states[s];
+    if (state.pred_states.empty()) {
+      start_gated_mask_ |= uint64_t{1} << s;
+    }
+    for (int p : state.pred_states) {
+      pred_masks_[s] |= uint64_t{1} << p;
+    }
+    if (state.latch) latch_mask_ |= uint64_t{1} << s;
+    if (state.accept) accept_mask_ |= uint64_t{1} << s;
+
+    for (int t : state.trigger_tokens) {
+      const HwToken& token = nfa_.tokens[static_cast<size_t>(t)];
+      Edge edge;
+      edge.state = static_cast<int>(s);
+      edge.chain_len = token.length();
+      edge.fired_bit = uint64_t{1} << (edge.chain_len - 1);
+      edge.pred_mask = pred_masks_[s];
+      for (int b = 0; b < 256; ++b) {
+        uint64_t mask = 0;
+        for (int j = 0; j < edge.chain_len; ++j) {
+          if (token.chain[static_cast<size_t>(j)].Test(
+                  static_cast<uint8_t>(b))) {
+            mask |= uint64_t{1} << j;
+          }
+        }
+        edge.byte_mask[static_cast<size_t>(b)] = mask;
+      }
+      edges_.push_back(std::move(edge));
+    }
+  }
+  progress_.assign(edges_.size(), 0);
+  configured_ = true;
+  StartString();
+  return Status::OK();
+}
+
+void ProcessingUnit::StartString() {
+  std::fill(progress_.begin(), progress_.end(), 0);
+  active_ = 0;
+  position_ = 0;
+  match_index_ = 0;
+  matched_at_zero_ = false;
+}
+
+void ProcessingUnit::ConsumeByte(uint8_t byte) {
+  ++cycles_;
+  ++position_;
+  if (match_index_ != 0) return;  // first match latched; PU keeps streaming
+
+  uint64_t next_active = active_ & latch_mask_;
+  const uint64_t active_old = active_;
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    Edge& edge = edges_[e];
+    const uint64_t state_bit = uint64_t{1} << edge.state;
+    // Chain start gate: start-gated states are always open; others need an
+    // active predecessor on the previous cycle.
+    uint64_t gate =
+        ((start_gated_mask_ & state_bit) != 0 ||
+         (active_old & edge.pred_mask) != 0)
+            ? 1
+            : 0;
+    progress_[e] =
+        ((progress_[e] << 1) | gate) & edge.byte_mask[byte];
+    if ((progress_[e] & edge.fired_bit) != 0) {
+      next_active |= state_bit;
+    }
+  }
+  active_ = next_active;
+  if ((active_ & accept_mask_) != 0) {
+    match_index_ = position_ > 65535
+                       ? 65535
+                       : static_cast<uint16_t>(position_);
+  }
+}
+
+uint16_t ProcessingUnit::ProcessString(std::string_view input) {
+  DOPPIO_CHECK(configured_);
+  StartString();
+  for (char c : input) {
+    ConsumeByte(static_cast<uint8_t>(c));
+    if (match_index_ != 0) {
+      // The real PU streams the rest of the string (constant consumption
+      // rate); account those cycles without re-running the state graph.
+      cycles_ += static_cast<int64_t>(input.size()) - position_;
+      break;
+    }
+  }
+  return match_index_;
+}
+
+}  // namespace doppio

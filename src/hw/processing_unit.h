@@ -1,0 +1,87 @@
+// Processing Unit: the runtime-parameterizable NFA circuit (paper §6).
+//
+// One PU consumes one input byte per PU clock cycle, regardless of pattern
+// complexity — the property that makes the operator's cost function
+// trivial. Internally it is the bank of chainable Character Matchers plus
+// the fully connected State Graph; both are loaded from the configuration
+// vector at job start (~300 ns, modelled in the engine timing).
+//
+// The implementation keeps one shift register per (trigger token, state)
+// edge; a set bit is an in-flight partial token match. Per byte it does a
+// handful of word operations, so simulating a full table is feasible while
+// remaining cycle-exact: byte i of a string is processed in PU cycle i.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/config_vector.h"
+#include "hw/device_config.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+
+class ProcessingUnit {
+ public:
+  /// Creates a PU with the deployment geometry (capacity limits).
+  explicit ProcessingUnit(const DeviceConfig& device);
+
+  /// Loads a configuration vector into the Tokens/Triggers/Transitions
+  /// registers. Fails if the decoded program exceeds the geometry — the
+  /// hardware would have no registers to hold it.
+  Status Configure(const ConfigVector& config);
+
+  /// Resets the state graph for a new input string.
+  void StartString();
+
+  /// Clocks one input byte through the matchers and the state graph.
+  void ConsumeByte(uint8_t byte);
+
+  /// The 16-bit match index after the bytes so far: 1-based position of the
+  /// first match's last character, or 0. Saturates at 65535 for longer
+  /// strings (the hardware result lane is 16 bits wide).
+  uint16_t MatchIndex() const { return match_index_; }
+  bool Matched() const { return match_index_ != 0 || matched_at_zero_; }
+
+  /// Convenience: full string through the PU (StartString + byte loop).
+  uint16_t ProcessString(std::string_view input);
+
+  /// Total bytes consumed since Configure — equals PU clock cycles spent.
+  int64_t cycles() const { return cycles_; }
+
+  bool configured() const { return configured_; }
+  const TokenNfa& program() const { return nfa_; }
+
+ private:
+  struct Edge {
+    int state;
+    int chain_len;
+    uint64_t fired_bit;
+    uint64_t pred_mask;                   // predecessor-state bitmask
+    std::array<uint64_t, 256> byte_mask;  // chain positions matching byte
+  };
+
+  DeviceConfig device_;
+  bool configured_ = false;
+  TokenNfa nfa_;
+
+  std::vector<Edge> edges_;
+  std::vector<uint64_t> pred_masks_;   // per state: bitmask of predecessors
+  uint64_t start_gated_mask_ = 0;      // states with no predecessors
+  uint64_t latch_mask_ = 0;
+  uint64_t accept_mask_ = 0;
+
+  // Per-string dynamic state.
+  std::vector<uint64_t> progress_;     // per edge
+  uint64_t active_ = 0;                // active states bitmask
+  int32_t position_ = 0;
+  uint16_t match_index_ = 0;
+  bool matched_at_zero_ = false;
+
+  int64_t cycles_ = 0;
+};
+
+}  // namespace doppio

@@ -1,0 +1,48 @@
+#include "hw/qpi_link.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+QpiLink::QpiLink(const DeviceConfig& config)
+    : engine_busy_until_(static_cast<size_t>(config.num_engines), 0) {
+  const double line_bytes = static_cast<double>(kCacheLineBytes);
+  line_service_picos_ =
+      PicosFromSeconds(line_bytes / config.qpi_peak_bytes_per_sec);
+  // Window pacing: `window` lines per round-trip latency.
+  engine_pace_picos_ = PicosFromSeconds(
+      config.qpi_latency_sec /
+      static_cast<double>(config.per_engine_window_lines));
+  latency_picos_ = PicosFromSeconds(config.qpi_latency_sec);
+}
+
+SimTime QpiLink::Transfer(int engine_id, SimTime now, int64_t lines) {
+  DOPPIO_CHECK(engine_id >= 0 &&
+               engine_id < static_cast<int>(engine_busy_until_.size()));
+  DOPPIO_CHECK(lines >= 0);
+  if (lines == 0) return now;
+  auto& engine_busy = engine_busy_until_[static_cast<size_t>(engine_id)];
+
+  // The engine may issue once its window has drained far enough.
+  SimTime start = std::max(now, engine_busy);
+  // The shared link serializes lines across engines.
+  SimTime link_start = std::max(start, link_busy_until_);
+  SimTime link_done = link_start + lines * line_service_picos_;
+  busy_time_ += link_done - link_start;
+  link_busy_until_ = link_done;
+
+  // Engine-side pacing: the in-flight window admits lines at
+  // window/latency regardless of how backed up the shared link is — the
+  // window drains as requests are issued, so issue pacing must NOT be
+  // coupled to link completion (that would serialize concurrent engines
+  // at the single-engine rate). Data lands once both the pace and the
+  // link service plus the round-trip latency are satisfied.
+  SimTime pace_done = start + lines * engine_pace_picos_;
+  SimTime completion = std::max(link_done, pace_done) + latency_picos_;
+  engine_busy = pace_done;
+
+  total_lines_ += lines;
+  return completion;
+}
+
+}  // namespace doppio

@@ -1,0 +1,248 @@
+#include "hw/regex_engine.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "hw/fifo.h"
+#include "hw/output_collector.h"
+#include "hw/string_reader.h"
+
+namespace doppio {
+
+RegexEngine::RegexEngine(int id, const DeviceConfig& device, Arbiter* arbiter,
+                         SimScheduler* scheduler, ThreadPool* pool)
+    : id_(id),
+      device_(device),
+      arbiter_(arbiter),
+      scheduler_(scheduler),
+      pool_(pool) {
+  pus_.reserve(static_cast<size_t>(device_.pus_per_engine));
+  for (int i = 0; i < device_.pus_per_engine; ++i) {
+    pus_.emplace_back(device_);
+  }
+}
+
+Status RegexEngine::Start(JobParams* params, JobStatus* status,
+                          std::function<void()> on_done) {
+  if (busy_) return Status::Internal("engine already executing a job");
+  busy_ = true;
+  params_ = params;
+  status_ = status;
+  on_done_ = std::move(on_done);
+  blocks_.clear();
+  job_matches_ = 0;
+
+  status_->engine_id = id_;
+  status_->start_time = scheduler_->now();
+
+  Status st = RunFunctional(params_, status_, &blocks_);
+  if (!st.ok()) {
+    busy_ = false;
+    return st;
+  }
+  BuildChunks();
+
+  // Timing: job-parameter fetch + PU parametrization (~300 ns), then the
+  // chunked reader pipeline.
+  const int64_t param_lines =
+      1 + static_cast<int64_t>(params_->config.size() + kCacheLineBytes - 1) /
+              kCacheLineBytes;
+  SimTime fetch_done =
+      arbiter_->Transfer(id_, scheduler_->now(), param_lines);
+  SimTime setup_done =
+      fetch_done + PicosFromSeconds(device_.job_setup_sec);
+  pu_done_ = setup_done;
+  SimTime delay = setup_done - scheduler_->now();
+  scheduler_->ScheduleAfter(delay, [this] { ScheduleNextChunk(0); });
+  return Status::OK();
+}
+
+void RegexEngine::BuildChunks() {
+  chunks_.clear();
+  for (const BlockTiming& block : blocks_) {
+    // Offset phase (no PU payload), then the heap phase whose payload the
+    // PUs consume, both split into interleavable chunks.
+    int64_t remaining = block.offset_lines;
+    while (remaining > 0) {
+      int64_t lines = std::min(remaining, kChunkLines);
+      chunks_.push_back(Chunk{lines, 0});
+      remaining -= lines;
+    }
+    remaining = block.heap_lines;
+    int64_t payload_left = block.string_bytes;
+    while (remaining > 0) {
+      int64_t lines = std::min(remaining, kChunkLines);
+      // Attribute payload proportionally to the chunk's share of lines.
+      int64_t payload =
+          remaining <= kChunkLines
+              ? payload_left
+              : payload_left * lines / remaining;
+      chunks_.push_back(Chunk{lines, payload});
+      payload_left -= payload;
+      remaining -= lines;
+    }
+  }
+}
+
+Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
+                                  std::vector<BlockTiming>* blocks) {
+  // Configure every PU from the job's configuration vector (they all
+  // evaluate the same expression; parallelism is across tuples).
+  DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
+                          ConfigVector::FromBytes(params->config));
+  for (ProcessingUnit& pu : pus_) {
+    DOPPIO_RETURN_NOT_OK(pu.Configure(cv));
+  }
+
+  StringReader reader(*params);
+  OutputCollector collector(*params);
+
+  const bool parallel =
+      pool_ != nullptr && params->count >= kParallelThreshold;
+
+  while (reader.HasMore()) {
+    DOPPIO_ASSIGN_OR_RETURN(StringReader::Block block, reader.ReadBlock());
+    blocks->push_back(BlockTiming{block.offset_lines, block.heap_lines,
+                                  block.string_bytes});
+
+    const int npus = device_.pus_per_engine;
+    if (params->timing_only) continue;  // traffic model only
+    std::vector<uint16_t> results(block.strings.size());
+    if (!parallel) {
+      // Structural path (Fig. 4): the reader scatters strings round-robin
+      // into cache-line-wide input FIFOs, PUs consume, and the Output
+      // Collector gathers 16-bit indexes from the result FIFOs in the
+      // same round-robin order — which is what guarantees results leave
+      // in input order.
+      constexpr size_t kFifoDepth = 8;  // strings buffered per PU
+      std::vector<Fifo<std::string_view>> input_fifos;
+      std::vector<Fifo<uint16_t>> result_fifos;
+      input_fifos.reserve(static_cast<size_t>(npus));
+      result_fifos.reserve(static_cast<size_t>(npus));
+      for (int p = 0; p < npus; ++p) {
+        input_fifos.emplace_back(kFifoDepth);
+        result_fifos.emplace_back(kFifoDepth);
+      }
+      const size_t n = block.strings.size();
+      size_t next_in = 0;
+      size_t next_out = 0;
+      while (next_out < n) {
+        // Reader: scatter until the next target FIFO back-pressures.
+        while (next_in < n &&
+               input_fifos[next_in % static_cast<size_t>(npus)].Push(
+                   block.strings[next_in])) {
+          ++next_in;
+        }
+        // PUs: each consumes one buffered string if its result lane has
+        // room.
+        for (int p = 0; p < npus; ++p) {
+          auto& in = input_fifos[static_cast<size_t>(p)];
+          auto& res = result_fifos[static_cast<size_t>(p)];
+          std::string_view s;
+          if (!res.Full() && in.Pop(&s)) {
+            bool pushed =
+                res.Push(pus_[static_cast<size_t>(p)].ProcessString(s));
+            DOPPIO_CHECK(pushed);
+          }
+        }
+        // Collector: gather strictly round-robin (order preservation).
+        while (next_out < n) {
+          uint16_t r;
+          if (!result_fifos[next_out % static_cast<size_t>(npus)].Pop(&r)) {
+            break;
+          }
+          results[next_out] = r;
+          ++next_out;
+        }
+      }
+    } else {
+      // Host-parallel fast path: every PU runs the same program, so the
+      // results are identical to the structural round-robin path.
+      const int shards = pool_->num_threads();
+      pool_->ParallelFor(shards, [&](int shard) {
+        ProcessingUnit pu = pus_[0];  // copy: private dynamic state
+        for (size_t i = static_cast<size_t>(shard);
+             i < block.strings.size();
+             i += static_cast<size_t>(shards)) {
+          results[i] = pu.ProcessString(block.strings[i]);
+        }
+      });
+    }
+    for (uint16_t r : results) {
+      DOPPIO_RETURN_NOT_OK(collector.Append(r));
+    }
+  }
+
+  status->matches = collector.matches();
+  status->strings_processed =
+      params->timing_only ? params->count : collector.results_written();
+  job_matches_ = collector.matches();
+  return Status::OK();
+}
+
+void RegexEngine::ScheduleNextChunk(size_t chunk_index) {
+  if (chunk_index >= chunks_.size()) {
+    Finalize();
+    return;
+  }
+  const Chunk& chunk = chunks_[chunk_index];
+  SimTime now = scheduler_->now();
+  SimTime done = arbiter_->Transfer(id_, now, chunk.lines);
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{now, TraceEvent::Kind::kChunkTransferred,
+                              status_->queue_job_id, id_, chunk.lines});
+  }
+
+  // PUs consume the payload at 1 byte/cycle each once its data arrived.
+  if (chunk.pu_bytes > 0) {
+    const double engine_rate = device_.EngineBytesPerSec();
+    SimTime pu_time = PicosFromSeconds(
+        static_cast<double>(chunk.pu_bytes) / engine_rate);
+    pu_done_ = std::max(pu_done_, done) + pu_time;
+  }
+
+  // The reader issues the next chunk as soon as its window drains — it
+  // does not wait for the PUs (the input FIFOs buffer ahead).
+  SimTime next_issue = std::max(scheduler_->now(),
+                                arbiter_->EngineReady(id_));
+  scheduler_->ScheduleAt(next_issue, [this, chunk_index] {
+    ScheduleNextChunk(chunk_index + 1);
+  });
+}
+
+void RegexEngine::Finalize() {
+  // Result lines plus the status-line write.
+  const int64_t result_lines =
+      OutputCollector::TotalResultLines(params_->count);
+  SimTime results_done =
+      arbiter_->Transfer(id_, scheduler_->now(), result_lines + 1);
+  SimTime finish = std::max(pu_done_, results_done);
+
+  SimTime delay = std::max<SimTime>(0, finish - scheduler_->now());
+  scheduler_->ScheduleAfter(delay, [this] {
+    JobParams* params = params_;
+    JobStatus* status = status_;
+    auto on_done = std::move(on_done_);
+
+    status->finish_time = scheduler_->now();
+    int64_t heap_lines = 0;
+    for (const BlockTiming& block : blocks_) heap_lines += block.heap_lines;
+    status->bytes_streamed =
+        (StringReader::TotalOffsetLines(params->count) +
+         OutputCollector::TotalResultLines(params->count) + heap_lines) *
+        kCacheLineBytes;
+
+    stats_.jobs_executed += 1;
+    stats_.strings_processed += params->count;
+    stats_.bytes_streamed += status->bytes_streamed;
+    stats_.busy_time += status->finish_time - status->start_time;
+
+    busy_ = false;
+    params_ = nullptr;
+    status_ = nullptr;
+    status->done.store(1, std::memory_order_release);
+    if (on_done) on_done();
+  });
+}
+
+}  // namespace doppio

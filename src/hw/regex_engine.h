@@ -1,0 +1,110 @@
+// Regex Engine (paper §5): String Reader -> 16 PUs -> Output Collector.
+//
+// Execution is split into two coupled passes over the same block structure:
+//  * the *functional* pass distributes the block's strings round-robin over
+//    the PUs through the input FIFOs and collects the 16-bit match indexes
+//    in order (bit-exact results, written into the result column);
+//  * the *timing* pass replays the block's cache-line traffic (offset
+//    phase, heap phase, result lines) through the arbiter/QPI model on the
+//    virtual clock, and paces the PUs at one byte per 400 MHz cycle.
+//
+// For large jobs the functional pass can fan out across host threads —
+// a simulator implementation detail; results are identical to the
+// single-threaded structural path (asserted by tests).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sim_scheduler.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "hw/arbiter.h"
+#include "hw/device_config.h"
+#include "hw/job.h"
+#include "hw/processing_unit.h"
+#include "hw/trace.h"
+
+namespace doppio {
+
+struct EngineStats {
+  int64_t jobs_executed = 0;
+  int64_t strings_processed = 0;
+  int64_t bytes_streamed = 0;
+  SimTime busy_time = 0;
+};
+
+class RegexEngine {
+ public:
+  /// `pool` may be null (strictly single-threaded functional pass).
+  RegexEngine(int id, const DeviceConfig& device, Arbiter* arbiter,
+              SimScheduler* scheduler, ThreadPool* pool);
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(RegexEngine);
+
+  bool idle() const { return !busy_; }
+  int id() const { return id_; }
+
+  /// Starts `params` at the scheduler's current virtual time. The result
+  /// column is filled immediately (functional pass); `status` fields and
+  /// the done bit are updated when the virtual-time execution finishes, at
+  /// which point `on_done` fires (on the scheduler).
+  Status Start(JobParams* params, JobStatus* status,
+               std::function<void()> on_done);
+
+  const EngineStats& stats() const { return stats_; }
+
+  /// Records per-chunk traffic events (may be null to disable).
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  /// Strings-per-host-thread threshold above which the functional pass
+  /// parallelizes.
+  static constexpr int64_t kParallelThreshold = 1 << 16;
+
+ private:
+  struct BlockTiming {
+    int64_t offset_lines;
+    int64_t heap_lines;
+    int64_t string_bytes;
+  };
+  /// One timing event's worth of traffic. Transfers are capped at
+  /// kChunkLines per virtual-time event so that concurrent engines
+  /// interleave on the shared link instead of serializing whole reader
+  /// blocks against each other.
+  struct Chunk {
+    int64_t lines;
+    int64_t pu_bytes;  // payload the PUs chew on from this chunk
+  };
+  static constexpr int64_t kChunkLines = 2048;
+
+  Status RunFunctional(JobParams* params, JobStatus* status,
+                       std::vector<BlockTiming>* blocks);
+  void BuildChunks();
+  void ScheduleNextChunk(size_t chunk_index);
+  void Finalize();
+
+  int id_;
+  DeviceConfig device_;
+  Arbiter* arbiter_;
+  SimScheduler* scheduler_;
+  ThreadPool* pool_;
+
+  std::vector<ProcessingUnit> pus_;
+
+  // In-flight job state.
+  bool busy_ = false;
+  JobParams* params_ = nullptr;
+  JobStatus* status_ = nullptr;
+  std::function<void()> on_done_;
+  std::vector<BlockTiming> blocks_;
+  std::vector<Chunk> chunks_;
+  SimTime pu_done_ = 0;
+  int64_t job_matches_ = 0;
+
+  EngineStats stats_;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace doppio

@@ -1,0 +1,34 @@
+#include "hw/resource_model.h"
+
+namespace doppio {
+
+ResourceUsage EstimateResources(const DeviceConfig& config,
+                                const ResourceModelParams& params) {
+  ResourceUsage usage;
+  usage.qpi_endpoint_pct = params.qpi_logic_pct;
+  usage.arbitration_pct = params.arbitration_base_pct +
+                          params.arbitration_per_engine_pct *
+                              static_cast<double>(config.num_engines);
+  usage.string_reader_pct =
+      params.reader_per_engine_pct * static_cast<double>(config.num_engines);
+
+  const double per_pu =
+      params.pu_base_pct +
+      params.pu_per_char_pct * static_cast<double>(config.max_chars) +
+      params.pu_per_state_sq_pct *
+          static_cast<double>(config.max_states) *
+          static_cast<double>(config.max_states);
+  const int total_pus = config.num_engines * config.pus_per_engine;
+  usage.processing_units_pct = per_pu * static_cast<double>(total_pus);
+
+  usage.logic_pct = usage.qpi_endpoint_pct + usage.arbitration_pct +
+                    usage.string_reader_pct + usage.processing_units_pct;
+  usage.bram_pct = params.qpi_bram_pct +
+                   params.bram_per_engine_pct *
+                       static_cast<double>(config.num_engines);
+  usage.fits = usage.logic_pct <= params.logic_budget_pct &&
+               usage.bram_pct <= params.bram_budget_pct;
+  return usage;
+}
+
+}  // namespace doppio

@@ -1,0 +1,52 @@
+// FPGA resource model (paper §7.9, Fig. 14).
+//
+// We have no synthesis tools, so the area of a deployment is an analytic
+// surrogate calibrated to the structural facts the paper reports:
+//   * the QPI endpoint costs a constant 28% of logic and 4% of BRAM;
+//   * arbitration and String Reader logic scale with the engine count;
+//   * a PU's cost is linear in its character matchers and quadratic in its
+//     state count (the fully connected State Graph);
+//   * the default 4x16 deployment lands around 80% logic / 42% BRAM;
+//     a 5th engine still fits physically but fails routing/timing;
+//   * a 64-character or a 16-state PU sweep stays (just) on chip.
+#pragma once
+
+#include "common/status.h"
+#include "hw/device_config.h"
+
+namespace doppio {
+
+struct ResourceUsage {
+  double logic_pct = 0;
+  double bram_pct = 0;
+  // Breakdown (percent of logic), mirroring Fig. 14's stacked bars.
+  double qpi_endpoint_pct = 0;
+  double arbitration_pct = 0;
+  double string_reader_pct = 0;
+  double processing_units_pct = 0;
+
+  /// True when the deployment fits on the chip at all (logic and BRAM
+  /// within budget); orthogonal to timing closure.
+  bool fits = false;
+};
+
+/// Calibration constants, exposed for the ablation benchmarks.
+struct ResourceModelParams {
+  double qpi_logic_pct = 28.0;
+  double qpi_bram_pct = 4.0;
+  double arbitration_base_pct = 1.0;
+  double arbitration_per_engine_pct = 1.0;
+  double reader_per_engine_pct = 1.0;
+  double pu_base_pct = 0.4136;
+  double pu_per_char_pct = 0.0065;
+  double pu_per_state_sq_pct = 0.0016;
+  double bram_per_engine_pct = 9.5;
+  double logic_budget_pct = 100.0;
+  double bram_budget_pct = 100.0;
+};
+
+ResourceUsage EstimateResources(
+    const DeviceConfig& config,
+    const ResourceModelParams& params = ResourceModelParams{});
+
+}  // namespace doppio

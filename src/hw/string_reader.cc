@@ -1,0 +1,65 @@
+#include "hw/string_reader.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace doppio {
+
+StringReader::StringReader(const JobParams& params) : params_(&params) {}
+
+Result<StringReader::Block> StringReader::ReadBlock() {
+  if (!HasMore()) return Status::Internal("string reader exhausted");
+  Block block;
+  block.first_string = next_string_;
+  block.num_strings =
+      std::min<int64_t>(kStringsPerBlock, params_->count - next_string_);
+
+  // Phase 1: offsets. 16 offsets per 512-bit line.
+  block.offset_lines =
+      (block.num_strings * params_->offset_width + kCacheLineBytes - 1) /
+      kCacheLineBytes;
+
+  // Phase 2: strings. Track the distinct heap lines touched — sequential
+  // strings share lines, which is exactly what the hardware exploits.
+  const uint32_t* offsets =
+      reinterpret_cast<const uint32_t*>(params_->offsets);
+  if (params_->timing_only) {
+    // Derive traffic from the offset column alone: the block's heap span
+    // runs from its first string to the start of the next block (or the
+    // heap end for the last block).
+    uint32_t begin = offsets[block.first_string];
+    int64_t end = block.first_string + block.num_strings < params_->count
+                      ? offsets[block.first_string + block.num_strings]
+                      : params_->heap_bytes;
+    block.heap_lines =
+        end / kCacheLineBytes - begin / kCacheLineBytes + 1;
+    block.string_bytes = end - begin;  // slight overestimate (padding)
+    next_string_ += block.num_strings;
+    return block;
+  }
+  int64_t first_line = -1;
+  int64_t last_line = -1;
+  block.strings.reserve(static_cast<size_t>(block.num_strings));
+  for (int64_t i = 0; i < block.num_strings; ++i) {
+    uint32_t offset = offsets[block.first_string + i];
+    const char* start =
+        reinterpret_cast<const char*>(params_->heap) + offset;
+    // Strings are NUL-terminated; length is not stored (paper Fig. 2).
+    std::string_view value(start);
+    block.strings.push_back(value);
+    block.string_bytes += static_cast<int64_t>(value.size());
+
+    int64_t begin_line = offset / kCacheLineBytes;
+    int64_t end_line =
+        (offset + static_cast<int64_t>(value.size())) / kCacheLineBytes;
+    if (first_line < 0) first_line = begin_line;
+    last_line = std::max(last_line, end_line);
+  }
+  block.heap_lines = first_line < 0 ? 0 : last_line - first_line + 1;
+
+  next_string_ += block.num_strings;
+  return block;
+}
+
+}  // namespace doppio

@@ -1,0 +1,44 @@
+#include "hw/timing_model.h"
+
+namespace doppio {
+
+double CriticalPathNs(int states, int chars,
+                      const TimingModelParams& params) {
+  return params.base_delay_ns +
+         params.per_state_ns * static_cast<double>(states) +
+         params.per_char_ns * static_cast<double>(chars);
+}
+
+bool PuConfigurationFeasible(int states, int chars, int64_t clock_hz,
+                             const TimingModelParams& params) {
+  const double budget_ns = 1e9 / static_cast<double>(clock_hz);
+  return CriticalPathNs(states, chars, params) <= budget_ns;
+}
+
+Status CheckDeployment(const DeviceConfig& config,
+                       const ResourceModelParams& res_params,
+                       const TimingModelParams& timing_params) {
+  const ResourceUsage usage = EstimateResources(config, res_params);
+  if (!usage.fits) {
+    return Status::CapacityExceeded(
+        "deployment exceeds chip resources (logic " +
+        std::to_string(usage.logic_pct) + "%, BRAM " +
+        std::to_string(usage.bram_pct) + "%)");
+  }
+  if (!PuConfigurationFeasible(config.max_states, config.max_chars,
+                               config.pu_clock_hz, timing_params)) {
+    return Status::TimingViolation(
+        "PU critical path exceeds the clock period at " +
+        std::to_string(config.pu_clock_hz / 1000000) + " MHz");
+  }
+  if (usage.logic_pct > timing_params.congestion_logic_pct &&
+      config.pu_clock_hz >= timing_params.congestion_clock_hz) {
+    return Status::TimingViolation(
+        "routing congestion: no valid routing meets timing at this "
+        "utilization (" +
+        std::to_string(usage.logic_pct) + "% logic)");
+  }
+  return Status::OK();
+}
+
+}  // namespace doppio

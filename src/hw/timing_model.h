@@ -1,0 +1,47 @@
+// Timing-closure model (paper §7.9, Fig. 15; Fig. 14a's "timing not met").
+//
+// A surrogate for the (non-deterministic, as the paper notes) vendor
+// place-and-route: the PU critical path grows with the fully connected
+// State Graph's fan-out and with the character-matcher mux depth, and a
+// heavily utilized chip adds routing congestion. Halving the PU clock
+// doubles the delay budget, which is exactly the frequency/complexity
+// trade-off the paper explores.
+#pragma once
+
+#include "common/status.h"
+#include "hw/device_config.h"
+#include "hw/resource_model.h"
+
+namespace doppio {
+
+struct TimingModelParams {
+  // Critical path: base + fanout(states) + mux(chars), in nanoseconds.
+  double base_delay_ns = 1.0;
+  double per_state_ns = 0.055;
+  double per_char_ns = 0.012;
+  // Congestion: chips beyond this utilization fail routing at the fast
+  // PU clock (calibrated so 5x16 @ 400 MHz fails, 4x16 passes).
+  double congestion_logic_pct = 88.0;
+  int64_t congestion_clock_hz = 400'000'000;
+};
+
+/// Critical-path estimate for a PU with the given capacity.
+double CriticalPathNs(int states, int chars,
+                      const TimingModelParams& params = TimingModelParams{});
+
+/// Whether a (states, chars) PU closes timing at `clock_hz` — the Fig. 15
+/// design space, evaluated on a lightly utilized (2x16) deployment.
+bool PuConfigurationFeasible(int states, int chars, int64_t clock_hz,
+                             const TimingModelParams& params =
+                                 TimingModelParams{});
+
+/// Full deployment check: resources must fit and timing must close.
+/// Returns CapacityExceeded (does not fit) or TimingViolation (fits but
+/// routing cannot meet the clock) or OK.
+Status CheckDeployment(const DeviceConfig& config,
+                       const ResourceModelParams& res_params =
+                           ResourceModelParams{},
+                       const TimingModelParams& timing_params =
+                           TimingModelParams{});
+
+}  // namespace doppio

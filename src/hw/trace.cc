@@ -1,0 +1,53 @@
+#include "hw/trace.h"
+
+#include <sstream>
+
+namespace doppio {
+
+namespace {
+const char* KindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kJobEnqueued:
+      return "enqueued";
+    case TraceEvent::Kind::kJobDispatched:
+      return "dispatched";
+    case TraceEvent::Kind::kChunkTransferred:
+      return "chunk";
+    case TraceEvent::Kind::kJobDone:
+      return "done";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream out;
+  out << SecondsFromPicos(time) * 1e6 << "us job=" << job_id << " "
+      << KindName(kind);
+  if (engine_id >= 0) out << " engine=" << engine_id;
+  if (kind == Kind::kChunkTransferred) out << " lines=" << lines;
+  return out.str();
+}
+
+std::vector<TraceEvent> TraceLog::Filter(TraceEvent::Kind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceLog::ToString(size_t max_events) const {
+  std::ostringstream out;
+  size_t shown = 0;
+  for (const TraceEvent& e : events_) {
+    if (shown++ >= max_events) {
+      out << "... (" << events_.size() - max_events << " more)\n";
+      break;
+    }
+    out << e.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace doppio

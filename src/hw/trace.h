@@ -1,0 +1,51 @@
+// Virtual-time execution trace of the simulated device.
+//
+// When enabled, the Job Distributor and the engines record what happened
+// when (on the virtual clock): job enqueue, dispatch, per-chunk traffic,
+// completion. Used by tests to assert scheduling behaviour and by users to
+// understand where a job's time went — the visibility a black-box UDF
+// lacks (§9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_scheduler.h"
+
+namespace doppio {
+
+struct TraceEvent {
+  enum class Kind {
+    kJobEnqueued,
+    kJobDispatched,
+    kChunkTransferred,
+    kJobDone,
+  };
+
+  SimTime time = 0;
+  Kind kind = Kind::kJobEnqueued;
+  uint64_t job_id = 0;
+  int engine_id = -1;    // -1 = not yet assigned
+  int64_t lines = 0;     // kChunkTransferred
+
+  std::string ToString() const;
+};
+
+class TraceLog {
+ public:
+  void Record(TraceEvent event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> Filter(TraceEvent::Kind kind) const;
+
+  /// Human-readable dump.
+  std::string ToString(size_t max_events = 100) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace doppio

@@ -1,0 +1,93 @@
+#include "mem/arena.h"
+
+#include <cstring>
+#include <new>
+
+#include "common/logging.h"
+
+namespace doppio {
+
+SharedArena::SharedArena(int64_t capacity_bytes)
+    : num_pages_((capacity_bytes + kSharedPageBytes - 1) / kSharedPageBytes),
+      page_table_(num_pages_),
+      page_used_(static_cast<size_t>(num_pages_), false) {
+  DOPPIO_CHECK(num_pages_ > 0);
+  // Page-aligned reservation: the prototype pins 2 MB pages, and the slab
+  // allocator relies on the base being (at least) cache-line aligned.
+  base_ = static_cast<uint8_t*>(::operator new(
+      static_cast<size_t>(num_pages_ * kSharedPageBytes),
+      std::align_val_t{4096}));
+}
+
+SharedArena::~SharedArena() {
+  ::operator delete(base_, std::align_val_t{4096});
+}
+
+Result<PageRun> SharedArena::AllocatePages(int64_t min_bytes) {
+  if (min_bytes <= 0) {
+    return Status::InvalidArgument("allocation size must be positive");
+  }
+  int64_t want =
+      (min_bytes + kSharedPageBytes - 1) / kSharedPageBytes;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // First-fit scan for a contiguous free run; pinning means no compaction,
+  // so fragmentation is a real failure mode, as on the prototype.
+  int64_t run_start = -1;
+  int64_t run_len = 0;
+  for (int64_t i = 0; i < num_pages_; ++i) {
+    if (!page_used_[static_cast<size_t>(i)]) {
+      if (run_len == 0) run_start = i;
+      if (++run_len == want) break;
+    } else {
+      run_len = 0;
+    }
+  }
+  if (run_len < want) {
+    return Status::OutOfMemory(
+        "shared arena exhausted: no contiguous run of " +
+        std::to_string(want) + " pinned pages");
+  }
+  for (int64_t i = run_start; i < run_start + want; ++i) {
+    page_used_[static_cast<size_t>(i)] = true;
+    Status st = page_table_.Map(i);
+    DOPPIO_CHECK(st.ok());
+  }
+  used_pages_ += want;
+
+  PageRun run;
+  run.data = base_ + run_start * kSharedPageBytes;
+  run.num_pages = want;
+  run.first_page_index = run_start;
+  return run;
+}
+
+Status SharedArena::FreePages(const PageRun& run) {
+  if (run.data == nullptr || run.first_page_index < 0 ||
+      run.first_page_index + run.num_pages > num_pages_) {
+    return Status::InvalidArgument("bad page run");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int64_t i = run.first_page_index;
+       i < run.first_page_index + run.num_pages; ++i) {
+    if (!page_used_[static_cast<size_t>(i)]) {
+      return Status::InvalidArgument("double free of shared page");
+    }
+    page_used_[static_cast<size_t>(i)] = false;
+    DOPPIO_RETURN_NOT_OK(page_table_.Unmap(i));
+  }
+  used_pages_ -= run.num_pages;
+  return Status::OK();
+}
+
+bool SharedArena::Contains(const void* ptr, int64_t size) const {
+  const uint8_t* p = static_cast<const uint8_t*>(ptr);
+  return p >= base_ && p + size <= base_ + num_pages_ * kSharedPageBytes;
+}
+
+int64_t SharedArena::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_pages_ * kSharedPageBytes;
+}
+
+}  // namespace doppio

@@ -1,0 +1,37 @@
+#include "mem/page_table.h"
+
+namespace doppio {
+
+PageTable::PageTable(int64_t max_entries)
+    : max_entries_(max_entries),
+      mapped_(static_cast<size_t>(max_entries), false) {}
+
+Status PageTable::Map(int64_t page_index) {
+  if (page_index < 0 || page_index >= max_entries_) {
+    return Status::OutOfMemory(
+        "page table full: cannot map page beyond FPGA pagetable capacity");
+  }
+  if (mapped_[static_cast<size_t>(page_index)]) {
+    return Status::AlreadyExists("page already mapped");
+  }
+  mapped_[static_cast<size_t>(page_index)] = true;
+  ++mapped_count_;
+  return Status::OK();
+}
+
+Status PageTable::Unmap(int64_t page_index) {
+  if (page_index < 0 || page_index >= max_entries_ ||
+      !mapped_[static_cast<size_t>(page_index)]) {
+    return Status::NotFound("page not mapped");
+  }
+  mapped_[static_cast<size_t>(page_index)] = false;
+  --mapped_count_;
+  return Status::OK();
+}
+
+bool PageTable::IsMapped(int64_t page_index) const {
+  return page_index >= 0 && page_index < max_entries_ &&
+         mapped_[static_cast<size_t>(page_index)];
+}
+
+}  // namespace doppio

@@ -1,0 +1,40 @@
+// Model of the FPGA-resident page table.
+//
+// The prototype stores a pagetable in FPGA BRAM, populated by software when
+// shared memory is allocated. Its limited size is what caps shareable memory
+// (2 GB by default; 4 GB after enlarging it). Translation cost is constant
+// and negligible, so this model only tracks occupancy and validity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace doppio {
+
+class PageTable {
+ public:
+  /// `max_entries` pages can be mapped (one entry per 2 MiB page).
+  explicit PageTable(int64_t max_entries);
+
+  /// Installs a mapping for `page_index` (identity mapping in the model).
+  Status Map(int64_t page_index);
+
+  /// Removes a mapping.
+  Status Unmap(int64_t page_index);
+
+  /// True if the page is mapped — the simulated FPGA checks this before
+  /// every memory access; touching an unmapped page is a hard fault.
+  bool IsMapped(int64_t page_index) const;
+
+  int64_t max_entries() const { return max_entries_; }
+  int64_t mapped_entries() const { return mapped_count_; }
+
+ private:
+  int64_t max_entries_;
+  int64_t mapped_count_ = 0;
+  std::vector<bool> mapped_;
+};
+
+}  // namespace doppio

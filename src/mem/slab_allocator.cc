@@ -1,0 +1,115 @@
+#include "mem/slab_allocator.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+SlabAllocator::SlabAllocator(SharedArena* arena, int64_t min_class_bytes)
+    : arena_(arena) {
+  DOPPIO_CHECK(arena != nullptr);
+  DOPPIO_CHECK(min_class_bytes >= 64);
+  for (int64_t sz = min_class_bytes; sz <= kSharedPageBytes; sz *= 2) {
+    class_sizes_.push_back(sz);
+  }
+  free_lists_.resize(class_sizes_.size());
+}
+
+SlabAllocator::~SlabAllocator() {
+  for (const PageRun& run : slab_pages_) {
+    Status st = arena_->FreePages(run);
+    if (!st.ok()) {
+      DOPPIO_LOG(Error) << "slab page leak: " << st.ToString();
+    }
+  }
+  for (const auto& [ptr, alloc] : live_) {
+    if (alloc.class_index < 0) {
+      Status st = arena_->FreePages(alloc.run);
+      if (!st.ok()) {
+        DOPPIO_LOG(Error) << "page-run leak: " << st.ToString();
+      }
+    }
+  }
+}
+
+int64_t SlabAllocator::ClassForSize(int64_t bytes) const {
+  for (int64_t sz : class_sizes_) {
+    if (bytes <= sz) return sz;
+  }
+  // Whole page runs for anything beyond the largest class.
+  int64_t pages = (bytes + kSharedPageBytes - 1) / kSharedPageBytes;
+  return pages * kSharedPageBytes;
+}
+
+Result<void*> SlabAllocator::AllocateFromClass(size_t class_index) {
+  auto& list = free_lists_[class_index];
+  if (list.empty()) {
+    // Carve a fresh page into chunks of this class.
+    auto run_result = arena_->AllocatePages(kSharedPageBytes);
+    if (!run_result.ok()) return run_result.status();
+    PageRun run = *run_result;
+    slab_pages_.push_back(run);
+    ++stats_.slabs_created;
+    int64_t chunk = class_sizes_[class_index];
+    for (int64_t off = 0; off + chunk <= run.size_bytes(); off += chunk) {
+      list.push_back(run.data + off);
+    }
+  }
+  void* ptr = list.back();
+  list.pop_back();
+  return ptr;
+}
+
+Result<void*> SlabAllocator::Allocate(int64_t bytes) {
+  if (bytes <= 0) {
+    return Status::InvalidArgument("allocation size must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Find the best-fitting size class.
+  for (size_t i = 0; i < class_sizes_.size(); ++i) {
+    if (bytes <= class_sizes_[i]) {
+      auto result = AllocateFromClass(i);
+      if (!result.ok()) return result.status();
+      void* ptr = *result;
+      live_[ptr] = Allocation{class_sizes_[i], static_cast<int64_t>(i), {}};
+      ++stats_.allocations;
+      stats_.bytes_requested += bytes;
+      stats_.bytes_handed_out += class_sizes_[i];
+      return ptr;
+    }
+  }
+
+  // Large allocation: dedicated pinned page run.
+  auto run_result = arena_->AllocatePages(bytes);
+  if (!run_result.ok()) return run_result.status();
+  PageRun run = *run_result;
+  live_[run.data] = Allocation{run.size_bytes(), -1, run};
+  ++stats_.allocations;
+  stats_.bytes_requested += bytes;
+  stats_.bytes_handed_out += run.size_bytes();
+  return static_cast<void*>(run.data);
+}
+
+Status SlabAllocator::Free(void* ptr) {
+  if (ptr == nullptr) return Status::InvalidArgument("null free");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(ptr);
+  if (it == live_.end()) {
+    return Status::InvalidArgument("free of unknown pointer");
+  }
+  const Allocation alloc = it->second;
+  live_.erase(it);
+  ++stats_.frees;
+  if (alloc.class_index >= 0) {
+    free_lists_[static_cast<size_t>(alloc.class_index)].push_back(ptr);
+    return Status::OK();
+  }
+  return arena_->FreePages(alloc.run);
+}
+
+SlabStats SlabAllocator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace doppio

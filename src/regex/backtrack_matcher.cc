@@ -1,0 +1,76 @@
+#include "regex/backtrack_matcher.h"
+
+#include "regex/pattern_parser.h"
+
+namespace doppio {
+
+Result<std::unique_ptr<BacktrackMatcher>> BacktrackMatcher::Compile(
+    std::string_view pattern, const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(AnchoredPattern parsed,
+                          ParseAnchoredPattern(pattern));
+  DOPPIO_ASSIGN_OR_RETURN(
+      Program program, CompileProgram(*parsed.ast, parsed.Options(options)));
+  return FromProgram(std::move(program));
+}
+
+std::unique_ptr<BacktrackMatcher> BacktrackMatcher::FromProgram(
+    Program program) {
+  return std::unique_ptr<BacktrackMatcher>(
+      new BacktrackMatcher(std::move(program)));
+}
+
+bool BacktrackMatcher::Run(int pc, size_t pos, std::string_view input,
+                           size_t* end) const {
+  // Iterative on the main thread of control; recursion only at kSplit,
+  // exactly like a classic backtracking VM.
+  while (true) {
+    if (++steps_ > step_budget_) {
+      budget_exceeded_ = true;
+      return false;
+    }
+    const Inst& inst = program_.insts()[static_cast<size_t>(pc)];
+    switch (inst.op) {
+      case OpCode::kChar:
+        if (pos >= input.size() ||
+            !inst.chars.Test(static_cast<uint8_t>(input[pos]))) {
+          return false;
+        }
+        ++pos;
+        ++pc;
+        break;
+      case OpCode::kJmp:
+        pc = inst.x;
+        break;
+      case OpCode::kSplit:
+        if (Run(inst.x, pos, input, end)) return true;
+        if (budget_exceeded_) return false;
+        pc = inst.y;
+        break;
+      case OpCode::kAccept:
+        if (program_.options().anchor_end && pos != input.size()) {
+          return false;
+        }
+        *end = pos;
+        return true;
+    }
+  }
+}
+
+MatchResult BacktrackMatcher::Find(std::string_view input) const {
+  steps_ = 0;
+  budget_exceeded_ = false;
+  size_t end = 0;
+  // Leftmost semantics: try every start position in order, greedy within.
+  size_t max_start = program_.options().anchor_start ? 0 : input.size();
+  for (size_t start = 0; start <= max_start; ++start) {
+    if (Run(program_.start(), start, input, &end)) {
+      total_steps_ += steps_;
+      return MatchResult{true, static_cast<int32_t>(end)};
+    }
+    if (budget_exceeded_) break;
+  }
+  total_steps_ += steps_;
+  return MatchResult{};
+}
+
+}  // namespace doppio

@@ -1,0 +1,50 @@
+// Recursive backtracking executor, PCRE-style.
+//
+// MonetDB's REGEXP_LIKE is implemented over PCRE; its cost grows with
+// pattern complexity and it can go super-linear on ambiguous patterns.
+// This executor reproduces that behaviour (it is the software baseline for
+// Table 1 and the REGEXP_LIKE lines in Figs. 9 and 11). A step budget
+// guards against catastrophic blow-up; exceeding it is reported out of band.
+#pragma once
+
+#include <memory>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "regex/matcher.h"
+#include "regex/thompson_nfa.h"
+
+namespace doppio {
+
+class BacktrackMatcher : public StringMatcher {
+ public:
+  static constexpr int64_t kDefaultStepBudget = 100'000'000;
+
+  static Result<std::unique_ptr<BacktrackMatcher>> Compile(
+      std::string_view pattern, const CompileOptions& options = {});
+  static std::unique_ptr<BacktrackMatcher> FromProgram(Program program);
+
+  MatchResult Find(std::string_view input) const override;
+
+  /// True if the last Find bailed out on the step budget (result invalid).
+  bool last_find_exceeded_budget() const { return budget_exceeded_; }
+
+  void set_step_budget(int64_t steps) { step_budget_ = steps; }
+
+  /// Total backtracking steps across all Find calls (cost instrumentation).
+  int64_t total_steps() const { return total_steps_; }
+
+ private:
+  explicit BacktrackMatcher(Program program) : program_(std::move(program)) {}
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(BacktrackMatcher);
+
+  bool Run(int pc, size_t pos, std::string_view input, size_t* end) const;
+
+  Program program_;
+  int64_t step_budget_ = kDefaultStepBudget;
+  mutable int64_t steps_ = 0;
+  mutable int64_t total_steps_ = 0;
+  mutable bool budget_exceeded_ = false;
+};
+
+}  // namespace doppio

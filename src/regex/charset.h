@@ -1,0 +1,112 @@
+// 256-way byte set used as the character-class representation throughout
+// the regex stack (parser, Thompson program, DFA) .
+#pragma once
+
+#include <bitset>
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+namespace doppio {
+
+class CharSet {
+ public:
+  CharSet() = default;
+
+  static CharSet Single(uint8_t c) {
+    CharSet s;
+    s.bits_.set(c);
+    return s;
+  }
+  static CharSet Range(uint8_t lo, uint8_t hi) {
+    CharSet s;
+    for (int c = lo; c <= hi; ++c) s.bits_.set(static_cast<size_t>(c));
+    return s;
+  }
+  /// '.' — any byte. The dialect matches whole SQL values (no line
+  /// semantics), and the hardware wildcard matcher is also byte-blind, so
+  /// both execution paths agree exactly.
+  static CharSet AnyChar() {
+    CharSet s;
+    s.bits_.set();
+    return s;
+  }
+  static CharSet All() {
+    CharSet s;
+    s.bits_.set();
+    return s;
+  }
+
+  void Add(uint8_t c) { bits_.set(c); }
+  void AddRange(uint8_t lo, uint8_t hi) {
+    for (int c = lo; c <= hi; ++c) bits_.set(static_cast<size_t>(c));
+  }
+  void Negate() { bits_.flip(); }
+  void UnionWith(const CharSet& other) { bits_ |= other.bits_; }
+
+  /// Adds the case counterpart of every ASCII letter currently in the set.
+  void FoldCase() {
+    for (int c = 'a'; c <= 'z'; ++c) {
+      if (bits_.test(static_cast<size_t>(c))) {
+        bits_.set(static_cast<size_t>(c - 'a' + 'A'));
+      }
+    }
+    for (int c = 'A'; c <= 'Z'; ++c) {
+      if (bits_.test(static_cast<size_t>(c))) {
+        bits_.set(static_cast<size_t>(c - 'A' + 'a'));
+      }
+    }
+  }
+
+  bool Test(uint8_t c) const { return bits_.test(c); }
+  size_t Count() const { return bits_.count(); }
+  bool Empty() const { return bits_.none(); }
+
+  bool operator==(const CharSet& other) const { return bits_ == other.bits_; }
+
+  /// Debug rendering, e.g. "[a-c8]".
+  std::string ToString() const;
+
+ private:
+  std::bitset<256> bits_;
+};
+
+inline std::string CharSet::ToString() const {
+  std::string out = "[";
+  int run_start = -1;
+  auto flush = [&](int end) {
+    if (run_start < 0) return;
+    auto emit = [&](int c) {
+      if (std::isprint(c) != 0) {
+        // Keep the rendering re-parsable: escape class metacharacters.
+        if (c == ']' || c == '\\' || c == '-' || c == '^') {
+          out.push_back('\\');
+        }
+        out.push_back(static_cast<char>(c));
+      } else {
+        // Backslash + raw byte: the class parser takes any escaped byte
+        // literally, so this stays exactly re-parsable.
+        out.push_back('\\');
+        out.push_back(static_cast<char>(c));
+      }
+    };
+    emit(run_start);
+    if (end - 1 > run_start) {
+      if (end - 1 > run_start + 1) out.push_back('-');
+      emit(end - 1);
+    }
+    run_start = -1;
+  };
+  for (int c = 0; c < 256; ++c) {
+    if (Test(static_cast<uint8_t>(c))) {
+      if (run_start < 0) run_start = c;
+    } else {
+      flush(c);
+    }
+  }
+  flush(256);
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace doppio

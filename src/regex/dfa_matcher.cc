@@ -1,0 +1,144 @@
+#include "regex/dfa_matcher.h"
+
+#include <algorithm>
+
+#include "regex/pattern_parser.h"
+
+namespace doppio {
+
+Result<std::unique_ptr<DfaMatcher>> DfaMatcher::Compile(
+    std::string_view pattern, const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(AnchoredPattern parsed,
+                          ParseAnchoredPattern(pattern));
+  DOPPIO_ASSIGN_OR_RETURN(
+      Program program, CompileProgram(*parsed.ast, parsed.Options(options)));
+  return FromProgram(std::move(program));
+}
+
+std::unique_ptr<DfaMatcher> DfaMatcher::FromProgram(Program program) {
+  return std::unique_ptr<DfaMatcher>(new DfaMatcher(std::move(program)));
+}
+
+DfaMatcher::DfaMatcher(Program program) : program_(std::move(program)) {
+  std::vector<bool> on_list(static_cast<size_t>(program_.size()), false);
+  std::vector<int> char_insts;
+  bool accept = false;
+  AddClosure(program_.start(), &on_list, &char_insts, &accept);
+  start_accepts_ = accept;
+  std::sort(char_insts.begin(), char_insts.end());
+  start_state_ = Intern(std::move(char_insts), accept);
+}
+
+void DfaMatcher::AddClosure(int pc, std::vector<bool>* on_list,
+                            std::vector<int>* char_insts,
+                            bool* accept) const {
+  if ((*on_list)[static_cast<size_t>(pc)]) return;
+  (*on_list)[static_cast<size_t>(pc)] = true;
+  const Inst& inst = program_.insts()[static_cast<size_t>(pc)];
+  switch (inst.op) {
+    case OpCode::kChar:
+      char_insts->push_back(pc);
+      break;
+    case OpCode::kAccept:
+      *accept = true;
+      break;
+    case OpCode::kJmp:
+      AddClosure(inst.x, on_list, char_insts, accept);
+      break;
+    case OpCode::kSplit:
+      AddClosure(inst.x, on_list, char_insts, accept);
+      AddClosure(inst.y, on_list, char_insts, accept);
+      break;
+  }
+}
+
+DfaMatcher::DfaState* DfaMatcher::Intern(std::vector<int> char_insts,
+                                         bool accept) const {
+  auto key = std::make_pair(char_insts, accept);
+  auto it = states_.find(key);
+  if (it != states_.end()) return it->second.get();
+  auto state = std::make_unique<DfaState>();
+  state->char_insts = std::move(char_insts);
+  state->accept = accept;
+  DfaState* raw = state.get();
+  states_.emplace(std::move(key), std::move(state));
+  return raw;
+}
+
+void DfaMatcher::FlushCache() const {
+  ++cache_flushes_;
+  states_.clear();
+  for (auto& kept : retired_) kept->next.fill(nullptr);
+  // Rebuild the start state.
+  std::vector<bool> on_list(static_cast<size_t>(program_.size()), false);
+  std::vector<int> char_insts;
+  bool accept = false;
+  AddClosure(program_.start(), &on_list, &char_insts, &accept);
+  std::sort(char_insts.begin(), char_insts.end());
+  start_state_ = Intern(std::move(char_insts), accept);
+}
+
+DfaMatcher::DfaState* DfaMatcher::Step(DfaState* state, uint8_t byte) const {
+  DfaState* cached = state->next[byte];
+  if (cached != nullptr) return cached;
+
+  if (states_.size() >= kMaxCachedStates) {
+    // Keep the in-flight state alive, then flush everything else.
+    auto key = std::make_pair(state->char_insts, state->accept);
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+      retired_.push_back(std::move(it->second));
+      states_.erase(it);
+    }
+    state->next.fill(nullptr);
+    FlushCache();
+  }
+
+  std::vector<bool> on_list(static_cast<size_t>(program_.size()), false);
+  std::vector<int> char_insts;
+  bool accept = false;
+  for (int pc : state->char_insts) {
+    const Inst& inst = program_.insts()[static_cast<size_t>(pc)];
+    if (inst.chars.Test(byte)) {
+      AddClosure(pc + 1, &on_list, &char_insts, &accept);
+    }
+  }
+  if (!program_.options().anchor_start) {
+    // Unanchored search: a new match attempt may begin at every byte.
+    for (int pc : start_state_->char_insts) {
+      AddClosure(pc, &on_list, &char_insts, &accept);
+    }
+    accept = accept || start_accepts_;
+  }
+  std::sort(char_insts.begin(), char_insts.end());
+  char_insts.erase(std::unique(char_insts.begin(), char_insts.end()),
+                   char_insts.end());
+  DfaState* next = Intern(std::move(char_insts), accept);
+  state->next[byte] = next;
+  return next;
+}
+
+MatchResult DfaMatcher::Find(std::string_view input) const {
+  const bool anchor_end = program_.options().anchor_end;
+  DfaState* state = start_state_;
+  if (!anchor_end && state->accept) {
+    return MatchResult{true, 0};  // pattern matches the empty string
+  }
+  for (size_t i = 0; i < input.size(); ++i) {
+    state = Step(state, static_cast<uint8_t>(input[i]));
+    if (!anchor_end && state->accept) {
+      return MatchResult{true, static_cast<int32_t>(i + 1)};
+    }
+    if (state->char_insts.empty() && !state->accept) {
+      // Dead state: no live threads and no way to start new ones
+      // (anchored search only; unanchored always reseeds).
+      if (program_.options().anchor_start) return MatchResult{};
+    }
+  }
+  if (anchor_end && state->accept) {
+    return MatchResult{true, static_cast<int32_t>(input.size())};
+  }
+  return MatchResult{};
+}
+
+}  // namespace doppio

@@ -1,0 +1,75 @@
+// Lazy-DFA executor (subset construction with cached transitions).
+//
+// This is the "efficient software" strategy: linear scan with one table
+// lookup per byte once states are warm. It serves as the ground truth the
+// hardware simulation is property-tested against, and as the CPU
+// post-processing pass of hybrid execution (paper §7.8).
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "regex/matcher.h"
+#include "regex/thompson_nfa.h"
+
+namespace doppio {
+
+class DfaMatcher : public StringMatcher {
+ public:
+  /// Compiles `pattern` (regex dialect) with the given options.
+  static Result<std::unique_ptr<DfaMatcher>> Compile(
+      std::string_view pattern, const CompileOptions& options = {});
+
+  /// Builds the matcher from an already-compiled program.
+  static std::unique_ptr<DfaMatcher> FromProgram(Program program);
+
+  MatchResult Find(std::string_view input) const override;
+
+  /// Number of DFA states materialized so far (grows lazily).
+  size_t num_states() const { return states_.size(); }
+
+  /// Subset construction can explode for pathological patterns; when the
+  /// cache exceeds this bound it is flushed and rebuilt lazily (the RE2
+  /// approach), keeping memory bounded at the cost of re-deriving states.
+  static constexpr size_t kMaxCachedStates = 10'000;
+
+  /// How many times the cache was flushed (observability for tests).
+  int64_t cache_flushes() const { return cache_flushes_; }
+
+ private:
+  struct DfaState {
+    std::vector<int> char_insts;  // sorted kChar instruction indices
+    bool accept = false;
+    // Lazily filled transition table; nullptr = not yet computed.
+    std::array<DfaState*, 256> next{};
+  };
+
+  explicit DfaMatcher(Program program);
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(DfaMatcher);
+
+  // Adds the epsilon closure of `pc` into the work set.
+  void AddClosure(int pc, std::vector<bool>* on_list,
+                  std::vector<int>* char_insts, bool* accept) const;
+
+  DfaState* Intern(std::vector<int> char_insts, bool accept) const;
+  DfaState* Step(DfaState* state, uint8_t byte) const;
+
+  void FlushCache() const;
+
+  Program program_;
+  mutable std::map<std::pair<std::vector<int>, bool>,
+                   std::unique_ptr<DfaState>>
+      states_;
+  // States kept alive across cache flushes (a scan in progress may still
+  // reference one); their transition pointers are reset at flush time.
+  mutable std::vector<std::unique_ptr<DfaState>> retired_;
+  mutable DfaState* start_state_ = nullptr;
+  mutable int64_t cache_flushes_ = 0;
+  bool start_accepts_ = false;  // pattern matches the empty string
+};
+
+}  // namespace doppio

@@ -1,0 +1,92 @@
+#include "regex/like_translator.h"
+
+namespace doppio {
+
+Result<LikeAnalysis> TranslateLike(std::string_view like_pattern,
+                                   char escape) {
+  LikeAnalysis out;
+
+  // Tokenize into literal segments and wildcards.
+  struct Segment {
+    bool percent = false;     // '%'
+    bool underscore = false;  // '_'
+    std::string literal;      // otherwise
+  };
+  std::vector<Segment> segments;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      segments.push_back(Segment{false, false, std::move(current)});
+      current.clear();
+    }
+  };
+
+  size_t i = 0;
+  while (i < like_pattern.size()) {
+    char c = like_pattern[i];
+    if (escape != '\0' && c == escape) {
+      if (i + 1 >= like_pattern.size()) {
+        return Status::ParseError("LIKE pattern ends with escape character");
+      }
+      current.push_back(like_pattern[i + 1]);
+      i += 2;
+      continue;
+    }
+    if (c == '%') {
+      flush();
+      if (segments.empty() || !segments.back().percent) {
+        segments.push_back(Segment{true, false, ""});
+      }
+      ++i;
+      continue;
+    }
+    if (c == '_') {
+      flush();
+      segments.push_back(Segment{false, true, ""});
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  flush();
+
+  out.anchored_start = segments.empty() || !segments.front().percent;
+  out.anchored_end = segments.empty() || !segments.back().percent;
+
+  // Multi-substring form: %s1%s2%...% with only literal segments between.
+  out.is_multi_substring = !out.anchored_start && !out.anchored_end;
+  for (const Segment& seg : segments) {
+    if (seg.underscore) out.is_multi_substring = false;
+    if (!seg.percent && !seg.underscore && out.is_multi_substring) {
+      out.substrings.push_back(seg.literal);
+    }
+  }
+  if (out.substrings.empty()) out.is_multi_substring = false;
+
+  // Build the AST. Search semantics are unanchored, so a leading/trailing
+  // '%' simply disappears; its absence sets the anchor flags the executors
+  // honor.
+  std::vector<AstNodePtr> parts;
+  for (size_t k = 0; k < segments.size(); ++k) {
+    const Segment& seg = segments[k];
+    if (seg.percent) {
+      bool edge = (k == 0) || (k + 1 == segments.size());
+      if (edge) continue;
+      parts.push_back(
+          AstNode::Repeat(AstNode::Class(CharSet::AnyChar()), 0, -1));
+    } else if (seg.underscore) {
+      parts.push_back(AstNode::Class(CharSet::AnyChar()));
+    } else {
+      parts.push_back(AstNode::Literal(seg.literal));
+    }
+  }
+
+  AstNodePtr ast =
+      parts.empty() ? AstNode::Empty() : AstNode::Concat(std::move(parts));
+  out.regex = ast->ToString();
+  out.ast = std::move(ast);
+  return out;
+}
+
+}  // namespace doppio

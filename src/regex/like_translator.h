@@ -1,0 +1,41 @@
+// SQL LIKE pattern handling.
+//
+// LIKE patterns compose literal text with '%' (any sequence) and '_' (any
+// single character). Two consumers exist:
+//  * the software fast path: a pattern of the form %s1%s2%...% is a
+//    sequential multi-substring search (see substring_search.h);
+//  * the FPGA path: every LIKE pattern is translated to the regex dialect
+//    and compiled to a configuration vector like any other expression.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "regex/pattern_ast.h"
+
+namespace doppio {
+
+struct LikeAnalysis {
+  /// Equivalent pattern in the regex dialect (metacharacters escaped).
+  std::string regex;
+  /// AST of the same.
+  AstNodePtr ast;
+  /// True when the pattern is %s1%s2%...% (with leading and trailing %),
+  /// i.e. an unanchored ordered multi-substring search.
+  bool is_multi_substring = false;
+  /// The substrings s1..sn when is_multi_substring.
+  std::vector<std::string> substrings;
+  /// True if the pattern is anchored at the start (no leading %).
+  bool anchored_start = false;
+  /// True if the pattern is anchored at the end (no trailing %).
+  bool anchored_end = false;
+};
+
+/// Translates a LIKE pattern. `escape` is the SQL ESCAPE character
+/// (0 = none). Fails on a dangling escape.
+Result<LikeAnalysis> TranslateLike(std::string_view like_pattern,
+                                   char escape = '\\');
+
+}  // namespace doppio

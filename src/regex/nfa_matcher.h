@@ -1,0 +1,38 @@
+// Breadth-first NFA simulation (Thompson/Pike style).
+//
+// The paper notes that "in software NFAs cannot be evaluated efficiently,
+// since for each new input every active state has to be updated" (§6):
+// this executor is exactly that — O(|input| × |program|) with no caching —
+// and doubles as a second independent oracle for the property tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "regex/matcher.h"
+#include "regex/thompson_nfa.h"
+
+namespace doppio {
+
+class NfaMatcher : public StringMatcher {
+ public:
+  static Result<std::unique_ptr<NfaMatcher>> Compile(
+      std::string_view pattern, const CompileOptions& options = {});
+  static std::unique_ptr<NfaMatcher> FromProgram(Program program);
+
+  MatchResult Find(std::string_view input) const override;
+
+ private:
+  explicit NfaMatcher(Program program) : program_(std::move(program)) {}
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(NfaMatcher);
+
+  // Adds pc's epsilon closure to the thread list.
+  void AddThread(int pc, std::vector<bool>* on_list, std::vector<int>* list,
+                 bool* accept) const;
+
+  Program program_;
+};
+
+}  // namespace doppio

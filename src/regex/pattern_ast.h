@@ -1,0 +1,60 @@
+// Abstract syntax tree for the SQL regular-expression dialect the paper's
+// engine supports: literals, '.', character classes with ranges and
+// negation, grouping, alternation, and the repetition operators
+// * + ? {n} {n,} {n,m}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "regex/charset.h"
+
+namespace doppio {
+
+enum class AstKind : int {
+  kEmpty,      // matches the empty string
+  kLiteral,    // a fixed byte sequence
+  kCharClass,  // one byte from a CharSet
+  kConcat,     // children in sequence
+  kAlternate,  // any one child
+  kRepeat,     // child repeated [min, max] times; max < 0 means unbounded
+};
+
+struct AstNode;
+using AstNodePtr = std::unique_ptr<AstNode>;
+
+struct AstNode {
+  AstKind kind;
+
+  std::string literal;            // kLiteral
+  CharSet char_class;             // kCharClass
+  std::vector<AstNodePtr> children;  // kConcat / kAlternate
+  int repeat_min = 0;             // kRepeat
+  int repeat_max = 0;             // kRepeat; -1 = unbounded
+
+  static AstNodePtr Empty();
+  static AstNodePtr Literal(std::string text);
+  static AstNodePtr Class(CharSet set);
+  static AstNodePtr Concat(std::vector<AstNodePtr> children);
+  static AstNodePtr Alternate(std::vector<AstNodePtr> children);
+  static AstNodePtr Repeat(AstNodePtr child, int min, int max);
+
+  /// Deep copy.
+  AstNodePtr Clone() const;
+
+  /// Canonical textual rendering (re-parsable for the supported dialect).
+  std::string ToString() const;
+
+  /// True if this subtree can match the empty string.
+  bool MatchesEmpty() const;
+
+  /// Minimum number of bytes any match of this subtree consumes.
+  int MinLength() const;
+
+  /// Applies ASCII case folding to every literal and class in the subtree
+  /// (used for ILIKE and case-insensitive collations).
+  void FoldCase();
+};
+
+}  // namespace doppio

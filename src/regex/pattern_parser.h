@@ -1,0 +1,46 @@
+// Recursive-descent parser for the SQL regular-expression dialect
+// (the subset exercised by REGEXP_LIKE queries in the paper):
+//
+//   alternation:  a|b
+//   grouping:     (ab)
+//   classes:      [abc] [a-z0-9] [^x] and '.'
+//   repetition:   * + ? {n} {n,} {n,m}
+//   escapes:      \. \* \+ \? \( \) \[ \] \{ \} \| \\ \: \- \d \w \s
+//
+// Backreferences are not part of the dialect. '^' and '$' are supported
+// only at the very edges of the pattern (SQL REGEXP_LIKE semantics:
+// containment test unless explicitly anchored); the hardware engine
+// performs unanchored search, so anchored patterns fall back to software.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "regex/matcher.h"
+#include "regex/pattern_ast.h"
+
+namespace doppio {
+
+/// Parses `pattern` into an AST. Errors carry the offending position.
+/// '^' / '$' inside the pattern are literal characters here.
+Result<AstNodePtr> ParsePattern(std::string_view pattern);
+
+struct AnchoredPattern {
+  AstNodePtr ast;
+  bool anchor_start = false;
+  bool anchor_end = false;
+
+  /// Folds the anchors into compile options (preserving other fields).
+  CompileOptions Options(CompileOptions base = {}) const {
+    base.anchor_start = base.anchor_start || anchor_start;
+    base.anchor_end = base.anchor_end || anchor_end;
+    return base;
+  }
+};
+
+/// Parses a pattern with optional edge anchors: a leading '^' and/or a
+/// trailing unescaped '$' are stripped into flags; everything else is
+/// handed to ParsePattern.
+Result<AnchoredPattern> ParseAnchoredPattern(std::string_view pattern);
+
+}  // namespace doppio

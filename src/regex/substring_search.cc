@@ -1,0 +1,114 @@
+#include "regex/substring_search.h"
+
+#include <cctype>
+
+namespace doppio {
+
+namespace {
+inline uint8_t Fold(uint8_t c, bool fold) {
+  return fold ? static_cast<uint8_t>(std::tolower(c)) : c;
+}
+}  // namespace
+
+BoyerMooreMatcher::BoyerMooreMatcher(std::string needle,
+                                     bool case_insensitive)
+    : needle_(std::move(needle)), case_insensitive_(case_insensitive) {
+  const size_t m = needle_.size();
+  shift_.fill(m == 0 ? 1 : m);
+  for (size_t i = 0; m > 0 && i + 1 < m; ++i) {
+    uint8_t c = Fold(static_cast<uint8_t>(needle_[i]), case_insensitive_);
+    shift_[c] = m - 1 - i;
+    if (case_insensitive_) {
+      shift_[static_cast<uint8_t>(std::toupper(c))] = m - 1 - i;
+    }
+  }
+}
+
+size_t BoyerMooreMatcher::Find(std::string_view haystack, size_t from) const {
+  const size_t m = needle_.size();
+  if (m == 0) return from <= haystack.size() ? from : std::string_view::npos;
+  if (haystack.size() < m) return std::string_view::npos;
+
+  size_t pos = from;
+  while (pos + m <= haystack.size()) {
+    size_t j = m;
+    while (j > 0 &&
+           Fold(static_cast<uint8_t>(haystack[pos + j - 1]),
+                case_insensitive_) ==
+               Fold(static_cast<uint8_t>(needle_[j - 1]), case_insensitive_)) {
+      --j;
+    }
+    if (j == 0) return pos;
+    uint8_t last = Fold(static_cast<uint8_t>(haystack[pos + m - 1]),
+                        case_insensitive_);
+    pos += shift_[last];
+  }
+  return std::string_view::npos;
+}
+
+KmpMatcher::KmpMatcher(std::string needle, bool case_insensitive)
+    : needle_(std::move(needle)), case_insensitive_(case_insensitive) {
+  const size_t m = needle_.size();
+  failure_.assign(m, 0);
+  for (size_t i = 1; i < m; ++i) {
+    int k = failure_[i - 1];
+    uint8_t ci = Fold(static_cast<uint8_t>(needle_[i]), case_insensitive_);
+    while (k > 0 && Fold(static_cast<uint8_t>(needle_[static_cast<size_t>(k)]),
+                         case_insensitive_) != ci) {
+      k = failure_[static_cast<size_t>(k - 1)];
+    }
+    if (Fold(static_cast<uint8_t>(needle_[static_cast<size_t>(k)]),
+             case_insensitive_) == ci) {
+      ++k;
+    }
+    failure_[i] = k;
+  }
+}
+
+size_t KmpMatcher::Find(std::string_view haystack, size_t from) const {
+  const size_t m = needle_.size();
+  if (m == 0) return from <= haystack.size() ? from : std::string_view::npos;
+  int k = 0;
+  for (size_t i = from; i < haystack.size(); ++i) {
+    uint8_t c = Fold(static_cast<uint8_t>(haystack[i]), case_insensitive_);
+    while (k > 0 && Fold(static_cast<uint8_t>(needle_[static_cast<size_t>(k)]),
+                         case_insensitive_) != c) {
+      k = failure_[static_cast<size_t>(k - 1)];
+    }
+    if (Fold(static_cast<uint8_t>(needle_[static_cast<size_t>(k)]),
+             case_insensitive_) == c) {
+      ++k;
+    }
+    if (static_cast<size_t>(k) == m) return i + 1 - m;
+  }
+  return std::string_view::npos;
+}
+
+Result<std::unique_ptr<MultiSubstringMatcher>> MultiSubstringMatcher::Create(
+    std::vector<std::string> substrings, bool case_insensitive) {
+  if (substrings.empty()) {
+    return Status::InvalidArgument("need at least one substring");
+  }
+  std::vector<BoyerMooreMatcher> stages;
+  stages.reserve(substrings.size());
+  for (auto& s : substrings) {
+    if (s.empty()) {
+      return Status::InvalidArgument("empty substring in LIKE pattern");
+    }
+    stages.emplace_back(std::move(s), case_insensitive);
+  }
+  return std::unique_ptr<MultiSubstringMatcher>(
+      new MultiSubstringMatcher(std::move(stages)));
+}
+
+MatchResult MultiSubstringMatcher::Find(std::string_view input) const {
+  size_t pos = 0;
+  for (const BoyerMooreMatcher& stage : stages_) {
+    size_t hit = stage.Find(input, pos);
+    if (hit == std::string_view::npos) return MatchResult{};
+    pos = hit + stage.needle().size();
+  }
+  return MatchResult{true, static_cast<int32_t>(pos)};
+}
+
+}  // namespace doppio

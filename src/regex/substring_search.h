@@ -1,0 +1,70 @@
+// Substring search algorithms backing the SQL LIKE fast path.
+//
+// The paper cites Knuth-Morris-Pratt and Boyer-Moore as the efficient
+// software algorithms for string matching (§8.1); MonetDB's LIKE is an
+// optimized scan of this kind. A LIKE pattern %s1%s2%...% reduces to
+// ordered, non-overlapping occurrences of s1..sn.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "regex/matcher.h"
+
+namespace doppio {
+
+/// Boyer-Moore-Horspool: bad-character shifts, sublinear on text that
+/// rarely contains the needle's bytes.
+class BoyerMooreMatcher {
+ public:
+  explicit BoyerMooreMatcher(std::string needle, bool case_insensitive = false);
+
+  /// Index of the first occurrence, or npos.
+  size_t Find(std::string_view haystack, size_t from = 0) const;
+
+  const std::string& needle() const { return needle_; }
+
+ private:
+  std::string needle_;
+  bool case_insensitive_;
+  std::array<size_t, 256> shift_;
+};
+
+/// Knuth-Morris-Pratt: linear worst case via the failure function.
+class KmpMatcher {
+ public:
+  explicit KmpMatcher(std::string needle, bool case_insensitive = false);
+
+  size_t Find(std::string_view haystack, size_t from = 0) const;
+
+  const std::string& needle() const { return needle_; }
+
+ private:
+  std::string needle_;
+  bool case_insensitive_;
+  std::vector<int> failure_;
+};
+
+/// Ordered multi-substring matcher: implements LIKE '%s1%s2%...%'.
+/// Matches when s1..sn occur in order without overlap.
+class MultiSubstringMatcher : public StringMatcher {
+ public:
+  static Result<std::unique_ptr<MultiSubstringMatcher>> Create(
+      std::vector<std::string> substrings, bool case_insensitive = false);
+
+  /// Matches the full StringMatcher contract: `end` is one past the last
+  /// character of the final substring occurrence.
+  MatchResult Find(std::string_view input) const override;
+
+ private:
+  explicit MultiSubstringMatcher(std::vector<BoyerMooreMatcher> stages)
+      : stages_(std::move(stages)) {}
+
+  std::vector<BoyerMooreMatcher> stages_;
+};
+
+}  // namespace doppio

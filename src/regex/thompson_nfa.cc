@@ -1,0 +1,133 @@
+#include "regex/thompson_nfa.h"
+
+namespace doppio {
+
+namespace {
+
+constexpr int kMaxInstructions = 64 * 1024;
+
+class Compiler {
+ public:
+  explicit Compiler(const CompileOptions& options) : options_(options) {}
+
+  Result<Program> Compile(const AstNode& ast) {
+    DOPPIO_RETURN_NOT_OK(Emit(ast));
+    DOPPIO_RETURN_NOT_OK(Push(Inst{OpCode::kAccept, {}, -1, -1}));
+    return Program(std::move(insts_), options_);
+  }
+
+ private:
+  Status Push(Inst inst) {
+    if (static_cast<int>(insts_.size()) >= kMaxInstructions) {
+      return Status::CapacityExceeded(
+          "regex program exceeds instruction limit");
+    }
+    insts_.push_back(std::move(inst));
+    return Status::OK();
+  }
+
+  int Here() const { return static_cast<int>(insts_.size()); }
+
+  CharSet MaybeFold(CharSet set) const {
+    if (options_.case_insensitive) set.FoldCase();
+    for (const auto& [a, b] : options_.collation_equivalents) {
+      if (set.Test(a)) set.Add(b);
+      if (set.Test(b)) set.Add(a);
+    }
+    return set;
+  }
+
+  // Emits code for `node`; on completion, control falls through to the
+  // next instruction after the emitted block.
+  Status Emit(const AstNode& node) {
+    switch (node.kind) {
+      case AstKind::kEmpty:
+        return Status::OK();
+      case AstKind::kLiteral: {
+        for (char c : node.literal) {
+          DOPPIO_RETURN_NOT_OK(
+              Push(Inst{OpCode::kChar,
+                        MaybeFold(CharSet::Single(static_cast<uint8_t>(c))),
+                        -1, -1}));
+        }
+        return Status::OK();
+      }
+      case AstKind::kCharClass:
+        return Push(
+            Inst{OpCode::kChar, MaybeFold(node.char_class), -1, -1});
+      case AstKind::kConcat: {
+        for (const auto& child : node.children) {
+          DOPPIO_RETURN_NOT_OK(Emit(*child));
+        }
+        return Status::OK();
+      }
+      case AstKind::kAlternate: {
+        // Chain of splits; each branch jumps to the common exit.
+        std::vector<int> jumps;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          if (i + 1 < node.children.size()) {
+            int split_pc = Here();
+            DOPPIO_RETURN_NOT_OK(Push(Inst{OpCode::kSplit, {}, -1, -1}));
+            insts_[split_pc].x = Here();
+            DOPPIO_RETURN_NOT_OK(Emit(*node.children[i]));
+            int jmp_pc = Here();
+            DOPPIO_RETURN_NOT_OK(Push(Inst{OpCode::kJmp, {}, -1, -1}));
+            jumps.push_back(jmp_pc);
+            insts_[split_pc].y = Here();
+          } else {
+            DOPPIO_RETURN_NOT_OK(Emit(*node.children[i]));
+          }
+        }
+        for (int pc : jumps) insts_[pc].x = Here();
+        return Status::OK();
+      }
+      case AstKind::kRepeat:
+        return EmitRepeat(node);
+    }
+    return Status::Internal("unknown AST node");
+  }
+
+  Status EmitRepeat(const AstNode& node) {
+    const AstNode& child = *node.children[0];
+    int min = node.repeat_min;
+    int max = node.repeat_max;
+
+    // Mandatory copies.
+    for (int i = 0; i < min; ++i) {
+      DOPPIO_RETURN_NOT_OK(Emit(child));
+    }
+    if (max < 0) {
+      // Kleene star tail: L1: split L2, L3; L2: child; jmp L1; L3:
+      int split_pc = Here();
+      DOPPIO_RETURN_NOT_OK(Push(Inst{OpCode::kSplit, {}, -1, -1}));
+      insts_[split_pc].x = Here();  // greedy: try the loop body first
+      DOPPIO_RETURN_NOT_OK(Emit(child));
+      DOPPIO_RETURN_NOT_OK(Push(Inst{OpCode::kJmp, {}, split_pc, -1}));
+      insts_[split_pc].y = Here();
+      return Status::OK();
+    }
+    // Bounded optional copies: each may bail to the common exit.
+    std::vector<int> splits;
+    for (int i = min; i < max; ++i) {
+      int split_pc = Here();
+      DOPPIO_RETURN_NOT_OK(Push(Inst{OpCode::kSplit, {}, -1, -1}));
+      insts_[split_pc].x = Here();
+      splits.push_back(split_pc);
+      DOPPIO_RETURN_NOT_OK(Emit(child));
+    }
+    for (int pc : splits) insts_[pc].y = Here();
+    return Status::OK();
+  }
+
+  const CompileOptions& options_;
+  std::vector<Inst> insts_;
+};
+
+}  // namespace
+
+Result<Program> CompileProgram(const AstNode& ast,
+                               const CompileOptions& options) {
+  return Compiler(options).Compile(ast);
+}
+
+}  // namespace doppio

@@ -1,0 +1,52 @@
+// Thompson construction: AST -> byte-level NFA program.
+//
+// The program is a list of instructions in the style of Thompson's original
+// regex machine (Char / Split / Jmp / Accept). It is the single compiled
+// form behind three executors with very different cost profiles:
+//   * BacktrackMatcher — recursive backtracking, PCRE-like (the slow
+//     software baseline of the paper's Table 1),
+//   * NfaMatcher      — breadth-first NFA simulation,
+//   * DfaMatcher      — lazy subset construction (ground truth + the
+//     hybrid-execution post-processor).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "regex/matcher.h"
+#include "regex/pattern_ast.h"
+
+namespace doppio {
+
+enum class OpCode : uint8_t { kChar, kSplit, kJmp, kAccept };
+
+struct Inst {
+  OpCode op;
+  CharSet chars;  // kChar only
+  int x = -1;     // kSplit: preferred branch; kJmp: target
+  int y = -1;     // kSplit: alternate branch
+};
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Inst> insts, CompileOptions options)
+      : insts_(std::move(insts)), options_(options) {}
+
+  const std::vector<Inst>& insts() const { return insts_; }
+  int start() const { return 0; }
+  const CompileOptions& options() const { return options_; }
+  int size() const { return static_cast<int>(insts_.size()); }
+
+ private:
+  std::vector<Inst> insts_;
+  CompileOptions options_;
+};
+
+/// Compiles `ast` into a program. Bounded repetitions are expanded by
+/// duplication; the expansion is capped (CapacityExceeded beyond ~64 Ki
+/// instructions) to keep pathological patterns from exhausting memory.
+Result<Program> CompileProgram(const AstNode& ast,
+                               const CompileOptions& options = {});
+
+}  // namespace doppio

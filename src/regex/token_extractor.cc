@@ -1,0 +1,431 @@
+#include "regex/token_extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "regex/pattern_parser.h"
+
+namespace doppio {
+
+namespace {
+
+constexpr int kMaxPositions = 4096;
+
+bool IsAnyClass(const AstNode& node) {
+  return node.kind == AstKind::kCharClass &&
+         node.char_class == CharSet::AnyChar();
+}
+
+bool IsDotStar(const AstNode& node) {
+  return node.kind == AstKind::kRepeat && node.repeat_min == 0 &&
+         node.repeat_max == -1 && IsAnyClass(*node.children[0]);
+}
+
+bool IsChainable(const AstNode& node) {
+  return node.kind == AstKind::kLiteral || node.kind == AstKind::kCharClass;
+}
+
+// Flattens nested concatenations into one child list.
+void CollectConcatChildren(const AstNode& node,
+                           std::vector<const AstNode*>* out) {
+  for (const auto& child : node.children) {
+    if (child->kind == AstKind::kConcat) {
+      CollectConcatChildren(*child, out);
+    } else {
+      out->push_back(child.get());
+    }
+  }
+}
+
+// Expands bounded repetitions so only *, +, ? remain.
+Result<AstNodePtr> ExpandRepeats(const AstNode& node, int* budget) {
+  if (--(*budget) < 0) {
+    return Status::CapacityExceeded("pattern expansion too large");
+  }
+  switch (node.kind) {
+    case AstKind::kEmpty:
+    case AstKind::kLiteral:
+    case AstKind::kCharClass:
+      return node.Clone();
+    case AstKind::kConcat:
+    case AstKind::kAlternate: {
+      std::vector<AstNodePtr> children;
+      children.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        DOPPIO_ASSIGN_OR_RETURN(AstNodePtr expanded,
+                                ExpandRepeats(*child, budget));
+        children.push_back(std::move(expanded));
+      }
+      return node.kind == AstKind::kConcat
+                 ? AstNode::Concat(std::move(children))
+                 : AstNode::Alternate(std::move(children));
+    }
+    case AstKind::kRepeat: {
+      DOPPIO_ASSIGN_OR_RETURN(AstNodePtr child,
+                              ExpandRepeats(*node.children[0], budget));
+      int min = node.repeat_min;
+      int max = node.repeat_max;
+      // Canonical forms pass through.
+      if ((min == 0 || min == 1) && max == -1) {
+        return AstNode::Repeat(std::move(child), min, max);
+      }
+      if (min == 0 && max == 1) {
+        return AstNode::Repeat(std::move(child), 0, 1);
+      }
+      *budget -= min;
+      if (*budget < 0) {
+        return Status::CapacityExceeded("pattern expansion too large");
+      }
+      std::vector<AstNodePtr> parts;
+      for (int i = 0; i < min; ++i) parts.push_back(child->Clone());
+      if (max == -1) {
+        parts.push_back(AstNode::Repeat(child->Clone(), 0, -1));
+      } else {
+        for (int i = min; i < max; ++i) {
+          parts.push_back(AstNode::Repeat(child->Clone(), 0, 1));
+        }
+      }
+      if (parts.empty()) return AstNode::Empty();
+      return AstNode::Concat(std::move(parts));
+    }
+  }
+  return Status::Internal("unknown AST node");
+}
+
+class Extractor {
+ public:
+  explicit Extractor(const CompileOptions& options) : options_(options) {}
+
+  Result<TokenNfa> Run(const AstNode& ast) {
+    if (options_.anchor_start || options_.anchor_end) {
+      return Status::CapacityExceeded(
+          "hardware engine performs unanchored search only");
+    }
+    int budget = kMaxPositions;
+    DOPPIO_ASSIGN_OR_RETURN(AstNodePtr expanded, ExpandRepeats(ast, &budget));
+    DOPPIO_ASSIGN_OR_RETURN(Frag frag, Build(*expanded));
+    if (frag.nullable) {
+      return Status::CapacityExceeded(
+          "pattern matches the empty string; predicate is trivially true "
+          "and not mappable to the hardware engine");
+    }
+    if (frag.last.empty() || positions_.empty()) {
+      return Status::CapacityExceeded("pattern has no matchable tokens");
+    }
+    return Assemble(frag);
+  }
+
+ private:
+  struct Frag {
+    std::vector<int> first;
+    std::vector<int> last;
+    bool nullable = false;
+  };
+
+  struct State {
+    std::set<int> tokens;  // position-token ids, deduped later
+    std::set<int> preds;
+    bool start_gated = false;
+    bool latch = false;
+    bool accept = false;
+    bool alive = true;
+  };
+
+  CharSpec SpecFromSet(CharSet set) const {
+    if (options_.case_insensitive) set.FoldCase();
+    // User-specified collation (§6.4): equivalence classes land in the
+    // character matchers' extra compare registers.
+    for (const auto& [a, b] : options_.collation_equivalents) {
+      if (set.Test(a)) set.Add(b);
+      if (set.Test(b)) set.Add(a);
+    }
+    CharSpec spec;
+    if (set == CharSet::All()) {
+      spec.any = true;
+      return spec;
+    }
+    int run_start = -1;
+    for (int c = 0; c <= 256; ++c) {
+      bool in = c < 256 && set.Test(static_cast<uint8_t>(c));
+      if (in && run_start < 0) run_start = c;
+      if (!in && run_start >= 0) {
+        spec.ranges.push_back(CharSpec::Range{static_cast<uint8_t>(run_start),
+                                              static_cast<uint8_t>(c - 1)});
+        run_start = -1;
+      }
+    }
+    return spec;
+  }
+
+  void AppendToChain(HwToken* chain, const AstNode& node) const {
+    if (node.kind == AstKind::kLiteral) {
+      for (char c : node.literal) {
+        chain->chain.push_back(
+            SpecFromSet(CharSet::Single(static_cast<uint8_t>(c))));
+      }
+    } else {
+      chain->chain.push_back(SpecFromSet(node.char_class));
+    }
+  }
+
+  Result<int> NewPosition(HwToken token) {
+    if (static_cast<int>(positions_.size()) >= kMaxPositions) {
+      return Status::CapacityExceeded("too many token positions");
+    }
+    if (token.length() > 64) {
+      return Status::CapacityExceeded(
+          "token chain exceeds the 64-matcher shift-register depth");
+    }
+    positions_.push_back(std::move(token));
+    pos_latch_.push_back(false);
+    follow_.emplace_back();
+    return static_cast<int>(positions_.size()) - 1;
+  }
+
+  void Connect(const std::vector<int>& from, const std::vector<int>& to) {
+    for (int q : from) {
+      for (int p : to) follow_[static_cast<size_t>(q)].insert(p);
+    }
+  }
+
+  Frag ConcatFrags(Frag a, const Frag& b) {
+    Connect(a.last, b.first);
+    Frag out;
+    out.first = a.first;
+    if (a.nullable) {
+      out.first.insert(out.first.end(), b.first.begin(), b.first.end());
+    }
+    out.last = b.last;
+    if (b.nullable) {
+      out.last.insert(out.last.end(), a.last.begin(), a.last.end());
+    }
+    out.nullable = a.nullable && b.nullable;
+    return out;
+  }
+
+  Result<Frag> Build(const AstNode& node) {
+    switch (node.kind) {
+      case AstKind::kEmpty:
+        return Frag{{}, {}, true};
+      case AstKind::kLiteral:
+      case AstKind::kCharClass: {
+        HwToken token;
+        AppendToChain(&token, node);
+        if (token.chain.empty()) return Frag{{}, {}, true};  // empty literal
+        DOPPIO_ASSIGN_OR_RETURN(int p, NewPosition(std::move(token)));
+        return Frag{{p}, {p}, false};
+      }
+      case AstKind::kConcat: {
+        Frag acc{{}, {}, true};
+        // Flatten nested concatenations (bounded-repeat expansion creates
+        // them) so literal/class runs merge across the nesting into one
+        // token chain.
+        std::vector<const AstNode*> children;
+        CollectConcatChildren(node, &children);
+        size_t i = 0;
+        while (i < children.size()) {
+          const AstNode& child = *children[i];
+          if (IsDotStar(child)) {
+            // '.*' glue: latch the states currently able to end the prefix.
+            // Leading '.*' (empty last set) is a no-op: search is
+            // unanchored anyway.
+            for (int p : acc.last) pos_latch_[static_cast<size_t>(p)] = true;
+            ++i;
+            continue;
+          }
+          if (IsChainable(child)) {
+            // Character-sequence optimization (§6.3): collapse the maximal
+            // run of literals/classes into one token chain.
+            HwToken token;
+            while (i < children.size() && IsChainable(*children[i])) {
+              AppendToChain(&token, *children[i]);
+              ++i;
+            }
+            if (token.chain.empty()) continue;  // run of empty literals
+            DOPPIO_ASSIGN_OR_RETURN(int p, NewPosition(std::move(token)));
+            acc = ConcatFrags(std::move(acc), Frag{{p}, {p}, false});
+            continue;
+          }
+          DOPPIO_ASSIGN_OR_RETURN(Frag sub, Build(child));
+          acc = ConcatFrags(std::move(acc), sub);
+          ++i;
+        }
+        return acc;
+      }
+      case AstKind::kAlternate: {
+        Frag out{{}, {}, false};
+        for (const auto& child : node.children) {
+          DOPPIO_ASSIGN_OR_RETURN(Frag sub, Build(*child));
+          out.first.insert(out.first.end(), sub.first.begin(),
+                           sub.first.end());
+          out.last.insert(out.last.end(), sub.last.begin(), sub.last.end());
+          out.nullable = out.nullable || sub.nullable;
+        }
+        return out;
+      }
+      case AstKind::kRepeat: {
+        // Only *, +, ? reach here (bounded forms were expanded).
+        if (IsDotStar(node)) {
+          // Bare '.*' outside a concat: nullable glue with no positions.
+          return Frag{{}, {}, true};
+        }
+        DOPPIO_ASSIGN_OR_RETURN(Frag sub, Build(*node.children[0]));
+        if (node.repeat_max == -1) {
+          Connect(sub.last, sub.first);  // loop back (re-trigger)
+        }
+        sub.nullable = sub.nullable || node.repeat_min == 0;
+        return sub;
+      }
+    }
+    return Status::Internal("unknown AST node");
+  }
+
+  // Builds states from positions, merges equivalent ones, dedupes tokens.
+  Result<TokenNfa> Assemble(const Frag& frag) {
+    const size_t n = positions_.size();
+    std::vector<State> states(n);
+    std::set<int> first_set(frag.first.begin(), frag.first.end());
+    for (size_t p = 0; p < n; ++p) {
+      states[p].tokens.insert(static_cast<int>(p));
+      states[p].latch = pos_latch_[p];
+      states[p].start_gated = first_set.count(static_cast<int>(p)) > 0;
+    }
+    for (size_t q = 0; q < n; ++q) {
+      for (int p : follow_[q]) {
+        if (!states[static_cast<size_t>(p)].start_gated) {
+          states[static_cast<size_t>(p)].preds.insert(static_cast<int>(q));
+        }
+      }
+    }
+    for (int p : frag.last) states[static_cast<size_t>(p)].accept = true;
+
+    MergeEquivalentStates(&states);
+    return Materialize(states);
+  }
+
+  static std::set<int> NormalizeSelf(const std::set<int>& in, int self) {
+    std::set<int> out;
+    for (int v : in) out.insert(v == self ? -1 : v);
+    return out;
+  }
+
+  void MergeEquivalentStates(std::vector<State>* states) const {
+    const int n = static_cast<int>(states->size());
+    // Successor sets (rebuilt after each merge round).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::set<int>> succs(static_cast<size_t>(n));
+      for (int s = 0; s < n; ++s) {
+        if (!(*states)[static_cast<size_t>(s)].alive) continue;
+        for (int p : (*states)[static_cast<size_t>(s)].preds) {
+          succs[static_cast<size_t>(p)].insert(s);
+        }
+      }
+      for (int a = 0; a < n && !changed; ++a) {
+        State& sa = (*states)[static_cast<size_t>(a)];
+        if (!sa.alive) continue;
+        for (int b = a + 1; b < n; ++b) {
+          State& sb = (*states)[static_cast<size_t>(b)];
+          if (!sb.alive) continue;
+          if (sa.latch != sb.latch || sa.accept != sb.accept ||
+              sa.start_gated != sb.start_gated) {
+            continue;
+          }
+          // No cross references (other than self loops).
+          if (sa.preds.count(b) != 0 || sb.preds.count(a) != 0) continue;
+          if (NormalizeSelf(sa.preds, a) != NormalizeSelf(sb.preds, b)) {
+            continue;
+          }
+          if (NormalizeSelf(succs[static_cast<size_t>(a)], a) !=
+              NormalizeSelf(succs[static_cast<size_t>(b)], b)) {
+            continue;
+          }
+          // Merge b into a.
+          sa.tokens.insert(sb.tokens.begin(), sb.tokens.end());
+          bool b_self = sb.preds.count(b) != 0;
+          sb.alive = false;
+          if (b_self) sa.preds.insert(a);
+          for (int s = 0; s < n; ++s) {
+            State& st = (*states)[static_cast<size_t>(s)];
+            if (!st.alive) continue;
+            if (st.preds.erase(b) != 0) st.preds.insert(a);
+          }
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  Result<TokenNfa> Materialize(const std::vector<State>& states) const {
+    // Order states: non-accept first, accept last (paper: the end state is
+    // the highest-indexed one).
+    std::vector<int> order;
+    for (size_t s = 0; s < states.size(); ++s) {
+      if (states[s].alive && !states[s].accept) {
+        order.push_back(static_cast<int>(s));
+      }
+    }
+    for (size_t s = 0; s < states.size(); ++s) {
+      if (states[s].alive && states[s].accept) {
+        order.push_back(static_cast<int>(s));
+      }
+    }
+    std::map<int, int> remap;
+    for (size_t i = 0; i < order.size(); ++i) {
+      remap[order[i]] = static_cast<int>(i);
+    }
+
+    TokenNfa nfa;
+    std::map<std::vector<CharSpec>, int> token_ids;
+    auto intern_token = [&](const HwToken& token) {
+      auto it = token_ids.find(token.chain);
+      if (it != token_ids.end()) return it->second;
+      int id = static_cast<int>(nfa.tokens.size());
+      nfa.tokens.push_back(token);
+      token_ids[token.chain] = id;
+      return id;
+    };
+
+    for (int old_id : order) {
+      const State& st = states[static_cast<size_t>(old_id)];
+      HwState out;
+      std::set<int> trigger_set;
+      for (int pos : st.tokens) {
+        trigger_set.insert(intern_token(positions_[static_cast<size_t>(pos)]));
+      }
+      out.trigger_tokens.assign(trigger_set.begin(), trigger_set.end());
+      for (int p : st.preds) {
+        out.pred_states.push_back(remap.at(p));
+      }
+      std::sort(out.pred_states.begin(), out.pred_states.end());
+      out.latch = st.latch;
+      out.accept = st.accept;
+      nfa.states.push_back(std::move(out));
+    }
+    DOPPIO_RETURN_NOT_OK(nfa.Validate());
+    return nfa;
+  }
+
+  const CompileOptions& options_;
+  std::vector<HwToken> positions_;
+  std::vector<bool> pos_latch_;
+  std::vector<std::set<int>> follow_;
+};
+
+}  // namespace
+
+Result<TokenNfa> ExtractTokenNfa(const AstNode& ast,
+                                 const CompileOptions& options) {
+  return Extractor(options).Run(ast);
+}
+
+Result<TokenNfa> ExtractTokenNfa(std::string_view pattern,
+                                 const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(AstNodePtr ast, ParsePattern(pattern));
+  return ExtractTokenNfa(*ast, options);
+}
+
+}  // namespace doppio

@@ -1,0 +1,38 @@
+// Compiles a pattern AST into the token-level NFA of the hardware PU
+// (paper §6.2-6.3).
+//
+// The pipeline is:
+//   1. bounded repetitions are expanded by duplication ({n}, {n,m});
+//   2. a Glushkov-style construction over *token occurrences*: maximal
+//      literal/class runs inside a concatenation collapse into one token
+//      chain (the character-sequence optimization of §6.3), and '.*' glue
+//      becomes the latch flag on the preceding states — costing no
+//      character matchers;
+//   3. equivalent states are merged, which is what maps (Blue|Gray) onto a
+//      single state with two trigger tokens;
+//   4. identical token chains are deduplicated.
+//
+// Patterns the hardware cannot express (anchored searches, patterns that
+// match the empty string) fail with CapacityExceeded — the same signal an
+// over-capacity pattern produces — so callers uniformly fall back to
+// software or hybrid execution.
+#pragma once
+
+#include "common/status.h"
+#include "regex/matcher.h"
+#include "regex/pattern_ast.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+
+/// Extracts the token NFA. The result is unbounded — checking it against a
+/// deployed PU geometry (max characters / max states) happens in the
+/// hardware config compiler.
+Result<TokenNfa> ExtractTokenNfa(const AstNode& ast,
+                                 const CompileOptions& options = {});
+
+/// Convenience: parse + extract.
+Result<TokenNfa> ExtractTokenNfa(std::string_view pattern,
+                                 const CompileOptions& options = {});
+
+}  // namespace doppio

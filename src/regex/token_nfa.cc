@@ -1,0 +1,154 @@
+#include "regex/token_nfa.h"
+
+#include <sstream>
+
+namespace doppio {
+
+std::string TokenNfa::ToString() const {
+  std::ostringstream out;
+  auto spec_str = [](const CharSpec& spec) {
+    if (spec.any) return std::string(".");
+    std::string s;
+    if (spec.ranges.size() > 1 ||
+        (spec.ranges.size() == 1 && spec.ranges[0].lo != spec.ranges[0].hi)) {
+      s.push_back('[');
+      for (const auto& r : spec.ranges) {
+        s.push_back(static_cast<char>(r.lo));
+        if (r.hi != r.lo) {
+          s.push_back('-');
+          s.push_back(static_cast<char>(r.hi));
+        }
+      }
+      s.push_back(']');
+    } else if (!spec.ranges.empty()) {
+      s.push_back(static_cast<char>(spec.ranges[0].lo));
+    }
+    return s;
+  };
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    out << "T" << t << " = ";
+    for (const CharSpec& spec : tokens[t].chain) out << spec_str(spec);
+    out << "\n";
+  }
+  for (size_t s = 0; s < states.size(); ++s) {
+    const HwState& state = states[s];
+    out << "S" << s << ": triggers={";
+    for (size_t i = 0; i < state.trigger_tokens.size(); ++i) {
+      out << (i > 0 ? "," : "") << "T" << state.trigger_tokens[i];
+    }
+    out << "} preds={";
+    for (size_t i = 0; i < state.pred_states.size(); ++i) {
+      out << (i > 0 ? "," : "") << "S" << state.pred_states[i];
+    }
+    out << "}";
+    if (state.latch) out << " latch";
+    if (state.accept) out << " accept";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status TokenNfa::Validate() const {
+  if (states.empty()) return Status::Internal("token NFA without states");
+  bool has_accept = false;
+  for (const HwState& state : states) {
+    if (state.accept) has_accept = true;
+    if (state.trigger_tokens.empty()) {
+      return Status::Internal("state without trigger tokens");
+    }
+    for (int t : state.trigger_tokens) {
+      if (t < 0 || t >= static_cast<int>(tokens.size())) {
+        return Status::Internal("trigger token index out of range");
+      }
+    }
+    for (int p : state.pred_states) {
+      if (p < 0 || p >= static_cast<int>(states.size())) {
+        return Status::Internal("predecessor state index out of range");
+      }
+    }
+  }
+  if (!has_accept) return Status::Internal("token NFA without accept state");
+  for (const HwToken& token : tokens) {
+    if (token.chain.empty()) return Status::Internal("empty token chain");
+    if (token.length() > 64) {
+      return Status::Internal("token chain exceeds 64 matchers");
+    }
+    for (const CharSpec& spec : token.chain) {
+      if (!spec.any && spec.ranges.empty()) {
+        return Status::Internal("empty character spec");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+TokenNfaMatcher::TokenNfaMatcher(TokenNfa nfa) : nfa_(std::move(nfa)) {
+  // One edge instance per (trigger token, state) pair. Each edge carries
+  // its own chain progress, which models the per-state gating of the chain
+  // start (equivalently: the hardware's predecessor-delay registers).
+  for (size_t s = 0; s < nfa_.states.size(); ++s) {
+    for (int t : nfa_.states[s].trigger_tokens) {
+      Edge e;
+      e.token = t;
+      e.state = static_cast<int>(s);
+      e.chain_len = nfa_.tokens[static_cast<size_t>(t)].length();
+      e.fired_bit = uint64_t{1} << (e.chain_len - 1);
+      edges_.push_back(e);
+    }
+  }
+}
+
+MatchResult TokenNfaMatcher::Find(std::string_view input) const {
+  const size_t num_states = nfa_.states.size();
+  std::vector<uint64_t> progress(edges_.size(), 0);
+  std::vector<uint8_t> active(num_states, 0);
+  std::vector<uint8_t> next_active(num_states, 0);
+
+  for (size_t i = 0; i < input.size(); ++i) {
+    uint8_t byte = static_cast<uint8_t>(input[i]);
+    std::fill(next_active.begin(), next_active.end(), 0);
+
+    for (size_t e = 0; e < edges_.size(); ++e) {
+      const Edge& edge = edges_[e];
+      const HwState& state = nfa_.states[static_cast<size_t>(edge.state)];
+      // Gate: chain may start this cycle if a predecessor was active at
+      // the end of the previous cycle (or the state is start-gated).
+      uint64_t gate = 1;
+      if (!state.pred_states.empty()) {
+        gate = 0;
+        for (int p : state.pred_states) {
+          if (active[static_cast<size_t>(p)] != 0) {
+            gate = 1;
+            break;
+          }
+        }
+      }
+      // Advance the chain: each set bit is an in-flight partial match.
+      uint64_t shifted = (progress[e] << 1) | gate;
+      // Mask by which chain positions match the current byte.
+      const HwToken& token = nfa_.tokens[static_cast<size_t>(edge.token)];
+      uint64_t mask = 0;
+      for (int j = 0; j < edge.chain_len; ++j) {
+        if (token.chain[static_cast<size_t>(j)].Test(byte)) {
+          mask |= uint64_t{1} << j;
+        }
+      }
+      progress[e] = shifted & mask;
+      if ((progress[e] & edge.fired_bit) != 0) {
+        next_active[static_cast<size_t>(edge.state)] = 1;
+      }
+    }
+    for (size_t s = 0; s < num_states; ++s) {
+      if (nfa_.states[s].latch && active[s] != 0) next_active[s] = 1;
+    }
+    std::swap(active, next_active);
+    for (size_t s = 0; s < num_states; ++s) {
+      if (nfa_.states[s].accept && active[s] != 0) {
+        return MatchResult{true, static_cast<int32_t>(i + 1)};
+      }
+    }
+  }
+  return MatchResult{};
+}
+
+}  // namespace doppio

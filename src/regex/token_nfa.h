@@ -1,0 +1,153 @@
+// Token-level NFA: the abstract machine implemented by the FPGA's
+// Processing Unit (paper §6).
+//
+// A *token* is a chain of Character Matchers — each matching an exact byte
+// (possibly with case/collation alternatives) or a [lo-hi] range, the
+// latter realized by a coupled matcher pair. The *State Graph* is a set of
+// states where
+//   * a state is activated when one of its trigger tokens completes AND one
+//     of its predecessor states was active when that token started
+//     (states with no predecessors are start-gated: always enabled),
+//   * a state with the `latch` flag stays active once activated — this is
+//     how '.*' glue costs no character matchers,
+//   * a state may be its own predecessor (re-trigger), which implements '+'
+//     over a token,
+//   * match is signalled the first time an accept state activates; the
+//     reported value is the 1-based position of the match's last character.
+//
+// TokenNfaMatcher executes these semantics in plain software and is the
+// reference model the cycle-level PU simulator is tested against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "regex/matcher.h"
+
+namespace doppio {
+
+/// One Character Matcher position within a token chain.
+struct CharSpec {
+  /// Matches any byte (wildcard '.'); costs a coupled matcher pair.
+  bool any = false;
+  /// Inclusive byte ranges; a single exact byte is {c, c}. A spec with k
+  /// entries needs k compare registers (2 per true range via pairing).
+  struct Range {
+    uint8_t lo;
+    uint8_t hi;
+    auto operator<=>(const Range&) const = default;
+  };
+  std::vector<Range> ranges;
+
+  bool Test(uint8_t c) const {
+    if (any) return true;
+    for (const Range& r : ranges) {
+      if (c >= r.lo && c <= r.hi) return true;
+    }
+    return false;
+  }
+
+  /// Character-matcher slots consumed (paper §6.3: a range couples two
+  /// matchers; an exact byte uses one). Case/collation alternatives are
+  /// free: every deployed matcher carries the extra compare registers
+  /// whether or not a query uses them (paper §6.4), so a pair of
+  /// single-byte ranges that are case counterparts costs one slot.
+  int MatcherCost() const {
+    if (any) return 2;
+    int cost = 0;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      const Range& r = ranges[i];
+      if (r.lo != r.hi) {
+        cost += 2;
+        continue;
+      }
+      // Case-counterpart single byte already charged with its partner?
+      bool is_collation_alt = false;
+      for (size_t j = 0; j < i; ++j) {
+        const Range& p = ranges[j];
+        if (p.lo == p.hi && (p.lo ^ 0x20) == r.lo) {
+          is_collation_alt = true;
+          break;
+        }
+      }
+      if (!is_collation_alt) cost += 1;
+    }
+    return cost;
+  }
+
+  auto operator<=>(const CharSpec&) const = default;
+};
+
+struct HwToken {
+  std::vector<CharSpec> chain;
+
+  int length() const { return static_cast<int>(chain.size()); }
+  int MatcherCost() const {
+    int cost = 0;
+    for (const CharSpec& spec : chain) cost += spec.MatcherCost();
+    return cost;
+  }
+  auto operator<=>(const HwToken&) const = default;
+};
+
+struct HwState {
+  /// Tokens whose completion can activate this state.
+  std::vector<int> trigger_tokens;
+  /// Predecessor states gating the trigger chains; empty = start-gated.
+  /// May contain the state's own index (re-trigger / '+').
+  std::vector<int> pred_states;
+  bool latch = false;
+  bool accept = false;
+};
+
+/// The runtime-parameterizable program of one Processing Unit.
+struct TokenNfa {
+  std::vector<HwToken> tokens;
+  std::vector<HwState> states;
+
+  int NumStates() const { return static_cast<int>(states.size()); }
+  /// Total character-matcher slots the configuration occupies.
+  int TotalMatchers() const {
+    int cost = 0;
+    for (const HwToken& t : tokens) cost += t.MatcherCost();
+    return cost;
+  }
+  /// Longest token chain (bounds the PU shift-register depth).
+  int MaxChainLength() const {
+    int len = 0;
+    for (const HwToken& t : tokens) len = std::max(len, t.length());
+    return len;
+  }
+
+  /// Human-readable dump for debugging and golden tests.
+  std::string ToString() const;
+
+  /// Structural sanity checks (indices in range, accept reachable, ...).
+  Status Validate() const;
+};
+
+/// Software execution of the PU semantics (the reference model).
+class TokenNfaMatcher : public StringMatcher {
+ public:
+  explicit TokenNfaMatcher(TokenNfa nfa);
+
+  MatchResult Find(std::string_view input) const override;
+
+  const TokenNfa& nfa() const { return nfa_; }
+
+ private:
+  struct Edge {
+    int token;
+    int state;
+    int chain_len;
+    uint64_t fired_bit;
+  };
+
+  TokenNfa nfa_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace doppio

@@ -1,0 +1,60 @@
+// Statement AST for the supported SQL subset:
+//
+//   SELECT <items> FROM <table-ref>
+//     [LEFT OUTER JOIN <table> ON <expr>]
+//     [WHERE <expr>] [GROUP BY <cols>]
+//     [ORDER BY <col> [ASC|DESC], ...] [LIMIT n]
+//
+// where a table-ref is a base table or a derived table
+// `(SELECT ...) AS alias (col_aliases...)` — enough for all queries in the
+// paper's evaluation, including TPC-H Q13.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/expression.h"
+
+namespace doppio {
+namespace sql {
+
+struct SelectStmt;
+
+struct TableRef {
+  std::string table_name;                 // base table (empty if subquery)
+  std::unique_ptr<SelectStmt> subquery;   // derived table
+  std::string alias;
+  std::vector<std::string> column_aliases;
+};
+
+enum class JoinType { kInner, kLeftOuter };
+
+struct JoinClause {
+  JoinType type = JoinType::kInner;
+  TableRef right;
+  ExprPtr on;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct OrderItem {
+  std::string column;  // output-column name or alias
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+}  // namespace sql
+}  // namespace doppio

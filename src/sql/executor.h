@@ -1,0 +1,43 @@
+// Query executor over the column-store engine.
+//
+// MonetDB-style operator-at-a-time execution: every stage fully
+// materializes its result. The string predicates of a WHERE / ON clause
+// run as bulk operators (LIKE fast path, PCRE backtracking, CONTAINS
+// index, or the REGEXP_FPGA HUDF); residual predicates run as compiled row
+// closures.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "db/column_store.h"
+#include "db/engine_stats.h"
+#include "db/result_set.h"
+#include "sql/ast.h"
+
+namespace doppio {
+namespace sql {
+
+struct QueryOutcome {
+  ResultSet result;
+  QueryStats stats;
+};
+
+/// Parses and executes `sql_text` against the engine's catalog.
+Result<QueryOutcome> ExecuteQuery(ColumnStoreEngine* engine,
+                                  std::string_view sql_text);
+
+/// Executes an already-parsed statement.
+Result<QueryOutcome> ExecuteStatement(ColumnStoreEngine* engine,
+                                      const SelectStmt& stmt);
+
+/// Renders the logical plan of a statement without executing it: table
+/// cardinalities, join keys, how each WHERE/ON conjunct is served (string
+/// fast path vs residual row predicate), grouping, ordering. The paper's
+/// §9 complains the optimizer cannot see into a UDF; this is the
+/// corresponding visibility on our side.
+Result<std::string> ExplainQuery(ColumnStoreEngine* engine,
+                                 std::string_view sql_text);
+
+}  // namespace sql
+}  // namespace doppio

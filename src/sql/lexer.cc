@@ -1,0 +1,139 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace doppio {
+namespace sql {
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("SQL lex error at byte " + std::to_string(i) +
+                              ": " + msg);
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) != 0 ||
+              input[i] == '_')) {
+        ++i;
+      }
+      token.kind = TokenKind::kIdent;
+      token.raw = std::string(input.substr(start, i - start));
+      token.text.reserve(token.raw.size());
+      for (char rc : token.raw) {
+        token.text.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(rc))));
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = i;
+      int64_t value = 0;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i])) != 0) {
+        value = value * 10 + (input[i] - '0');
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.number = value;
+      token.raw = std::string(input.substr(start, i - start));
+      token.text = token.raw;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            value.push_back('\'');  // '' escape
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return error("unterminated string literal");
+      token.kind = TokenKind::kString;
+      token.text = value;
+      token.raw = value;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Operators and punctuation.
+    auto symbol = [&](std::string sym) {
+      token.kind = TokenKind::kSymbol;
+      token.text = sym;
+      token.raw = sym;
+      i += sym.size();
+      tokens.push_back(std::move(token));
+    };
+    if (c == '<') {
+      if (i + 1 < input.size() && input[i + 1] == '>') {
+        symbol("<>");
+      } else if (i + 1 < input.size() && input[i + 1] == '=') {
+        symbol("<=");
+      } else {
+        symbol("<");
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        symbol(">=");
+      } else {
+        symbol(">");
+      }
+      continue;
+    }
+    if (c == '!' && i + 1 < input.size() && input[i + 1] == '=') {
+      symbol("!=");
+      tokens.back().text = "<>";  // normalize
+      continue;
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case ';':
+      case '*':
+      case '.':
+      case '=':
+        symbol(std::string(1, c));
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace doppio

@@ -1,0 +1,44 @@
+// SQL lexer: identifiers/keywords (case-insensitive), 'string' literals
+// with '' escaping, integer literals, and the operator/punctuation set the
+// dialect needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace doppio {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kNumber,
+  kSymbol,  // ( ) , ; * . = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;       // identifier (lowercased) or symbol spelling
+  std::string raw;        // original spelling
+  int64_t number = 0;     // kNumber
+  size_t position = 0;    // byte offset, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kIdent && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a statement. Keywords are not distinguished from identifiers
+/// (the parser checks the lowercased text).
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace sql
+}  // namespace doppio

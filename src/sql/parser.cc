@@ -1,0 +1,292 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace doppio {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseStatement() {
+    DOPPIO_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectStmt());
+    Match(";");
+    if (!Peek().IsKeyword("") && Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Match(std::string_view symbol_or_kw) {
+    const Token& t = Peek();
+    if (t.IsSymbol(symbol_or_kw) || t.IsKeyword(symbol_or_kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("SQL parse error near byte " +
+                              std::to_string(Peek().position) + ": " + msg);
+  }
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(const std::string& word) {
+    static const char* kReserved[] = {
+        "select", "from",  "where", "group", "order", "by",    "limit",
+        "and",    "or",    "not",   "like",  "ilike", "as",    "left",
+        "right",  "inner", "outer", "join",  "on",    "asc",   "desc",
+    };
+    for (const char* kw : kReserved) {
+      if (word == kw) return true;
+    }
+    return false;
+  }
+
+  Result<SelectStmt> ParseSelectStmt() {
+    if (!Match("select")) return Error("expected SELECT");
+    SelectStmt stmt;
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      DOPPIO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Match("as")) {
+        DOPPIO_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+      }
+      stmt.items.push_back(std::move(item));
+      if (!Match(",")) break;
+    }
+
+    if (!Match("from")) return Error("expected FROM");
+    DOPPIO_ASSIGN_OR_RETURN(stmt.from, ParseTableRef());
+
+    // Joins.
+    while (true) {
+      JoinType type;
+      if (Peek().IsKeyword("left")) {
+        Advance();
+        Match("outer");
+        if (!Match("join")) return Error("expected JOIN after LEFT OUTER");
+        type = JoinType::kLeftOuter;
+      } else if (Peek().IsKeyword("inner")) {
+        Advance();
+        if (!Match("join")) return Error("expected JOIN after INNER");
+        type = JoinType::kInner;
+      } else if (Peek().IsKeyword("join")) {
+        Advance();
+        type = JoinType::kInner;
+      } else {
+        break;
+      }
+      JoinClause join;
+      join.type = type;
+      DOPPIO_ASSIGN_OR_RETURN(join.right, ParseTableRef());
+      if (!Match("on")) return Error("expected ON");
+      DOPPIO_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+
+    if (Match("where")) {
+      DOPPIO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (Match("group")) {
+      if (!Match("by")) return Error("expected BY after GROUP");
+      while (true) {
+        DOPPIO_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdent("group-by column"));
+        stmt.group_by.push_back(std::move(col));
+        if (!Match(",")) break;
+      }
+    }
+    if (Match("order")) {
+      if (!Match("by")) return Error("expected BY after ORDER");
+      while (true) {
+        OrderItem item;
+        DOPPIO_ASSIGN_OR_RETURN(item.column, ExpectIdent("order-by column"));
+        if (Match("desc")) {
+          item.descending = true;
+        } else {
+          Match("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!Match(",")) break;
+      }
+    }
+    if (Match("limit")) {
+      if (Peek().kind != TokenKind::kNumber) return Error("expected number");
+      stmt.limit = Advance().number;
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Match("(")) {
+      auto sub = std::make_unique<SelectStmt>();
+      DOPPIO_ASSIGN_OR_RETURN(*sub, ParseSelectStmt());
+      ref.subquery = std::move(sub);
+      if (!Match(")")) return Error("expected ')' after subquery");
+      Match("as");
+      DOPPIO_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("subquery alias"));
+      if (Match("(")) {
+        while (true) {
+          DOPPIO_ASSIGN_OR_RETURN(std::string col,
+                                  ExpectIdent("column alias"));
+          ref.column_aliases.push_back(std::move(col));
+          if (!Match(",")) break;
+        }
+        if (!Match(")")) return Error("expected ')' after column aliases");
+      }
+      return ref;
+    }
+    DOPPIO_ASSIGN_OR_RETURN(ref.table_name, ExpectIdent("table name"));
+    if (Match("as")) {
+      DOPPIO_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
+    } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // expr := or
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DOPPIO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Match("or")) {
+      DOPPIO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DOPPIO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Match("and")) {
+      DOPPIO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Match("not")) {
+      DOPPIO_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Expr::Not(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DOPPIO_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+
+    // [NOT] LIKE / ILIKE
+    bool negated = false;
+    if (Peek().IsKeyword("not") &&
+        (Peek(1).IsKeyword("like") || Peek(1).IsKeyword("ilike"))) {
+      Advance();
+      negated = true;
+    }
+    if (Peek().IsKeyword("like") || Peek().IsKeyword("ilike")) {
+      bool ci = Peek().IsKeyword("ilike");
+      Advance();
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected string literal after LIKE");
+      }
+      std::string pattern = Advance().text;
+      return Expr::Like(std::move(lhs), std::move(pattern), negated, ci);
+    }
+    if (negated) return Error("expected LIKE after NOT");
+
+    static const std::pair<const char*, BinOp> kOps[] = {
+        {"=", BinOp::kEq}, {"<>", BinOp::kNe}, {"<=", BinOp::kLe},
+        {"<", BinOp::kLt}, {">=", BinOp::kGe}, {">", BinOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (Peek().IsSymbol(sym)) {
+        Advance();
+        DOPPIO_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        return Expr::Binary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      return Expr::Int(t.number);
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return Expr::Str(t.text);
+    }
+    if (t.IsSymbol("*")) {
+      Advance();
+      return Expr::Star();
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      DOPPIO_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      if (!Match(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (IsReserved(t.text)) {
+        return Error("unexpected keyword '" + t.text + "'");
+      }
+      std::string name = Advance().text;
+      // Function call?
+      if (Peek().IsSymbol("(")) {
+        Advance();
+        std::vector<ExprPtr> args;
+        if (!Peek().IsSymbol(")")) {
+          while (true) {
+            DOPPIO_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!Match(",")) break;
+          }
+        }
+        if (!Match(")")) return Error("expected ')' after arguments");
+        return Expr::Func(std::move(name), std::move(args));
+      }
+      // Qualified column a.b -> b (schemas here have unique column names).
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        DOPPIO_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        return Expr::Column(std::move(col));
+      }
+      return Expr::Column(std::move(name));
+    }
+    return Error("unexpected token in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(std::string_view input) {
+  DOPPIO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return Parser(std::move(tokens)).ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace doppio

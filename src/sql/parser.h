@@ -1,0 +1,15 @@
+// Recursive-descent parser for the SQL subset (see sql/ast.h).
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace doppio {
+namespace sql {
+
+Result<SelectStmt> ParseSelect(std::string_view input);
+
+}  // namespace sql
+}  // namespace doppio

@@ -1,0 +1,192 @@
+#include "sql/planner.h"
+
+namespace doppio {
+namespace sql {
+
+namespace {
+
+// Recognizes a regexp-style function call and determines (column, pattern).
+// Both argument orders appear in the paper (REGEXP_LIKE('Strasse', col) in
+// §4.1, REGEXP_LIKE(col, '...') in the evaluation queries), so both are
+// accepted.
+bool MatchRegexpCall(const Expr& expr, const std::string& fn,
+                     std::string* column, std::string* pattern) {
+  if (expr.kind != ExprKind::kFunc || expr.name != fn ||
+      expr.args.size() != 2) {
+    return false;
+  }
+  const Expr& a = *expr.args[0];
+  const Expr& b = *expr.args[1];
+  if (a.kind == ExprKind::kColumn && b.kind == ExprKind::kStringLiteral) {
+    *column = a.name;
+    *pattern = b.str_value;
+    return true;
+  }
+  if (a.kind == ExprKind::kStringLiteral && b.kind == ExprKind::kColumn) {
+    *column = b.name;
+    *pattern = a.str_value;
+    return true;
+  }
+  return false;
+}
+
+// expr compared against zero: returns +1 for "<> 0", -1 for "= 0", 0 for
+// no match; sets `call` to the function-call side.
+int MatchZeroComparison(const Expr& expr, const Expr** call) {
+  if (expr.kind != ExprKind::kBinary ||
+      (expr.op != BinOp::kNe && expr.op != BinOp::kEq)) {
+    return 0;
+  }
+  const Expr* lhs = expr.args[0].get();
+  const Expr* rhs = expr.args[1].get();
+  const Expr* fn = nullptr;
+  const Expr* zero = nullptr;
+  if (lhs->kind == ExprKind::kFunc) {
+    fn = lhs;
+    zero = rhs;
+  } else if (rhs->kind == ExprKind::kFunc) {
+    fn = rhs;
+    zero = lhs;
+  } else {
+    return 0;
+  }
+  if (zero->kind != ExprKind::kIntLiteral || zero->int_value != 0) return 0;
+  *call = fn;
+  return expr.op == BinOp::kNe ? +1 : -1;
+}
+
+bool RecognizeInner(const Expr& expr, bool negated,
+                    FastStringPredicate* out) {
+  // NOT <predicate>
+  if (expr.kind == ExprKind::kNot) {
+    return RecognizeInner(*expr.args[0], !negated, out);
+  }
+
+  // col [NOT] LIKE / ILIKE 'pattern'
+  if (expr.kind == ExprKind::kLike &&
+      expr.args[0]->kind == ExprKind::kColumn) {
+    out->column = expr.args[0]->name;
+    out->spec.op = StringFilterSpec::Op::kLike;
+    out->spec.pattern = expr.str_value;
+    out->spec.case_insensitive = expr.like_case_insensitive;
+    out->spec.negated = expr.like_negated != negated;
+    return true;
+  }
+
+  std::string column;
+  std::string pattern;
+
+  // REGEXP_LIKE(col, 'pat') as a boolean predicate.
+  if (MatchRegexpCall(expr, "regexp_like", &column, &pattern)) {
+    out->column = column;
+    out->spec.op = StringFilterSpec::Op::kRegexpLike;
+    out->spec.pattern = pattern;
+    out->spec.negated = negated;
+    return true;
+  }
+  // Bare REGEXP_FPGA / REGEXP_HYBRID used as predicates. The _CI variants
+  // select the case-insensitive collation registers (paper §6.4: the
+  // hardware provides collations without any performance cost).
+  if (MatchRegexpCall(expr, "regexp_fpga", &column, &pattern)) {
+    out->column = column;
+    out->spec.op = StringFilterSpec::Op::kRegexpFpga;
+    out->spec.pattern = pattern;
+    out->spec.negated = negated;
+    return true;
+  }
+  if (MatchRegexpCall(expr, "regexp_fpga_ci", &column, &pattern)) {
+    out->column = column;
+    out->spec.op = StringFilterSpec::Op::kRegexpFpga;
+    out->spec.pattern = pattern;
+    out->spec.case_insensitive = true;
+    out->spec.negated = negated;
+    return true;
+  }
+  if (MatchRegexpCall(expr, "regexp_hybrid", &column, &pattern)) {
+    out->column = column;
+    out->spec.op = StringFilterSpec::Op::kHybrid;
+    out->spec.pattern = pattern;
+    out->spec.negated = negated;
+    return true;
+  }
+  // REGEXP_AUTO: let the engine's cost model pick the strategy.
+  if (MatchRegexpCall(expr, "regexp_auto", &column, &pattern)) {
+    out->column = column;
+    out->spec.op = StringFilterSpec::Op::kAuto;
+    out->spec.pattern = pattern;
+    out->spec.negated = negated;
+    return true;
+  }
+  // CONTAINS(col, 'a & b & c') over the inverted index.
+  if (MatchRegexpCall(expr, "contains", &column, &pattern)) {
+    out->column = column;
+    out->spec.op = StringFilterSpec::Op::kContains;
+    out->spec.pattern = pattern;
+    out->spec.negated = negated;
+    return true;
+  }
+
+  // REGEXP_FPGA('pat', col) <> 0   (the paper's canonical form)
+  const Expr* call = nullptr;
+  int sign = MatchZeroComparison(expr, &call);
+  if (sign != 0 && call != nullptr) {
+    bool effective_negated = (sign < 0) != negated;
+    FastStringPredicate tmp;
+    if (MatchRegexpCall(*call, "regexp_fpga", &column, &pattern)) {
+      tmp.spec.op = StringFilterSpec::Op::kRegexpFpga;
+    } else if (MatchRegexpCall(*call, "regexp_fpga_ci", &column, &pattern)) {
+      tmp.spec.op = StringFilterSpec::Op::kRegexpFpga;
+      tmp.spec.case_insensitive = true;
+    } else if (MatchRegexpCall(*call, "regexp_hybrid", &column, &pattern)) {
+      tmp.spec.op = StringFilterSpec::Op::kHybrid;
+    } else if (MatchRegexpCall(*call, "regexp_auto", &column, &pattern)) {
+      tmp.spec.op = StringFilterSpec::Op::kAuto;
+    } else if (MatchRegexpCall(*call, "regexp_like", &column, &pattern)) {
+      tmp.spec.op = StringFilterSpec::Op::kRegexpLike;
+    } else {
+      return false;
+    }
+    out->column = column;
+    out->spec.op = tmp.spec.op;
+    out->spec.case_insensitive = tmp.spec.case_insensitive;
+    out->spec.pattern = pattern;
+    out->spec.negated = effective_negated;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RecognizeStringPredicate(const Expr& conjunct,
+                              FastStringPredicate* out) {
+  return RecognizeInner(conjunct, /*negated=*/false, out);
+}
+
+Result<PlannedFilter> PlanWhere(ExprPtr where) {
+  PlannedFilter plan;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(std::move(where));
+  std::vector<ExprPtr> residual;
+  for (auto& conjunct : conjuncts) {
+    FastStringPredicate fast;
+    if (RecognizeStringPredicate(*conjunct, &fast)) {
+      fast.original = std::move(conjunct);
+      plan.fast.push_back(std::move(fast));
+    } else {
+      residual.push_back(std::move(conjunct));
+    }
+  }
+  // Re-AND the residual conjuncts.
+  for (auto& conjunct : residual) {
+    if (plan.residual == nullptr) {
+      plan.residual = std::move(conjunct);
+    } else {
+      plan.residual = Expr::Binary(BinOp::kAnd, std::move(plan.residual),
+                                   std::move(conjunct));
+    }
+  }
+  return plan;
+}
+
+}  // namespace sql
+}  // namespace doppio

@@ -1,0 +1,43 @@
+// Predicate planning: decomposes a WHERE/ON conjunction into string-filter
+// fast paths (executed as bulk BAT operators, possibly on the FPGA) and a
+// residual row predicate.
+//
+// This models the slice of query optimization the paper interacts with:
+// recognizing LIKE / REGEXP_LIKE / REGEXP_FPGA / CONTAINS predicates and
+// routing them to the right operator implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/column_store.h"
+#include "sql/expression.h"
+
+namespace doppio {
+namespace sql {
+
+struct FastStringPredicate {
+  std::string column;
+  StringFilterSpec spec;
+  /// The original expression, so the executor can demote the predicate to
+  /// the residual when the fast path does not apply (e.g. derived table).
+  ExprPtr original;
+};
+
+struct PlannedFilter {
+  std::vector<FastStringPredicate> fast;
+  /// AND of everything else; null when fully covered by fast paths.
+  ExprPtr residual;
+};
+
+/// Consumes `where` (may be null) and plans it.
+Result<PlannedFilter> PlanWhere(ExprPtr where);
+
+/// Tries to recognize one conjunct as a string predicate. Returns true and
+/// fills `out` on success (conjunct is consumed); false otherwise
+/// (conjunct is left intact).
+bool RecognizeStringPredicate(const Expr& conjunct, FastStringPredicate* out);
+
+}  // namespace sql
+}  // namespace doppio

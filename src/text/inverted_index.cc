@@ -1,0 +1,94 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace doppio {
+
+Result<std::unique_ptr<InvertedIndex>> InvertedIndex::Build(
+    const Bat& strings) {
+  if (strings.type() != ValueType::kString) {
+    return Status::InvalidArgument("inverted index requires a string column");
+  }
+  auto index = std::unique_ptr<InvertedIndex>(new InvertedIndex());
+  index->num_rows_ = strings.count();
+  for (int64_t row = 0; row < strings.count(); ++row) {
+    std::vector<std::string> words = TokenizeWords(strings.GetString(row));
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (auto& word : words) {
+      index->postings_[std::move(word)].push_back(row);
+    }
+  }
+  return index;
+}
+
+namespace {
+
+// Parses "a & b & c" into its conjunct terms.
+std::vector<std::string> ParseConjunction(std::string_view query) {
+  std::vector<std::string> terms;
+  std::string current;
+  auto flush = [&]() {
+    std::vector<std::string> words = TokenizeWords(current);
+    // A quoted multi-word conjunct degrades to all its words (AND).
+    for (auto& w : words) terms.push_back(std::move(w));
+    current.clear();
+  };
+  for (char c : query) {
+    if (c == '&') {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return terms;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> InvertedIndex::Search(
+    std::string_view query) const {
+  std::vector<std::string> terms = ParseConjunction(query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("CONTAINS query has no terms");
+  }
+  // Gather posting lists; a missing term means an empty result.
+  std::vector<const std::vector<int64_t>*> lists;
+  lists.reserve(terms.size());
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) return std::vector<int64_t>{};
+    lists.push_back(&it->second);
+  }
+  // Intersect smallest-first.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<int64_t> result = *lists[0];
+  std::vector<int64_t> tmp;
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    tmp.clear();
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(tmp));
+    result.swap(tmp);
+  }
+  return result;
+}
+
+Result<int64_t> InvertedIndex::Count(std::string_view query) const {
+  DOPPIO_ASSIGN_OR_RETURN(std::vector<int64_t> rows, Search(query));
+  return static_cast<int64_t>(rows.size());
+}
+
+int64_t InvertedIndex::memory_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& [term, rows] : postings_) {
+    bytes += static_cast<int64_t>(term.size()) + 32;  // node overhead
+    bytes += static_cast<int64_t>(rows.size() * sizeof(int64_t));
+  }
+  return bytes;
+}
+
+}  // namespace doppio

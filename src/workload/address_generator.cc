@@ -1,0 +1,143 @@
+#include "workload/address_generator.h"
+
+#include <array>
+
+namespace doppio {
+
+namespace {
+
+// Vocabulary chosen to avoid the query patterns (see header).
+constexpr std::array<const char*, 12> kFirstNames = {
+    "John",  "Hans",   "Anna",  "Maria",  "Peter", "Julia",
+    "Georg", "Sophie", "Lukas", "Clara",  "Felix", "Laura",
+};
+constexpr std::array<const char*, 12> kLastNames = {
+    "Smith",  "Miller", "Meier",  "Huber",  "Keller", "Graf",
+    "Weber",  "Frei",   "Brunner", "Moser", "Baumann", "Suter",
+};
+// No "Strasse", no "Str." in the base street suffixes.
+constexpr std::array<const char*, 6> kStreetSuffixes = {
+    "Gasse", "Weg", "Platz", "Allee", "Ring", "Road",
+};
+constexpr std::array<const char*, 10> kStreetStems = {
+    "Koblenzer", "Berner",  "Wiener",  "Bremer",   "Kieler",
+    "Mainzer",   "Erfurter", "Jenaer", "Bonner",   "Hagener",
+};
+constexpr std::array<const char*, 10> kCities = {
+    "Frankfurt", "Zuerich", "Wien",     "Hamburg", "Muenchen",
+    "Basel",     "Genf",    "Stuttgart", "Koeln",  "Leipzig",
+};
+constexpr std::array<const char*, 3> kCurrencies = {"USD", "EUR", "GBP"};
+
+// Filler words (lowercase only: cannot create Q1/Q3/Q4 hits).
+constexpr std::array<const char*, 8> kFiller = {
+    "nord", "sued", "ost", "west", "alt", "neu", "gross", "klein",
+};
+
+std::string BaseZip(Rng* rng) {
+  // 5 digits, first digit never '8' (that would enable a Q2 hit).
+  static const char kFirst[] = "1234567 9";
+  char first;
+  do {
+    first = kFirst[rng->NextBounded(9)];
+  } while (first == ' ');
+  std::string zip(1, first);
+  for (int i = 0; i < 4; ++i) {
+    zip.push_back(static_cast<char>('0' + rng->NextBounded(10)));
+  }
+  return zip;
+}
+
+}  // namespace
+
+std::string GenerateAddressString(Rng* rng, const AddressDataOptions& options,
+                                  bool q1_hit, bool q2_hit, bool q3_hit,
+                                  bool q4_hit, bool qh_hit) {
+  std::string out;
+  out += kFirstNames[rng->NextBounded(kFirstNames.size())];
+  out += "|";
+  out += kLastNames[rng->NextBounded(kLastNames.size())];
+  out += "|";
+  out += std::to_string(1 + rng->NextBounded(199));
+  out += " ";
+  out += kStreetStems[rng->NextBounded(kStreetStems.size())];
+  out += " ";
+  if (q1_hit) {
+    out += "Strasse";
+  } else if (q2_hit || qh_hit) {
+    out += "Str.";  // matches Q2's alternation but not Q1's substring
+  } else {
+    out += kStreetSuffixes[rng->NextBounded(kStreetSuffixes.size())];
+  }
+  out += "|";
+  if (q2_hit || qh_hit) {
+    std::string zip = "8";
+    for (int i = 0; i < 4; ++i) {
+      zip.push_back(static_cast<char>('0' + rng->NextBounded(10)));
+    }
+    out += zip;
+  } else {
+    out += BaseZip(rng);
+  }
+  out += "|";
+  out += kCities[rng->NextBounded(kCities.size())];
+  if (q3_hit) {
+    // Amount immediately followed by the currency code, e.g. "42USD".
+    out += "|";
+    out += std::to_string(1 + rng->NextBounded(999));
+    out += kCurrencies[rng->NextBounded(kCurrencies.size())];
+  }
+  if (q4_hit) {
+    out += "|Ref:";
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>('0' + rng->NextBounded(10)));
+    }
+  }
+  if (qh_hit) {
+    out += "|delivery";
+  }
+  // Pad with lowercase filler towards the target length.
+  while (static_cast<int64_t>(out.size()) + 5 <=
+         options.string_length) {
+    out += "|";
+    out += kFiller[rng->NextBounded(kFiller.size())];
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Table>> GenerateAddressTable(
+    const AddressDataOptions& options, const std::string& table_name,
+    BufferAllocator* allocator) {
+  Rng rng(options.seed);
+  const double qh = options.qh_selectivity < 0 ? options.selectivity
+                                               : options.qh_selectivity;
+  const double q2_sel = options.q2_selectivity < 0 ? options.selectivity
+                                                   : options.q2_selectivity;
+
+  auto id_bat = std::make_unique<Bat>(ValueType::kInt32, allocator);
+  auto str_bat = std::make_unique<Bat>(ValueType::kString, allocator);
+  DOPPIO_RETURN_NOT_OK(id_bat->Reserve(options.num_records));
+  DOPPIO_RETURN_NOT_OK(
+      str_bat->Reserve(options.num_records, options.string_length + 16));
+
+  for (int64_t i = 0; i < options.num_records; ++i) {
+    bool q1 = rng.Bernoulli(options.selectivity);
+    bool q2 = !q1 && rng.Bernoulli(q2_sel);
+    bool q3 = rng.Bernoulli(options.selectivity);
+    bool q4 = rng.Bernoulli(options.selectivity);
+    bool qh_hit = !q1 && !q2 && rng.Bernoulli(qh);
+    std::string value =
+        GenerateAddressString(&rng, options, q1, q2, q3, q4, qh_hit);
+    DOPPIO_RETURN_NOT_OK(id_bat->AppendInt32(static_cast<int32_t>(i)));
+    DOPPIO_RETURN_NOT_OK(str_bat->AppendString(value));
+  }
+
+  auto table = std::make_unique<Table>(table_name);
+  DOPPIO_RETURN_NOT_OK(table->AddColumn("id", std::move(id_bat)));
+  DOPPIO_RETURN_NOT_OK(
+      table->AddColumn("address_string", std::move(str_bat)));
+  DOPPIO_RETURN_NOT_OK(table->Validate());
+  return table;
+}
+
+}  // namespace doppio

@@ -1,0 +1,55 @@
+// Synthetic shipment-address workload (paper §7.1.1).
+//
+// Strings follow the paper's format — name|surname|street+number|zip|city
+// concatenated with '|' — and are ~64 bytes by default. Hits for each
+// evaluation query are injected independently, uniformly at random, with a
+// configurable probability (default selectivity 0.2); the base vocabulary
+// is constructed so that a non-hit row cannot accidentally match:
+//   Q1  LIKE '%Strasse%'                 — base streets avoid "Strasse"
+//   Q2  (Strasse|Str\.).*(8[0-9]{4})     — base zips never start with '8'
+//   Q3  [0-9]+(USD|EUR|GBP)              — base strings have no currency
+//   Q4  [A-Za-z]{3}\:[0-9]{4}            — base strings contain no ':'
+//   QH  Q2-prefix followed by "delivery" — every Q2-style hit row also
+//        carries "delivery" (paper §7.8 builds the data this way)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bat/buffer.h"
+#include "bat/table.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace doppio {
+
+struct AddressDataOptions {
+  int64_t num_records = 2'500'000;
+  /// Approximate string length; strings are padded with filler words.
+  int64_t string_length = 64;
+  /// Independent hit probability for each of Q1..Q4.
+  double selectivity = 0.2;
+  /// Per-query overrides (negative = use `selectivity`). The hybrid
+  /// experiment (Fig. 13) sets q2_selectivity = 0 and sweeps
+  /// qh_selectivity so that *every* string matching the QH prefix also
+  /// contains "delivery", as the paper constructs its data.
+  double q2_selectivity = -1.0;
+  /// Probability of the QH hit (Q2-prefix plus "delivery"); defaults to
+  /// `selectivity` when negative.
+  double qh_selectivity = -1.0;
+  uint64_t seed = 42;
+};
+
+/// Generates the two-column table of the paper: `id INT`,
+/// `address_string VARCHAR`. BAT memory comes from `allocator`.
+Result<std::unique_ptr<Table>> GenerateAddressTable(
+    const AddressDataOptions& options, const std::string& table_name,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// One address string (exposed for tests).
+std::string GenerateAddressString(Rng* rng, const AddressDataOptions& options,
+                                  bool q1_hit, bool q2_hit, bool q3_hit,
+                                  bool q4_hit, bool qh_hit);
+
+}  // namespace doppio

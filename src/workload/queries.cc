@@ -1,0 +1,65 @@
+#include "workload/queries.h"
+
+#include "common/logging.h"
+
+namespace doppio {
+
+std::string QueryPattern(EvalQuery query) {
+  switch (query) {
+    case EvalQuery::kQ1:
+      return "Strasse";
+    case EvalQuery::kQ2:
+      return R"((Strasse|Str\.).*(8[0-9]{4}))";
+    case EvalQuery::kQ3:
+      return "[0-9]+(USD|EUR|GBP)";
+    case EvalQuery::kQ4:
+      return R"([A-Za-z]{3}\:[0-9]{4})";
+    case EvalQuery::kQH:
+      return R"((Strasse|Str\.).*(8[0-9]{4}).*delivery)";
+  }
+  return "";
+}
+
+std::string Q1LikePattern() { return "%Strasse%"; }
+
+const char* QueryName(EvalQuery query) {
+  switch (query) {
+    case EvalQuery::kQ1:
+      return "Q1";
+    case EvalQuery::kQ2:
+      return "Q2";
+    case EvalQuery::kQ3:
+      return "Q3";
+    case EvalQuery::kQ4:
+      return "Q4";
+    case EvalQuery::kQH:
+      return "QH";
+  }
+  return "?";
+}
+
+std::string QuerySql(EvalQuery query, QueryEngineVariant variant,
+                     const std::string& table, const std::string& column) {
+  std::string where;
+  switch (variant) {
+    case QueryEngineVariant::kMonetSoftware:
+      if (query == EvalQuery::kQ1) {
+        // Q1 uses the cheaper LIKE operator in software (paper §7.2).
+        where = column + " LIKE '" + Q1LikePattern() + "'";
+      } else {
+        where = "REGEXP_LIKE(" + column + ", '" + QueryPattern(query) + "')";
+      }
+      break;
+    case QueryEngineVariant::kFpga:
+      where = "REGEXP_FPGA('" + QueryPattern(query) + "', " + column +
+              ") <> 0";
+      break;
+    case QueryEngineVariant::kHybrid:
+      where = "REGEXP_HYBRID('" + QueryPattern(query) + "', " + column +
+              ") <> 0";
+      break;
+  }
+  return "SELECT count(*) FROM " + table + " WHERE " + where + ";";
+}
+
+}  // namespace doppio

@@ -1,0 +1,31 @@
+// The paper's evaluation queries Q1-Q4 and the hybrid query QH (Fig. 7,
+// §7.8), with helpers to render them against any execution strategy.
+#pragma once
+
+#include <string>
+
+namespace doppio {
+
+enum class EvalQuery { kQ1, kQ2, kQ3, kQ4, kQH };
+
+/// How the string predicate is executed.
+enum class QueryEngineVariant {
+  kMonetSoftware,  // LIKE for Q1, REGEXP_LIKE for Q2-Q4 (paper's MonetDB)
+  kFpga,           // REGEXP_FPGA(...) <> 0 for all queries
+  kHybrid,         // REGEXP_HYBRID(...) <> 0 (auto split / fallback)
+};
+
+/// The regex-dialect pattern of a query (what the FPGA executes).
+std::string QueryPattern(EvalQuery query);
+
+/// The LIKE pattern for Q1 (Q1 is a substring query).
+std::string Q1LikePattern();
+
+/// Full SELECT count(*) statement against `table`.`column`.
+std::string QuerySql(EvalQuery query, QueryEngineVariant variant,
+                     const std::string& table = "address_table",
+                     const std::string& column = "address_string");
+
+const char* QueryName(EvalQuery query);
+
+}  // namespace doppio

@@ -1,0 +1,118 @@
+#include "workload/tpch_generator.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace doppio {
+
+namespace {
+
+constexpr std::array<const char*, 24> kCommentWords = {
+    "carefully", "furiously", "quickly",  "slyly",    "blithely",
+    "deposits",  "accounts",  "packages", "theodolites", "pinto",
+    "beans",     "foxes",     "ideas",    "platelets", "instructions",
+    "asymptotes", "dependencies", "waters", "sauternes", "warhorses",
+    "sleep",     "nag",       "haggle",   "bold",
+};
+
+std::string RandomComment(Rng* rng, int kind) {
+  // kind: 0 plain, 1 "special ... requests", 2 case-variant.
+  std::string out;
+  int words = 5 + static_cast<int>(rng->NextBounded(5));
+  int special_pos = kind != 0 ? 1 + static_cast<int>(rng->NextBounded(2)) : -1;
+  for (int w = 0; w < words; ++w) {
+    if (!out.empty()) out += " ";
+    if (w == special_pos) {
+      out += (kind == 2) ? "Special" : "special";
+      out += " ";
+      out += kCommentWords[rng->NextBounded(kCommentWords.size())];
+      out += " ";
+      out += (kind == 2) ? "Requests" : "requests";
+      continue;
+    }
+    out += kCommentWords[rng->NextBounded(kCommentWords.size())];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> GenerateCustomerTable(
+    const TpchOptions& options, BufferAllocator* allocator) {
+  Rng rng(options.seed);
+  auto key = std::make_unique<Bat>(ValueType::kInt32, allocator);
+  auto name = std::make_unique<Bat>(ValueType::kString, allocator);
+  const int64_t n = options.num_customers();
+  DOPPIO_RETURN_NOT_OK(key->Reserve(n));
+  DOPPIO_RETURN_NOT_OK(name->Reserve(n, 24));
+  for (int64_t i = 1; i <= n; ++i) {
+    DOPPIO_RETURN_NOT_OK(key->AppendInt32(static_cast<int32_t>(i)));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                  static_cast<long long>(i));
+    DOPPIO_RETURN_NOT_OK(name->AppendString(buf));
+  }
+  auto table = std::make_unique<Table>("customer");
+  DOPPIO_RETURN_NOT_OK(table->AddColumn("c_custkey", std::move(key)));
+  DOPPIO_RETURN_NOT_OK(table->AddColumn("c_name", std::move(name)));
+  return table;
+}
+
+Result<std::unique_ptr<Table>> GenerateOrdersTable(
+    const TpchOptions& options, BufferAllocator* allocator) {
+  Rng rng(options.seed + 1);
+  auto okey = std::make_unique<Bat>(ValueType::kInt32, allocator);
+  auto ckey = std::make_unique<Bat>(ValueType::kInt32, allocator);
+  auto comment = std::make_unique<Bat>(ValueType::kString, allocator);
+  const int64_t n = options.num_orders();
+  const int64_t customers = options.num_customers();
+  DOPPIO_RETURN_NOT_OK(okey->Reserve(n));
+  DOPPIO_RETURN_NOT_OK(ckey->Reserve(n));
+  DOPPIO_RETURN_NOT_OK(comment->Reserve(n, 64));
+  for (int64_t i = 1; i <= n; ++i) {
+    DOPPIO_RETURN_NOT_OK(okey->AppendInt32(static_cast<int32_t>(i)));
+    // TPC-H: customers whose key is divisible by 3 place no orders.
+    int64_t cust;
+    do {
+      cust = 1 + static_cast<int64_t>(rng.NextBounded(
+                     static_cast<uint64_t>(customers)));
+    } while (cust % 3 == 0);
+    DOPPIO_RETURN_NOT_OK(ckey->AppendInt32(static_cast<int32_t>(cust)));
+
+    int kind = 0;
+    double roll = rng.UniformDouble();
+    if (roll < options.special_fraction) {
+      kind = 1;
+    } else if (roll <
+               options.special_fraction +
+                   options.special_case_variant_fraction) {
+      kind = 2;
+    }
+    DOPPIO_RETURN_NOT_OK(comment->AppendString(RandomComment(&rng, kind)));
+  }
+  auto table = std::make_unique<Table>("orders");
+  DOPPIO_RETURN_NOT_OK(table->AddColumn("o_orderkey", std::move(okey)));
+  DOPPIO_RETURN_NOT_OK(table->AddColumn("o_custkey", std::move(ckey)));
+  DOPPIO_RETURN_NOT_OK(table->AddColumn("o_comment", std::move(comment)));
+  return table;
+}
+
+std::string TpchQ13Sql(bool case_insensitive) {
+  const char* like = case_insensitive ? "ILIKE" : "LIKE";
+  std::string sql =
+      "SELECT c_count, COUNT(*) AS custdist FROM ("
+      "SELECT c_custkey, count(o_orderkey) FROM customer "
+      "LEFT OUTER JOIN orders ON c_custkey = o_custkey "
+      "AND o_comment NOT ";
+  sql += like;
+  sql +=
+      " '%special%requests%' "
+      "GROUP BY c_custkey"
+      ") AS c_orders (c_custkey, c_count) "
+      "GROUP BY c_count "
+      "ORDER BY custdist DESC, c_count DESC;";
+  return sql;
+}
+
+}  // namespace doppio

@@ -1,0 +1,49 @@
+// TPC-H customer/orders generator for Query 13 (paper §7.7).
+//
+// Scale factor 0.1 (the paper's choice, limited by the pinned shared
+// memory): 15 000 customers, 150 000 orders. As in real TPC-H, one third
+// of the customers place no orders, and a small fraction of order comments
+// contains the "special ... requests" phrase that Q13's NOT LIKE prunes.
+// A further fraction carries case-variants ("Special ... Requests") so
+// ILIKE and LIKE genuinely differ (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bat/buffer.h"
+#include "bat/table.h"
+#include "common/status.h"
+
+namespace doppio {
+
+struct TpchOptions {
+  double scale_factor = 0.1;
+  uint64_t seed = 7;
+  /// Fraction of comments with the exact "special...requests" phrase.
+  double special_fraction = 0.01;
+  /// Fraction with a case-variant of the phrase (hit only by ILIKE).
+  double special_case_variant_fraction = 0.01;
+
+  int64_t num_customers() const {
+    return static_cast<int64_t>(scale_factor * 150'000);
+  }
+  int64_t num_orders() const {
+    return static_cast<int64_t>(scale_factor * 1'500'000);
+  }
+};
+
+/// `customer(c_custkey INT, c_name VARCHAR)`.
+Result<std::unique_ptr<Table>> GenerateCustomerTable(
+    const TpchOptions& options,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// `orders(o_orderkey INT, o_custkey INT, o_comment VARCHAR)`.
+Result<std::unique_ptr<Table>> GenerateOrdersTable(
+    const TpchOptions& options,
+    BufferAllocator* allocator = MallocAllocator::Default());
+
+/// The TPC-H Q13 text, with LIKE or ILIKE in the anti-join predicate.
+std::string TpchQ13Sql(bool case_insensitive);
+
+}  // namespace doppio

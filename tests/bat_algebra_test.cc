@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "db/bat_algebra.h"
+#include "db/hudf.h"
+#include "hal/hal.h"
+
+namespace doppio {
+namespace batalg {
+namespace {
+
+std::unique_ptr<Bat> Ints(std::vector<int32_t> values) {
+  auto bat = std::make_unique<Bat>(ValueType::kInt32);
+  for (int32_t v : values) EXPECT_TRUE(bat->AppendInt32(v).ok());
+  return bat;
+}
+
+std::vector<int64_t> ToVector(const Bat& bat) {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < bat.count(); ++i) out.push_back(bat.GetInt64(i));
+  return out;
+}
+
+TEST(BatAlgebraTest, SelectEqAndRange) {
+  auto col = Ints({5, 3, 5, 9, 1});
+  auto eq = SelectEq(*col, 5);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(ToVector(**eq), (std::vector<int64_t>{0, 2}));
+  auto range = SelectRange(*col, 3, 5);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(ToVector(**range), (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(Count(**range), 3);
+}
+
+TEST(BatAlgebraTest, SelectRejectsStrings) {
+  Bat strings(ValueType::kString);
+  ASSERT_TRUE(strings.AppendString("x").ok());
+  EXPECT_FALSE(SelectEq(strings, 1).ok());
+}
+
+TEST(BatAlgebraTest, SelectNonZeroOverHudfResult) {
+  Bat shorts(ValueType::kInt16);
+  for (int16_t v : {0, 7, 0, 12, 1}) {
+    ASSERT_TRUE(shorts.AppendInt16(v).ok());
+  }
+  auto hits = SelectNonZero(shorts);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(ToVector(**hits), (std::vector<int64_t>{1, 3, 4}));
+  auto misses = SelectNonZero(shorts, /*select_zero=*/true);
+  ASSERT_TRUE(misses.ok());
+  EXPECT_EQ(ToVector(**misses), (std::vector<int64_t>{0, 2}));
+}
+
+TEST(BatAlgebraTest, ProjectFetchesInCandidateOrder) {
+  Bat names(ValueType::kString);
+  for (const char* n : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(names.AppendString(n).ok());
+  }
+  Bat cands(ValueType::kInt64);
+  for (int64_t oid : {3, 0, 2}) ASSERT_TRUE(cands.AppendInt64(oid).ok());
+  auto projected = Project(cands, names);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ((*projected)->GetString(0), "d");
+  EXPECT_EQ((*projected)->GetString(1), "a");
+  EXPECT_EQ((*projected)->GetString(2), "c");
+}
+
+TEST(BatAlgebraTest, ProjectValidatesOids) {
+  auto col = Ints({1, 2});
+  Bat cands(ValueType::kInt64);
+  ASSERT_TRUE(cands.AppendInt64(5).ok());
+  EXPECT_FALSE(Project(cands, *col).ok());
+}
+
+TEST(BatAlgebraTest, HashJoinProducesAllPairs) {
+  auto left = Ints({1, 2, 2, 3});
+  auto right = Ints({2, 3, 3, 4});
+  auto join = HashJoin(*left, *right);
+  ASSERT_TRUE(join.ok());
+  // Pairs: (1,0) (2,0) for value 2; (3,1) (3,2) for value 3.
+  ASSERT_EQ(join->left->count(), 4);
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < join->left->count(); ++i) {
+    pairs.insert({join->left->GetInt64(i), join->right->GetInt64(i)});
+  }
+  EXPECT_EQ(pairs, (std::set<std::pair<int64_t, int64_t>>{
+                       {1, 0}, {2, 0}, {3, 1}, {3, 2}}));
+}
+
+TEST(BatAlgebraTest, IntersectAscendingLists) {
+  Bat a(ValueType::kInt64);
+  Bat b(ValueType::kInt64);
+  for (int64_t v : {1, 3, 5, 7}) ASSERT_TRUE(a.AppendInt64(v).ok());
+  for (int64_t v : {2, 3, 5, 8}) ASSERT_TRUE(b.AppendInt64(v).ok());
+  auto isect = Intersect(a, b);
+  ASSERT_TRUE(isect.ok());
+  EXPECT_EQ(ToVector(**isect), (std::vector<int64_t>{3, 5}));
+}
+
+TEST(BatAlgebraTest, GroupAndGroupCount) {
+  auto col = Ints({10, 20, 10, 30, 20, 10});
+  auto groups = Group(*col);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(ToVector(*groups->group_ids),
+            (std::vector<int64_t>{0, 1, 0, 2, 1, 0}));
+  EXPECT_EQ(ToVector(*groups->representatives),
+            (std::vector<int64_t>{0, 1, 3}));
+  auto counts = GroupCount(*groups->group_ids, 3);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(ToVector(**counts), (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(BatAlgebraTest, PaperQueryAsBatAlgebraPlan) {
+  // SELECT count(*) FROM t WHERE REGEXP_FPGA('Strasse', s) <> 0
+  // executed the MonetDB way: HUDF produces a short BAT, the BAT algebra
+  // turns it into a candidate list and counts.
+  Hal::Options options;
+  options.shared_memory_bytes = 32 * kSharedPageBytes;
+  options.functional_threads = 1;
+  Hal hal(options);
+
+  Bat strings(ValueType::kString, hal.bat_allocator());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(strings
+                    .AppendString(i % 4 == 0 ? "Koblenzer Strasse 1"
+                                             : "Koblenzer Gasse 1")
+                    .ok());
+  }
+  auto hudf = RegexpFpga(&hal, strings, "Strasse");
+  ASSERT_TRUE(hudf.ok());
+  auto candidates = SelectNonZero(*hudf->result);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(Count(**candidates), 125);
+
+  // Project the matching strings through the candidate list and verify.
+  auto matched = Project(**candidates, strings);
+  ASSERT_TRUE(matched.ok());
+  for (int64_t i = 0; i < (*matched)->count(); ++i) {
+    EXPECT_NE((*matched)->GetString(i).find("Strasse"),
+              std::string_view::npos);
+  }
+}
+
+}  // namespace
+}  // namespace batalg
+}  // namespace doppio

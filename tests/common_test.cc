@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_scheduler.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace doppio {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::CapacityExceeded("too many states");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCapacityExceeded());
+  EXPECT_EQ(st.message(), "too many states");
+  EXPECT_EQ(st.ToString(), "CapacityExceeded: too many states");
+}
+
+TEST(StatusTest, CopyShares) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  DOPPIO_ASSIGN_OR_RETURN(int half, Halve(x));
+  DOPPIO_ASSIGN_OR_RETURN(int quarter, Halve(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = QuarterViaMacro(6);  // 6/2=3 is odd
+  EXPECT_FALSE(bad.ok());
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values show up
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, AlphabetString) {
+  Rng rng(1);
+  std::string s = rng.FromAlphabet("ab", 64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b');
+}
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](int) { FAIL(); });
+}
+
+// --- SimScheduler ------------------------------------------------------------
+
+TEST(SimSchedulerTest, RunsEventsInTimeOrder) {
+  SimScheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(300, [&] { order.push_back(3); });
+  sched.ScheduleAt(100, [&] { order.push_back(1); });
+  sched.ScheduleAt(200, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 300);
+}
+
+TEST(SimSchedulerTest, EqualTimesAreStable) {
+  SimScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimSchedulerTest, EventsCanScheduleEvents) {
+  SimScheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(10, [&] {
+    ++fired;
+    sched.ScheduleAfter(5, [&] { ++fired; });
+  });
+  SimTime end = sched.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(end, 15);
+}
+
+TEST(SimSchedulerTest, RunUntilStopsAtDeadline) {
+  SimScheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(10, [&] { ++fired; });
+  sched.ScheduleAt(100, [&] { ++fired; });
+  sched.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 50);
+  sched.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimSchedulerTest, RunOne) {
+  SimScheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(10, [&] { ++fired; });
+  sched.ScheduleAt(20, [&] { ++fired; });
+  EXPECT_TRUE(sched.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.RunOne());
+  EXPECT_FALSE(sched.RunOne());
+}
+
+TEST(SimTimeTest, PicosConversionRoundTrips) {
+  EXPECT_EQ(PicosFromSeconds(1.0), kPicosPerSecond);
+  EXPECT_DOUBLE_EQ(SecondsFromPicos(kPicosPerSecond), 1.0);
+  EXPECT_EQ(PicosFromSeconds(300e-9), 300'000);
+}
+
+}  // namespace
+}  // namespace doppio

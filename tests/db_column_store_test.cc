@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "db/column_store.h"
+#include "db/udf.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ColumnStoreEngine::Options options;
+    options.num_threads = 4;
+    engine_ = std::make_unique<ColumnStoreEngine>(options);
+
+    AddressDataOptions data;
+    data.num_records = 50'000;
+    data.selectivity = 0.2;
+    auto table = GenerateAddressTable(data, "address_table");
+    ASSERT_TRUE(table.ok());
+    strings_ = (*table)->GetColumn("address_string");
+    ASSERT_TRUE(engine_->catalog()->AddTable(std::move(*table)).ok());
+  }
+
+  int64_t CountBits(const std::vector<uint8_t>& bits) {
+    int64_t n = 0;
+    for (uint8_t b : bits) n += b;
+    return n;
+  }
+
+  std::unique_ptr<ColumnStoreEngine> engine_;
+  Bat* strings_ = nullptr;
+};
+
+TEST_F(ColumnStoreTest, LikeSelectivityNearTarget) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kLike;
+  spec.pattern = "%Strasse%";
+  QueryStats stats;
+  auto bits = engine_->EvalStringFilter(*strings_, spec, &stats);
+  ASSERT_TRUE(bits.ok());
+  double sel =
+      static_cast<double>(CountBits(*bits)) / strings_->count();
+  EXPECT_NEAR(sel, 0.2, 0.02);
+  EXPECT_EQ(stats.strategy, "like");
+  EXPECT_GT(stats.database_seconds, 0.0);
+}
+
+TEST_F(ColumnStoreTest, RegexpAgreesWithLikeForQ1) {
+  StringFilterSpec like;
+  like.op = StringFilterSpec::Op::kLike;
+  like.pattern = "%Strasse%";
+  StringFilterSpec regexp;
+  regexp.op = StringFilterSpec::Op::kRegexpLike;
+  regexp.pattern = "Strasse";
+  auto a = engine_->EvalStringFilter(*strings_, like, nullptr);
+  auto b = engine_->EvalStringFilter(*strings_, regexp, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(ColumnStoreTest, NegationFlips) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kLike;
+  spec.pattern = "%Strasse%";
+  auto pos = engine_->EvalStringFilter(*strings_, spec, nullptr);
+  spec.negated = true;
+  auto neg = engine_->EvalStringFilter(*strings_, spec, nullptr);
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(CountBits(*pos) + CountBits(*neg), strings_->count());
+}
+
+TEST_F(ColumnStoreTest, SequentialPipeMatchesParallel) {
+  ColumnStoreEngine::Options seq_options;
+  seq_options.num_threads = 4;
+  seq_options.sequential_pipe = true;
+  ColumnStoreEngine sequential(seq_options);
+
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kRegexpLike;
+  spec.pattern = QueryPattern(EvalQuery::kQ2);
+  auto parallel_bits = engine_->EvalStringFilter(*strings_, spec, nullptr);
+  auto seq_bits = sequential.EvalStringFilter(*strings_, spec, nullptr);
+  ASSERT_TRUE(parallel_bits.ok());
+  ASSERT_TRUE(seq_bits.ok());
+  EXPECT_EQ(*parallel_bits, *seq_bits);
+  EXPECT_EQ(sequential.partitions(), 1);
+  EXPECT_EQ(engine_->partitions(), 4);
+}
+
+TEST_F(ColumnStoreTest, ContainsRequiresIndex) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kContains;
+  spec.pattern = "Strasse";
+  EXPECT_FALSE(engine_->EvalStringFilter(*strings_, spec, nullptr).ok());
+
+  ASSERT_TRUE(
+      engine_->BuildContainsIndex("address_table", "address_string").ok());
+  auto bits = engine_->EvalStringFilter(*strings_, spec, nullptr);
+  ASSERT_TRUE(bits.ok());
+  // CONTAINS is word-based; every LIKE %Strasse% row has the word.
+  StringFilterSpec like;
+  like.op = StringFilterSpec::Op::kLike;
+  like.pattern = "%Strasse%";
+  auto like_bits = engine_->EvalStringFilter(*strings_, like, nullptr);
+  ASSERT_TRUE(like_bits.ok());
+  EXPECT_EQ(CountBits(*bits), CountBits(*like_bits));
+}
+
+TEST_F(ColumnStoreTest, FpgaWithoutHalFails) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kRegexpFpga;
+  spec.pattern = "Strasse";
+  EXPECT_FALSE(engine_->EvalStringFilter(*strings_, spec, nullptr).ok());
+}
+
+TEST_F(ColumnStoreTest, AllFourQueriesHaveExpectedSelectivity) {
+  for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ2, EvalQuery::kQ3,
+                      EvalQuery::kQ4}) {
+    StringFilterSpec spec;
+    spec.op = StringFilterSpec::Op::kRegexpLike;
+    spec.pattern = QueryPattern(q);
+    auto bits = engine_->EvalStringFilter(*strings_, spec, nullptr);
+    ASSERT_TRUE(bits.ok()) << QueryName(q);
+    double sel =
+        static_cast<double>(CountBits(*bits)) / strings_->count();
+    EXPECT_GT(sel, 0.1) << QueryName(q);
+    EXPECT_LT(sel, 0.45) << QueryName(q);
+  }
+}
+
+TEST(UdfRegistryTest, RegisterAndLookup) {
+  UdfRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinUdfs(&registry, nullptr).ok());
+  EXPECT_NE(registry.Lookup("regexp_like"), nullptr);
+  EXPECT_NE(registry.Lookup("regexp_dfa"), nullptr);
+  // No HAL: hardware UDFs absent.
+  EXPECT_EQ(registry.Lookup("regexp_fpga"), nullptr);
+  EXPECT_EQ(registry.Lookup("nonexistent"), nullptr);
+  EXPECT_FALSE(registry.Register("regexp_like", nullptr).ok());
+}
+
+TEST(UdfRegistryTest, SoftwareUdfReturnsShortBat) {
+  UdfRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinUdfs(&registry, nullptr).ok());
+  const StringBatUdf* udf = registry.Lookup("regexp_dfa");
+  ASSERT_NE(udf, nullptr);
+  Bat input(ValueType::kString);
+  ASSERT_TRUE(input.AppendString("hello world").ok());
+  ASSERT_TRUE(input.AppendString("nothing").ok());
+  auto result = (*udf)(input, "world");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->type(), ValueType::kInt16);
+  EXPECT_EQ((*result)->GetInt16(0), 11);  // end of "world"
+  EXPECT_EQ((*result)->GetInt16(1), 0);
+}
+
+}  // namespace
+}  // namespace doppio

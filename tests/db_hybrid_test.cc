@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "db/hybrid_executor.h"
+#include "regex/dfa_matcher.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+Hal::Options SmallHal(int max_chars = 16, int max_states = 8) {
+  Hal::Options options;
+  options.shared_memory_bytes = 64 * kSharedPageBytes;
+  options.functional_threads = 2;
+  options.device.max_chars = max_chars;
+  options.device.max_states = max_states;
+  return options;
+}
+
+TEST(HybridPlanTest, FittingPatternGoesFpgaOnly) {
+  DeviceConfig device;
+  auto plan = PlanHybrid("Strasse", device);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, HybridStrategy::kFpgaOnly);
+  EXPECT_EQ(plan->fpga_pattern, "Strasse");
+}
+
+TEST(HybridPlanTest, OversizedPatternSplitsAtWildcard) {
+  DeviceConfig device;
+  device.max_chars = 24;  // QH needs ~30 matchers: prefix fits, full does not
+  auto plan = PlanHybrid(QueryPattern(EvalQuery::kQH), device);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, HybridStrategy::kHybrid);
+  // The offloaded prefix is the Q2 part of QH.
+  EXPECT_EQ(plan->full_pattern, QueryPattern(EvalQuery::kQH));
+  EXPECT_NE(plan->fpga_pattern, plan->full_pattern);
+  EXPECT_NE(plan->fpga_pattern.find("Strasse"), std::string::npos);
+  EXPECT_EQ(plan->fpga_pattern.find("delivery"), std::string::npos);
+}
+
+TEST(HybridPlanTest, HopelessPatternFallsToSoftware) {
+  DeviceConfig device;
+  device.max_chars = 4;  // nothing useful fits
+  auto plan = PlanHybrid(QueryPattern(EvalQuery::kQH), device);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, HybridStrategy::kSoftwareOnly);
+}
+
+class HybridExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddressDataOptions data;
+    data.num_records = 20'000;
+    data.selectivity = 0;      // isolate the QH hits
+    data.q2_selectivity = 0;   // every QH-prefix match carries "delivery"
+    data.qh_selectivity = 0.3;
+    auto table = GenerateAddressTable(data, "addr");
+    ASSERT_TRUE(table.ok());
+    table_ = std::move(*table);
+  }
+
+  // Copies the generated strings into a HAL-allocated BAT.
+  std::unique_ptr<Bat> SharedStrings(Hal* hal) {
+    auto bat = std::make_unique<Bat>(ValueType::kString,
+                                     hal->bat_allocator());
+    const Bat* src = table_->GetColumn("address_string");
+    for (int64_t i = 0; i < src->count(); ++i) {
+      EXPECT_TRUE(bat->AppendString(src->GetString(i)).ok());
+    }
+    return bat;
+  }
+
+  int64_t GroundTruth(const std::string& pattern) {
+    auto dfa = DfaMatcher::Compile(pattern);
+    EXPECT_TRUE(dfa.ok());
+    const Bat* src = table_->GetColumn("address_string");
+    int64_t count = 0;
+    for (int64_t i = 0; i < src->count(); ++i) {
+      if ((*dfa)->Matches(src->GetString(i))) ++count;
+    }
+    return count;
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(HybridExecTest, HybridMatchesGroundTruth) {
+  Hal hal(SmallHal(/*max_chars=*/24));
+  auto input = SharedStrings(&hal);
+  auto result = ExecuteHybrid(&hal, *input, QueryPattern(EvalQuery::kQH));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->strategy, HybridStrategy::kHybrid);
+  int64_t matched = 0;
+  for (int64_t i = 0; i < input->count(); ++i) {
+    if (result->result->GetInt16(i) != 0) ++matched;
+  }
+  EXPECT_EQ(matched, GroundTruth(QueryPattern(EvalQuery::kQH)));
+  // The FPGA pre-filter actually pruned work: the CPU saw only candidate
+  // rows, not the whole table.
+  EXPECT_GT(result->cpu_postprocessed, 0);
+  EXPECT_LT(result->cpu_postprocessed, input->count());
+  EXPECT_GT(result->stats.hw_seconds, 0.0);
+  EXPECT_GT(result->stats.udf_software_seconds, 0.0);
+}
+
+TEST_F(HybridExecTest, FpgaOnlyPathMatchesGroundTruth) {
+  Hal hal(SmallHal(/*max_chars=*/64, /*max_states=*/16));
+  auto input = SharedStrings(&hal);
+  auto result = ExecuteHybrid(&hal, *input, QueryPattern(EvalQuery::kQH));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy, HybridStrategy::kFpgaOnly);
+  int64_t matched = 0;
+  for (int64_t i = 0; i < input->count(); ++i) {
+    if (result->result->GetInt16(i) != 0) ++matched;
+  }
+  EXPECT_EQ(matched, GroundTruth(QueryPattern(EvalQuery::kQH)));
+}
+
+TEST_F(HybridExecTest, SoftwareFallbackMatchesGroundTruth) {
+  Hal hal(SmallHal(/*max_chars=*/4));
+  auto input = SharedStrings(&hal);
+  auto result = ExecuteHybrid(&hal, *input, QueryPattern(EvalQuery::kQH));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy, HybridStrategy::kSoftwareOnly);
+  int64_t matched = 0;
+  for (int64_t i = 0; i < input->count(); ++i) {
+    if (result->result->GetInt16(i) != 0) ++matched;
+  }
+  EXPECT_EQ(matched, GroundTruth(QueryPattern(EvalQuery::kQH)));
+}
+
+TEST_F(HybridExecTest, PostprocessedFractionTracksSelectivity) {
+  // The paper's point (Fig. 13): the prefix's selectivity is exactly the
+  // fraction the CPU must post-process.
+  Hal hal(SmallHal(/*max_chars=*/24));
+  auto input = SharedStrings(&hal);
+  auto result = ExecuteHybrid(&hal, *input, QueryPattern(EvalQuery::kQH));
+  ASSERT_TRUE(result.ok());
+  double fraction = static_cast<double>(result->cpu_postprocessed) /
+                    static_cast<double>(input->count());
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace doppio

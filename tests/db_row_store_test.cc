@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "db/row_store.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+class RowStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddressDataOptions data;
+    data.num_records = 20'000;
+    auto table = GenerateAddressTable(data, "address_table");
+    ASSERT_TRUE(table.ok());
+    source_ = std::move(*table);
+    ASSERT_TRUE(dbx_.LoadTable(*source_).ok());
+  }
+
+  RowStoreEngine dbx_;
+  std::unique_ptr<Table> source_;
+};
+
+TEST_F(RowStoreTest, LoadPreservesCardinality) {
+  EXPECT_TRUE(dbx_.HasTable("address_table"));
+  EXPECT_EQ(dbx_.num_rows("address_table"), 20'000);
+  EXPECT_FALSE(dbx_.HasTable("missing"));
+}
+
+TEST_F(RowStoreTest, DuplicateLoadRejected) {
+  EXPECT_EQ(dbx_.LoadTable(*source_).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(RowStoreTest, LikeCountMatchesColumnStoreSemantics) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kLike;
+  spec.pattern = "%Strasse%";
+  auto count = dbx_.CountWhere("address_table", "address_string", spec);
+  ASSERT_TRUE(count.ok());
+
+  // Cross-check against a direct scan of the columnar source.
+  const Bat* col = source_->GetColumn("address_string");
+  int64_t expected = 0;
+  for (int64_t i = 0; i < col->count(); ++i) {
+    if (col->GetString(i).find("Strasse") != std::string_view::npos) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(*count, expected);
+}
+
+TEST_F(RowStoreTest, RegexpCount) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kRegexpLike;
+  spec.pattern = QueryPattern(EvalQuery::kQ3);
+  QueryStats stats;
+  auto count =
+      dbx_.CountWhere("address_table", "address_string", spec, &stats);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(static_cast<double>(*count) / 20'000, 0.2, 0.02);
+  EXPECT_EQ(stats.strategy, "dbx");
+  EXPECT_GT(stats.database_seconds, 0.0);
+}
+
+TEST_F(RowStoreTest, NegatedCount) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kLike;
+  spec.pattern = "%Strasse%";
+  auto pos = dbx_.CountWhere("address_table", "address_string", spec);
+  spec.negated = true;
+  auto neg = dbx_.CountWhere("address_table", "address_string", spec);
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(*pos + *neg, 20'000);
+}
+
+TEST_F(RowStoreTest, ContainsNeedsPrebuiltIndex) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kContains;
+  spec.pattern = "Strasse";
+  EXPECT_FALSE(
+      dbx_.CountWhere("address_table", "address_string", spec).ok());
+
+  auto build_seconds =
+      dbx_.BuildContainsIndex("address_table", "address_string");
+  ASSERT_TRUE(build_seconds.ok());
+  EXPECT_GT(*build_seconds, 0.0);
+
+  auto count = dbx_.CountWhere("address_table", "address_string", spec);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(static_cast<double>(*count) / 20'000, 0.2, 0.02);
+}
+
+TEST_F(RowStoreTest, NoFpgaOperator) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kRegexpFpga;
+  spec.pattern = "Strasse";
+  EXPECT_EQ(
+      dbx_.CountWhere("address_table", "address_string", spec).status().code(),
+      StatusCode::kNotImplemented);
+}
+
+TEST_F(RowStoreTest, UnknownTableOrColumn) {
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kLike;
+  spec.pattern = "%x%";
+  EXPECT_TRUE(dbx_.CountWhere("nope", "address_string", spec)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(dbx_.CountWhere("address_table", "nope", spec)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(RowStoreTest, MultiColumnRowExtraction) {
+  // Build a table with several columns to exercise row deserialization.
+  Table t("multi");
+  auto c1 = std::make_unique<Bat>(ValueType::kInt32);
+  auto c2 = std::make_unique<Bat>(ValueType::kString);
+  auto c3 = std::make_unique<Bat>(ValueType::kString);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c1->AppendInt32(i).ok());
+    ASSERT_TRUE(c2->AppendString("first" + std::to_string(i)).ok());
+    ASSERT_TRUE(c3->AppendString(i % 2 == 0 ? "even row" : "odd row").ok());
+  }
+  ASSERT_TRUE(t.AddColumn("id", std::move(c1)).ok());
+  ASSERT_TRUE(t.AddColumn("a", std::move(c2)).ok());
+  ASSERT_TRUE(t.AddColumn("b", std::move(c3)).ok());
+
+  RowStoreEngine engine;
+  ASSERT_TRUE(engine.LoadTable(t).ok());
+  StringFilterSpec spec;
+  spec.op = StringFilterSpec::Op::kLike;
+  spec.pattern = "%even%";
+  auto count = engine.CountWhere("multi", "b", spec);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 50);
+  // Scanning a different string column of the same rows.
+  spec.pattern = "%first7%";  // first7, first70..79
+  auto count2 = engine.CountWhere("multi", "a", spec);
+  ASSERT_TRUE(count2.ok());
+  EXPECT_EQ(*count2, 11);
+}
+
+}  // namespace
+}  // namespace doppio

@@ -1,0 +1,164 @@
+// Robustness fuzzing: random and mutated inputs must produce clean Status
+// errors, never crashes, hangs or invalid states.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hw/config_compiler.h"
+#include "hw/config_vector.h"
+#include "regex/dfa_matcher.h"
+#include "regex/like_translator.h"
+#include "regex/pattern_parser.h"
+#include "regex/token_extractor.h"
+#include "sql/parser.h"
+
+namespace doppio {
+namespace {
+
+TEST(FuzzTest, RandomBytesIntoPatternParser) {
+  Rng rng(42);
+  int parsed_ok = 0;
+  for (int i = 0; i < 3000; ++i) {
+    size_t len = rng.NextBounded(24);
+    std::string input;
+    for (size_t k = 0; k < len; ++k) {
+      input.push_back(static_cast<char>(rng.NextBounded(96) + 32));
+    }
+    auto ast = ParsePattern(input);
+    if (ast.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must compile and execute without issue.
+      auto matcher = DfaMatcher::Compile(input);
+      if (matcher.ok()) {
+        (void)(*matcher)->Find("John|Smith|44 Koblenzer Strasse");
+      }
+    } else {
+      EXPECT_TRUE(ast.status().IsParseError() ||
+                  ast.status().IsCapacityExceeded())
+          << input << " -> " << ast.status().ToString();
+    }
+  }
+  EXPECT_GT(parsed_ok, 100);  // plenty of random strings are valid regexes
+}
+
+TEST(FuzzTest, RandomMetaHeavyPatterns) {
+  Rng rng(7);
+  const std::string meta = R"(()[]{}|*+?.\-^09azAZ)";
+  for (int i = 0; i < 3000; ++i) {
+    std::string input = rng.FromAlphabet(meta, rng.NextBounded(16));
+    auto ast = ParsePattern(input);
+    if (!ast.ok()) continue;
+    // Round-trip: rendering a parsed AST must re-parse.
+    std::string rendered = (*ast)->ToString();
+    auto reparsed = ParsePattern(rendered);
+    EXPECT_TRUE(reparsed.ok()) << input << " -> " << rendered;
+  }
+}
+
+TEST(FuzzTest, RandomLikePatterns) {
+  Rng rng(9);
+  const std::string alphabet = "ab%_\\xy";
+  for (int i = 0; i < 3000; ++i) {
+    std::string pattern = rng.FromAlphabet(alphabet, rng.NextBounded(12));
+    auto like = TranslateLike(pattern);
+    if (!like.ok()) {
+      EXPECT_TRUE(like.status().IsParseError());
+      continue;
+    }
+    auto reparse = ParsePattern(like->regex);
+    EXPECT_TRUE(reparse.ok()) << pattern << " -> " << like->regex;
+  }
+}
+
+TEST(FuzzTest, RandomBytesIntoConfigDecoder) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> bytes(rng.NextBounded(256));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+    auto config = ConfigVector::FromBytes(bytes);
+    // Virtually all random blobs must be rejected; none may crash.
+    if (config.ok()) {
+      auto nfa = config->Decode();
+      EXPECT_TRUE(nfa.ok());
+    }
+  }
+}
+
+TEST(FuzzTest, TruncatedValidConfigs) {
+  auto nfa = ExtractTokenNfa(R"((Strasse|Str\.).*(8[0-9]{4}))");
+  ASSERT_TRUE(nfa.ok());
+  auto encoded = ConfigVector::Encode(*nfa);
+  ASSERT_TRUE(encoded.ok());
+  const auto& bytes = encoded->bytes();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    auto result = ConfigVector::FromBytes(truncated);
+    // Shorter prefixes must be rejected (padding-only truncation at the
+    // tail may still decode — that is fine).
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, RandomBytesIntoSqlParser) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = rng.NextBounded(48);
+    std::string input;
+    for (size_t k = 0; k < len; ++k) {
+      input.push_back(static_cast<char>(rng.NextBounded(96) + 32));
+    }
+    auto stmt = sql::ParseSelect(input);
+    if (!stmt.ok()) {
+      EXPECT_TRUE(stmt.status().IsParseError()) << input;
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedValidSql) {
+  const std::string base =
+      "SELECT count(*) FROM address_table WHERE address_string LIKE "
+      "'%Strasse%' AND id < 100;";
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.NextBounded(mutated.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextBounded(96) + 32);
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1,
+                         static_cast<char>(rng.NextBounded(96) + 32));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    (void)sql::ParseSelect(mutated);  // must not crash
+  }
+}
+
+TEST(FuzzTest, ExtractorNeverProducesInvalidNfa) {
+  Rng rng(17);
+  const std::string alphabet = "ab(|)*+?.[]-09{}";
+  for (int i = 0; i < 3000; ++i) {
+    std::string pattern = rng.FromAlphabet(alphabet, rng.NextBounded(14));
+    auto ast = ParsePattern(pattern);
+    if (!ast.ok()) continue;
+    auto nfa = ExtractTokenNfa(**ast);
+    if (nfa.ok()) {
+      EXPECT_TRUE(nfa->Validate().ok()) << pattern;
+      // And the config round-trips.
+      auto encoded = ConfigVector::Encode(*nfa);
+      ASSERT_TRUE(encoded.ok()) << pattern;
+      EXPECT_TRUE(encoded->Decode().ok()) << pattern;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace doppio

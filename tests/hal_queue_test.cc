@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "hal/aal.h"
+#include "hal/hal.h"
+#include "hal/job_queue.h"
+#include "hw/fpga_device.h"
+#include "mem/arena.h"
+
+namespace doppio {
+namespace {
+
+TEST(SharedJobQueueTest, FifoOrder) {
+  auto queue = SharedJobQueue::Create(nullptr, 8);
+  ASSERT_TRUE(queue.ok());
+  for (uint64_t i = 1; i <= 5; ++i) {
+    JobDescriptor d;
+    d.job_id = i;
+    EXPECT_TRUE((*queue)->Push(d));
+  }
+  for (uint64_t i = 1; i <= 5; ++i) {
+    JobDescriptor d;
+    ASSERT_TRUE((*queue)->Pop(&d));
+    EXPECT_EQ(d.job_id, i);
+  }
+  JobDescriptor d;
+  EXPECT_FALSE((*queue)->Pop(&d));
+}
+
+TEST(SharedJobQueueTest, FullQueueRejectsPush) {
+  auto queue = SharedJobQueue::Create(nullptr, 2);
+  ASSERT_TRUE(queue.ok());
+  JobDescriptor d;
+  EXPECT_TRUE((*queue)->Push(d));
+  EXPECT_TRUE((*queue)->Push(d));
+  EXPECT_TRUE((*queue)->Full());
+  EXPECT_FALSE((*queue)->Push(d));
+  ASSERT_TRUE((*queue)->Pop(&d));
+  EXPECT_TRUE((*queue)->Push(d));  // space again
+}
+
+TEST(SharedJobQueueTest, WrapsAround) {
+  auto queue = SharedJobQueue::Create(nullptr, 4);
+  ASSERT_TRUE(queue.ok());
+  uint64_t next_push = 1;
+  uint64_t next_pop = 1;
+  for (int round = 0; round < 25; ++round) {
+    JobDescriptor d;
+    d.job_id = next_push++;
+    ASSERT_TRUE((*queue)->Push(d));
+    if (round % 2 == 0) {
+      JobDescriptor out;
+      ASSERT_TRUE((*queue)->Pop(&out));
+      EXPECT_EQ(out.job_id, next_pop++);
+    }
+    if ((*queue)->Full()) {
+      JobDescriptor out;
+      ASSERT_TRUE((*queue)->Pop(&out));
+      EXPECT_EQ(out.job_id, next_pop++);
+    }
+  }
+}
+
+TEST(SharedJobQueueTest, RingLivesInSharedMemory) {
+  SharedArena arena(4 * kSharedPageBytes);
+  auto queue = SharedJobQueue::Create(&arena, 16);
+  ASSERT_TRUE(queue.ok());
+  EXPECT_TRUE(arena.Contains((*queue)->ring_address()));
+}
+
+TEST(SharedJobQueueTest, DescriptorIsOneCacheLine) {
+  EXPECT_EQ(sizeof(JobDescriptor), 64u);
+}
+
+TEST(AalSessionTest, BootstrapHandshake) {
+  SharedArena arena(8 * kSharedPageBytes);
+  DeviceConfig config;
+  FpgaDevice device(config, &arena);
+  auto session = AalSession::Bootstrap(&arena, &device);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  DeviceStatusMemory* dsm = (*session)->dsm();
+  EXPECT_EQ(dsm->afu_id.load(), kRegexAfuId);
+  EXPECT_EQ(dsm->handshake_complete.load(), 1u);
+  EXPECT_NE(dsm->job_queue_addr.load(), 0u);
+  // All engines are idle before any job.
+  EXPECT_EQ(dsm->idle_engines.load(),
+            static_cast<uint32_t>(config.num_engines));
+  // The DSM page itself is in the shared region.
+  EXPECT_TRUE(arena.Contains(dsm));
+}
+
+TEST(AalSessionTest, BootstrapRequiresDeviceAndArena) {
+  SharedArena arena(4 * kSharedPageBytes);
+  EXPECT_FALSE(AalSession::Bootstrap(&arena, nullptr).ok());
+  DeviceConfig config;
+  FpgaDevice device(config, &arena);
+  EXPECT_FALSE(AalSession::Bootstrap(nullptr, &device).ok());
+}
+
+TEST(HalTest2, HalBootstrapsAal) {
+  Hal::Options options;
+  options.shared_memory_bytes = 32 * kSharedPageBytes;
+  options.functional_threads = 1;
+  Hal hal(options);
+  ASSERT_NE(hal.aal(), nullptr);
+  EXPECT_EQ(hal.aal()->dsm()->afu_id.load(), kRegexAfuId);
+}
+
+TEST(HalTest2, QueueBackpressureSurfacesAsError) {
+  // Fill the 64-deep ring with unserved jobs by enqueuing without ever
+  // running the scheduler.
+  SharedArena arena(32 * kSharedPageBytes);
+  DeviceConfig config;
+  FpgaDevice device(config, &arena);
+
+  // Build a minimal valid job in shared memory.
+  SlabAllocator slab(&arena);
+  auto heap_mem = slab.Allocate(1 << 16);
+  ASSERT_TRUE(heap_mem.ok());
+
+  class SlabAlloc : public BufferAllocator {
+   public:
+    explicit SlabAlloc(SlabAllocator* s) : s_(s) {}
+    Result<void*> Allocate(int64_t bytes) override {
+      return s_->Allocate(bytes);
+    }
+    Status Free(void* p) override { return s_->Free(p); }
+    SlabAllocator* s_;
+  } alloc(&slab);
+
+  Bat strings(ValueType::kString, &alloc);
+  ASSERT_TRUE(strings.AppendString("Strasse").ok());
+  Bat result(ValueType::kInt16, &alloc);
+  ASSERT_TRUE(result.AppendZeros(1).ok());
+  auto cfg = CompileRegexConfig("Strasse", config);
+  ASSERT_TRUE(cfg.ok());
+
+  int accepted = 0;
+  Status last;
+  for (int i = 0; i < 200; ++i) {
+    JobParams params;
+    params.offsets = strings.tail_data();
+    params.heap = strings.heap()->data();
+    params.result = result.mutable_tail_data();
+    params.count = 1;
+    params.heap_bytes = strings.heap()->size_bytes();
+    params.config = cfg->vector.bytes();
+    auto job = device.Submit(std::move(params));
+    if (job.ok()) {
+      ++accepted;
+    } else {
+      last = job.status();
+      break;
+    }
+  }
+  EXPECT_EQ(accepted, 64);  // ring capacity
+  EXPECT_EQ(last.code(), StatusCode::kIOError);
+
+  // Draining the device frees the ring again.
+  device.RunToIdle();
+  JobParams params;
+  params.offsets = strings.tail_data();
+  params.heap = strings.heap()->data();
+  params.result = result.mutable_tail_data();
+  params.count = 1;
+  params.heap_bytes = strings.heap()->size_bytes();
+  params.config = cfg->vector.bytes();
+  EXPECT_TRUE(device.Submit(std::move(params)).ok());
+}
+
+}  // namespace
+}  // namespace doppio

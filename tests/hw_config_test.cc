@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "hw/config_compiler.h"
+#include "hw/config_vector.h"
+#include "hw/device_config.h"
+#include "regex/token_extractor.h"
+
+namespace doppio {
+namespace {
+
+TEST(ConfigVectorTest, EncodeDecodeRoundTrip) {
+  auto nfa = ExtractTokenNfa(R"((Strasse|Str\.).*(8[0-9]{4}))");
+  ASSERT_TRUE(nfa.ok());
+  auto encoded = ConfigVector::Encode(*nfa);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = encoded->Decode();
+  ASSERT_TRUE(decoded.ok());
+
+  ASSERT_EQ(decoded->tokens.size(), nfa->tokens.size());
+  for (size_t t = 0; t < nfa->tokens.size(); ++t) {
+    EXPECT_EQ(decoded->tokens[t], nfa->tokens[t]);
+  }
+  ASSERT_EQ(decoded->states.size(), nfa->states.size());
+  for (size_t s = 0; s < nfa->states.size(); ++s) {
+    EXPECT_EQ(decoded->states[s].trigger_tokens,
+              nfa->states[s].trigger_tokens);
+    EXPECT_EQ(decoded->states[s].pred_states, nfa->states[s].pred_states);
+    EXPECT_EQ(decoded->states[s].latch, nfa->states[s].latch);
+    EXPECT_EQ(decoded->states[s].accept, nfa->states[s].accept);
+  }
+}
+
+TEST(ConfigVectorTest, WholeWords) {
+  auto nfa = ExtractTokenNfa("Strasse");
+  ASSERT_TRUE(nfa.ok());
+  auto encoded = ConfigVector::Encode(*nfa);
+  ASSERT_TRUE(encoded.ok());
+  // Padded to whole 512-bit words (paper: the configuration vector is
+  // written as 512-bit memory words).
+  EXPECT_EQ(encoded->bytes().size() % kConfigWordBytes, 0u);
+  EXPECT_GE(encoded->num_words(), 1);
+}
+
+TEST(ConfigVectorTest, FromBytesValidates) {
+  std::vector<uint8_t> garbage(64, 0xFF);
+  EXPECT_FALSE(ConfigVector::FromBytes(garbage).ok());
+
+  auto nfa = ExtractTokenNfa("abc");
+  ASSERT_TRUE(nfa.ok());
+  auto encoded = ConfigVector::Encode(*nfa);
+  ASSERT_TRUE(encoded.ok());
+  auto rebuilt = ConfigVector::FromBytes(encoded->bytes());
+  ASSERT_TRUE(rebuilt.ok());
+}
+
+TEST(ConfigVectorTest, WireFormatIsStable) {
+  // Golden test: the serialized configuration of a fixed pattern must not
+  // change silently — software generates it, the (simulated) hardware
+  // decodes it, and both sides must agree across releases.
+  auto nfa = ExtractTokenNfa("(a|b).*c");
+  ASSERT_TRUE(nfa.ok());
+  auto encoded = ConfigVector::Encode(*nfa);
+  ASSERT_TRUE(encoded.ok());
+  const auto& bytes = encoded->bytes();
+  ASSERT_EQ(bytes.size(), 64u);  // one 512-bit word
+  // Header: magic, version, token count, state count.
+  EXPECT_EQ(bytes[0], 0xD0);
+  EXPECT_EQ(bytes[1], 1);
+  EXPECT_EQ(bytes[2], 3);  // tokens a, b, c
+  EXPECT_EQ(bytes[3], 2);  // merged (a|b) state + accept state
+  // Token sections: len=1, one exact range each.
+  EXPECT_EQ(bytes[4], 1);    // chain length of token 0
+  EXPECT_EQ(bytes[5], 1);    // one range
+  EXPECT_EQ(bytes[6], 'a');  // lo
+  EXPECT_EQ(bytes[7], 'a');  // hi
+  EXPECT_EQ(bytes[10], 'b');
+  EXPECT_EQ(bytes[14], 'c');
+  // State 0: triggers {a,b} = 0b011, no preds, latch flag.
+  EXPECT_EQ(bytes[16], 0b011);
+  EXPECT_EQ(bytes[17], 0);     // pred bitmask
+  EXPECT_EQ(bytes[18], 0b01);  // flags: latch
+  // State 1: trigger {c} = 0b100, pred {S0} = 0b01, accept flag.
+  EXPECT_EQ(bytes[19], 0b100);
+  EXPECT_EQ(bytes[20], 0b01);
+  EXPECT_EQ(bytes[21], 0b10);  // flags: accept
+}
+
+TEST(ConfigCompilerTest, CompilesPaperQueries) {
+  DeviceConfig device;  // 16 chars, 8 states
+  auto q1 = CompileRegexConfig("Strasse", device);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_EQ(q1->states_used, 1);
+  EXPECT_EQ(q1->matchers_used, 7);
+  EXPECT_GE(q1->compile_seconds, 0);
+
+  auto q3 = CompileRegexConfig("[0-9]+(USD|EUR|GBP)", device);
+  ASSERT_TRUE(q3.ok()) << q3.status().ToString();
+  EXPECT_LE(q3->states_used, device.max_states);
+  EXPECT_LE(q3->matchers_used, device.max_chars);
+}
+
+TEST(ConfigCompilerTest, CapacityExceededOnTooManyChars) {
+  DeviceConfig device;
+  device.max_chars = 8;
+  auto r = CompileRegexConfig("verylongpattern", device);
+  EXPECT_TRUE(r.status().IsCapacityExceeded());
+}
+
+TEST(ConfigCompilerTest, CapacityExceededOnTooManyStates) {
+  DeviceConfig device;
+  device.max_states = 2;
+  device.max_chars = 64;
+  auto r = CompileRegexConfig("a.*b.*c.*d", device);
+  EXPECT_TRUE(r.status().IsCapacityExceeded());
+}
+
+TEST(ConfigCompilerTest, BiggerDeploymentAcceptsBiggerPatterns) {
+  DeviceConfig small;
+  small.max_chars = 8;
+  DeviceConfig big;
+  big.max_chars = 64;
+  const char* pattern = R"((Strasse|Str\.).*(8[0-9]{4}))";
+  EXPECT_TRUE(CompileRegexConfig(pattern, small)
+                  .status()
+                  .IsCapacityExceeded());
+  EXPECT_TRUE(CompileRegexConfig(pattern, big).ok());
+}
+
+TEST(ConfigCompilerTest, ConfigGenerationIsFast) {
+  // The paper reports < 1 µs to generate the configuration vector; our
+  // software compiler should at least be well under a millisecond.
+  DeviceConfig device;
+  device.max_chars = 64;
+  auto r = CompileRegexConfig(R"((Strasse|Str\.).*(8[0-9]{4}))", device);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->compile_seconds, 1e-3);
+}
+
+TEST(DeviceConfigTest, DerivedRates) {
+  DeviceConfig device;
+  EXPECT_DOUBLE_EQ(device.EngineBytesPerSec(), 6.4e9);
+  EXPECT_DOUBLE_EQ(device.DeviceBytesPerSec(), 25.6e9);
+  // Window-limited single engine lands a bit under the 6.5 GB/s QPI peak
+  // (the paper's ~5.9 GB/s effective single-engine bandwidth).
+  EXPECT_LT(device.SingleEngineBytesPerSec(), device.qpi_peak_bytes_per_sec);
+  EXPECT_GT(device.SingleEngineBytesPerSec(), 5.0e9);
+}
+
+}  // namespace
+}  // namespace doppio

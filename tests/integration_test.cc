@@ -1,0 +1,207 @@
+// End-to-end integration: SQL -> planner -> engine -> HUDF -> simulated
+// FPGA -> results, exercising the full Fig. 3 flow.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "db/column_store.h"
+#include "hal/hal.h"
+#include "sql/executor.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+using sql::ExecuteQuery;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hal::Options hal_options;
+    hal_options.shared_memory_bytes = 128 * kSharedPageBytes;  // 256 MiB
+    hal_options.functional_threads = 4;
+    hal_ = std::make_unique<Hal>(hal_options);
+
+    ColumnStoreEngine::Options options;
+    options.num_threads = 4;
+    options.sequential_pipe = true;  // the paper's HUDF configuration
+    options.hal = hal_.get();
+    engine_ = std::make_unique<ColumnStoreEngine>(options);
+
+    AddressDataOptions data;
+    data.num_records = 30'000;
+    // BATs land in CPU-FPGA shared memory through the engine's allocator.
+    auto table =
+        GenerateAddressTable(data, "address_table", engine_->allocator());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(engine_->catalog()->AddTable(std::move(*table)).ok());
+  }
+
+  int64_t Scalar(const std::string& sql_text, QueryStats* stats = nullptr) {
+    auto outcome = ExecuteQuery(engine_.get(), sql_text);
+    EXPECT_TRUE(outcome.ok()) << sql_text << ": "
+                              << outcome.status().ToString();
+    if (!outcome.ok()) return -1;
+    if (stats != nullptr) *stats = outcome->stats;
+    auto v = outcome->result.ScalarInt();
+    EXPECT_TRUE(v.ok());
+    return v.ok() ? *v : -1;
+  }
+
+  std::unique_ptr<Hal> hal_;
+  std::unique_ptr<ColumnStoreEngine> engine_;
+};
+
+TEST_F(IntegrationTest, FpgaAndSoftwareAgreeOnEveryQuery) {
+  for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ2, EvalQuery::kQ3,
+                      EvalQuery::kQ4}) {
+    int64_t sw =
+        Scalar(QuerySql(q, QueryEngineVariant::kMonetSoftware));
+    int64_t hw = Scalar(QuerySql(q, QueryEngineVariant::kFpga));
+    EXPECT_EQ(sw, hw) << QueryName(q);
+    EXPECT_GT(sw, 0) << QueryName(q);
+  }
+}
+
+TEST_F(IntegrationTest, FpgaPathReportsHardwarePhases) {
+  QueryStats stats;
+  int64_t count =
+      Scalar(QuerySql(EvalQuery::kQ2, QueryEngineVariant::kFpga), &stats);
+  EXPECT_GT(count, 0);
+  EXPECT_GT(stats.hw_seconds, 0.0);
+  EXPECT_GE(stats.config_gen_seconds, 0.0);
+  EXPECT_EQ(stats.strategy, "fpga");
+  EXPECT_EQ(stats.rows_scanned, 30'000);
+}
+
+TEST_F(IntegrationTest, SoftwarePathHasNoHardwarePhases) {
+  QueryStats stats;
+  Scalar(QuerySql(EvalQuery::kQ2, QueryEngineVariant::kMonetSoftware),
+         &stats);
+  EXPECT_EQ(stats.hw_seconds, 0.0);
+  EXPECT_GT(stats.database_seconds, 0.0);
+}
+
+TEST_F(IntegrationTest, HybridUdfOnOversizedPattern) {
+  // QH does not fit the default 24-character deployment: REGEXP_HYBRID
+  // must pre-filter on the FPGA and post-process on the CPU, and agree
+  // with pure software.
+  QueryStats stats;
+  int64_t hybrid =
+      Scalar(QuerySql(EvalQuery::kQH, QueryEngineVariant::kHybrid), &stats);
+  EXPECT_EQ(stats.strategy, "hybrid");
+  int64_t sw =
+      Scalar(QuerySql(EvalQuery::kQH, QueryEngineVariant::kMonetSoftware));
+  EXPECT_EQ(hybrid, sw);
+}
+
+TEST_F(IntegrationTest, OversizedPatternOnPlainFpgaFails) {
+  auto outcome = ExecuteQuery(
+      engine_.get(), QuerySql(EvalQuery::kQH, QueryEngineVariant::kFpga));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsCapacityExceeded());
+}
+
+TEST_F(IntegrationTest, InterchangeableOperators) {
+  // The HUDF takes the same arguments as the software operator and the two
+  // can be used interchangeably (paper §4.1) — including both argument
+  // orders.
+  int64_t a = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "REGEXP_LIKE(address_string, 'Strasse');");
+  int64_t b = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "REGEXP_FPGA('Strasse', address_string) <> 0;");
+  int64_t c = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "address_string LIKE '%Strasse%';");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST_F(IntegrationTest, NegatedFpgaPredicate) {
+  int64_t pos = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "REGEXP_FPGA('Strasse', address_string) <> 0;");
+  int64_t neg = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "REGEXP_FPGA('Strasse', address_string) = 0;");
+  EXPECT_EQ(pos + neg, 30'000);
+}
+
+TEST_F(IntegrationTest, ConjunctionOfFpgaAndComparison) {
+  int64_t count = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "REGEXP_FPGA('Strasse', address_string) <> 0 AND id < 15000;");
+  int64_t full = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "REGEXP_FPGA('Strasse', address_string) <> 0;");
+  EXPECT_GT(count, 0);
+  EXPECT_LT(count, full);
+}
+
+TEST_F(IntegrationTest, ContainsVersusScanOperators) {
+  ASSERT_TRUE(
+      engine_->BuildContainsIndex("address_table", "address_string").ok());
+  int64_t contains = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "CONTAINS(address_string, 'Strasse');");
+  int64_t like = Scalar(
+      "SELECT count(*) FROM address_table WHERE "
+      "address_string LIKE '%Strasse%';");
+  EXPECT_EQ(contains, like);
+}
+
+TEST_F(IntegrationTest, RealThreadsShareTheDevice) {
+  // Multiple host threads act as concurrent clients issuing HUDF jobs
+  // against the same (virtual-time) device; the cooperative busy-wait
+  // must keep every client's results correct.
+  const Bat* strings = engine_->catalog()
+                           ->GetTable("address_table")
+                           ->GetColumn("address_string");
+  auto config = hal_->CompileConfig(QueryPattern(EvalQuery::kQ1));
+  ASSERT_TRUE(config.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 3;
+  std::vector<int64_t> counts(kThreads * kJobsPerThread, -1);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        auto result = Bat::New(ValueType::kInt16, strings->count(),
+                               hal_->bat_allocator());
+        ASSERT_TRUE(result.ok());
+        ASSERT_TRUE((*result)->AppendZeros(strings->count()).ok());
+        auto job = hal_->CreateRegexJob(*strings, result->get(), *config);
+        ASSERT_TRUE(job.ok()) << job.status().ToString();
+        ASSERT_TRUE(job->Wait().ok());
+        counts[static_cast<size_t>(t * kJobsPerThread + j)] =
+            job->status().matches;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[0]);
+  }
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST_F(IntegrationTest, ConcurrentQueriesThroughFourEngines) {
+  // Submit several HUDF jobs back to back; the device dispatches them
+  // across its engines and every result stays correct.
+  std::vector<int64_t> counts;
+  for (int round = 0; round < 3; ++round) {
+    for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ3}) {
+      counts.push_back(Scalar(QuerySql(q, QueryEngineVariant::kFpga)));
+    }
+  }
+  for (size_t i = 2; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[i - 2]);
+  }
+}
+
+}  // namespace
+}  // namespace doppio

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/arena.h"
+#include "mem/page_table.h"
+#include "mem/slab_allocator.h"
+
+namespace doppio {
+namespace {
+
+TEST(PageTableTest, MapUnmap) {
+  PageTable pt(4);
+  EXPECT_FALSE(pt.IsMapped(0));
+  ASSERT_TRUE(pt.Map(0).ok());
+  EXPECT_TRUE(pt.IsMapped(0));
+  EXPECT_EQ(pt.mapped_entries(), 1);
+  ASSERT_TRUE(pt.Unmap(0).ok());
+  EXPECT_FALSE(pt.IsMapped(0));
+}
+
+TEST(PageTableTest, CapacityIsHard) {
+  PageTable pt(2);
+  ASSERT_TRUE(pt.Map(0).ok());
+  ASSERT_TRUE(pt.Map(1).ok());
+  EXPECT_TRUE(pt.Map(2).IsOutOfMemory());
+}
+
+TEST(PageTableTest, DoubleMapFails) {
+  PageTable pt(2);
+  ASSERT_TRUE(pt.Map(1).ok());
+  EXPECT_EQ(pt.Map(1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PageTableTest, UnmapUnmappedFails) {
+  PageTable pt(2);
+  EXPECT_TRUE(pt.Unmap(0).IsNotFound());
+}
+
+TEST(SharedArenaTest, AllocationRoundsToPages) {
+  SharedArena arena(8 * kSharedPageBytes);
+  auto run = arena.AllocatePages(1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_pages, 1);
+  EXPECT_EQ(arena.allocated_bytes(), kSharedPageBytes);
+  ASSERT_TRUE(arena.FreePages(*run).ok());
+  EXPECT_EQ(arena.allocated_bytes(), 0);
+}
+
+TEST(SharedArenaTest, ContiguousMultiPageRun) {
+  SharedArena arena(8 * kSharedPageBytes);
+  auto run = arena.AllocatePages(3 * kSharedPageBytes);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_pages, 3);
+  // The run is writable end to end.
+  std::memset(run->data, 0xAB, static_cast<size_t>(run->size_bytes()));
+  EXPECT_TRUE(arena.FreePages(*run).ok());
+}
+
+TEST(SharedArenaTest, ExhaustionFails) {
+  SharedArena arena(2 * kSharedPageBytes);
+  auto a = arena.AllocatePages(kSharedPageBytes);
+  auto b = arena.AllocatePages(kSharedPageBytes);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(arena.AllocatePages(1).status().IsOutOfMemory());
+}
+
+TEST(SharedArenaTest, FragmentationBlocksLargeRuns) {
+  // Pinned pages cannot be compacted: freeing every other page leaves no
+  // room for a 2-page run.
+  SharedArena arena(4 * kSharedPageBytes);
+  std::vector<PageRun> runs;
+  for (int i = 0; i < 4; ++i) {
+    auto run = arena.AllocatePages(1);
+    ASSERT_TRUE(run.ok());
+    runs.push_back(*run);
+  }
+  ASSERT_TRUE(arena.FreePages(runs[0]).ok());
+  ASSERT_TRUE(arena.FreePages(runs[2]).ok());
+  EXPECT_TRUE(
+      arena.AllocatePages(2 * kSharedPageBytes).status().IsOutOfMemory());
+  // A single page still fits.
+  EXPECT_TRUE(arena.AllocatePages(kSharedPageBytes).ok());
+}
+
+TEST(SharedArenaTest, PageTableTracksMappings) {
+  SharedArena arena(4 * kSharedPageBytes);
+  EXPECT_EQ(arena.page_table().mapped_entries(), 0);
+  auto run = arena.AllocatePages(2 * kSharedPageBytes);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(arena.page_table().mapped_entries(), 2);
+  EXPECT_TRUE(arena.page_table().IsMapped(run->first_page_index));
+  ASSERT_TRUE(arena.FreePages(*run).ok());
+  EXPECT_EQ(arena.page_table().mapped_entries(), 0);
+}
+
+TEST(SharedArenaTest, ContainsChecksBounds) {
+  SharedArena arena(2 * kSharedPageBytes);
+  auto run = arena.AllocatePages(1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(arena.Contains(run->data, kSharedPageBytes));
+  int local = 0;
+  EXPECT_FALSE(arena.Contains(&local));
+}
+
+TEST(SharedArenaTest, DoubleFreeRejected) {
+  SharedArena arena(2 * kSharedPageBytes);
+  auto run = arena.AllocatePages(1);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(arena.FreePages(*run).ok());
+  EXPECT_FALSE(arena.FreePages(*run).ok());
+}
+
+TEST(SlabAllocatorTest, SizeClasses) {
+  SharedArena arena(16 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  EXPECT_EQ(slab.ClassForSize(1), 16 * 1024);
+  EXPECT_EQ(slab.ClassForSize(16 * 1024), 16 * 1024);
+  EXPECT_EQ(slab.ClassForSize(16 * 1024 + 1), 32 * 1024);
+  EXPECT_EQ(slab.ClassForSize(kSharedPageBytes), kSharedPageBytes);
+  EXPECT_EQ(slab.ClassForSize(kSharedPageBytes + 1), 2 * kSharedPageBytes);
+}
+
+TEST(SlabAllocatorTest, AllocateAndReuse) {
+  SharedArena arena(16 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  auto a = slab.Allocate(10'000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(slab.Free(*a).ok());
+  auto b = slab.Allocate(10'000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // freed chunk is reused
+  EXPECT_TRUE(slab.Free(*b).ok());
+}
+
+TEST(SlabAllocatorTest, LargeAllocationsUsePageRuns) {
+  SharedArena arena(16 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  auto big = slab.Allocate(3 * kSharedPageBytes);
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(arena.Contains(*big, 3 * kSharedPageBytes));
+  ASSERT_TRUE(slab.Free(*big).ok());
+}
+
+TEST(SlabAllocatorTest, CacheLineAlignment) {
+  SharedArena arena(16 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  for (int64_t size : {100, 5000, 20'000, 100'000}) {
+    auto p = slab.Allocate(size);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(*p) % 64, 0u) << size;
+  }
+}
+
+TEST(SlabAllocatorTest, UnknownFreeRejected) {
+  SharedArena arena(4 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  int local;
+  EXPECT_TRUE(slab.Free(&local).IsInvalidArgument());
+}
+
+TEST(SlabAllocatorTest, StatsTrackVolume) {
+  SharedArena arena(16 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  auto a = slab.Allocate(1000);
+  auto b = slab.Allocate(40'000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  SlabStats stats = slab.stats();
+  EXPECT_EQ(stats.allocations, 2);
+  EXPECT_EQ(stats.bytes_requested, 41'000);
+  EXPECT_GE(stats.bytes_handed_out, 41'000);
+  ASSERT_TRUE(slab.Free(*a).ok());
+  ASSERT_TRUE(slab.Free(*b).ok());
+  EXPECT_EQ(slab.stats().frees, 2);
+}
+
+TEST(SlabAllocatorTest, ExhaustionPropagates) {
+  SharedArena arena(2 * kSharedPageBytes);
+  SlabAllocator slab(&arena);
+  auto big = slab.Allocate(2 * kSharedPageBytes);
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(slab.Allocate(1).status().IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace doppio

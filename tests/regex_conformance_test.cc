@@ -1,0 +1,148 @@
+// Dialect conformance: a battery of pattern/input/verdict triples run
+// through every execution strategy that supports the pattern — the lazy
+// DFA, the NFA simulation, the backtracker, and (for hardware-mappable
+// patterns) the token-NFA reference and the cycle-level PU.
+#include <gtest/gtest.h>
+
+#include "hw/config_compiler.h"
+#include "hw/processing_unit.h"
+#include "regex/backtrack_matcher.h"
+#include "regex/dfa_matcher.h"
+#include "regex/nfa_matcher.h"
+#include "regex/token_extractor.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+namespace {
+
+struct Conformance {
+  const char* pattern;
+  const char* input;
+  bool matched;
+};
+
+const Conformance kCases[] = {
+    // Literals and concatenation.
+    {"a", "a", true},
+    {"a", "b", false},
+    {"abc", "zabcz", true},
+    {"abc", "ab c", false},
+    {"abc", "", false},
+    // Alternation, incl. nested and uneven lengths.
+    {"a|b", "b", true},
+    {"a|b", "c", false},
+    {"(ab|c)d", "abd", true},
+    {"(ab|c)d", "cd", true},
+    {"(ab|c)d", "ad", false},
+    {"(a|b)(c|d)", "bd", true},
+    {"(a|b)(c|d)", "ba", false},
+    {"(abc|abd|abe)", "xabdy", true},
+    // Kleene star / plus / optional.
+    {"ab*c", "ac", true},
+    {"ab*c", "abbbc", true},
+    {"ab*c", "adc", false},
+    {"ab+c", "ac", false},
+    {"ab+c", "abc", true},
+    {"ab?c", "ac", true},
+    {"ab?c", "abc", true},
+    {"ab?c", "abbc", false},
+    {"(ab)*c", "c", true},
+    {"(ab)*c", "ababc", true},
+    {"(ab)*c", "abac", true},  // zero repetitions: the bare 'c' matches
+    {"d(ab)*c", "dabac", false},  // anchored by 'd': broken 'ab' run
+    // Classes and ranges.
+    {"[abc]", "zbz", true},
+    {"[abc]", "zdz", false},
+    {"[a-c]x", "bx", true},
+    {"[a-c]x", "dx", false},
+    {"[^a-c]x", "dx", true},
+    {"[^a-c]x", "bx", false},
+    {"[0-9][0-9]", "a42b", true},
+    {"[0-9][0-9]", "a4b2", false},
+    {"[a-zA-Z0-9]", "!", false},
+    {"[a-zA-Z0-9]", "Q", true},
+    // Dot.
+    {"a.c", "abc", true},
+    {"a.c", "ac", false},
+    {"a.c", "a\nc", true},  // '.' is any byte in this dialect
+    {"a..d", "abcd", true},
+    // Bounded repetition.
+    {"a{3}", "aa", false},
+    {"a{3}", "aaa", true},
+    {"a{2,4}b", "ab", false},
+    {"a{2,4}b", "aab", true},
+    {"a{2,4}b", "aaaab", true},
+    {"a{2,4}b", "aaaaab", true},  // unanchored: suffix aaaab matches
+    {"(ab){2}", "abab", true},
+    {"(ab){2}", "abxab", false},
+    {"a{0,2}b", "b", true},
+    {"a{2,}b", "aab", true},
+    {"a{2,}b", "ab", false},
+    // Escapes.
+    {R"(a\.b)", "a.b", true},
+    {R"(a\.b)", "axb", false},
+    {R"(a\\b)", "a\\b", true},
+    {R"(\d+)", "x9y", true},
+    {R"(\d+)", "xyz", false},
+    {R"(\w)", "_", true},
+    {R"(\s)", "a b", true},
+    {R"(a\:b)", "a:b", true},
+    // Mixed structures from the paper's domain.
+    {R"((Strasse|Str\.))", "Berner Str. 7", true},
+    {R"((Strasse|Str\.))", "Berner Strx 7", false},
+    {"[0-9]+(USD|EUR|GBP)", "0EUR", true},
+    {"[0-9]+(USD|EUR|GBP)", "EUR0", false},
+    {"(a|b).*c.*d", "xaycxd", true},
+    {"(a|b).*c.*d", "xdycxa", false},
+    {"x.*x", "xx", true},
+    {"x.*x", "x", false},
+    // Earliest-end subtleties.
+    {"a+b", "aab", true},
+    {"(a*)(b*)c", "c", true},
+    {"ab|abc", "abc", true},
+};
+
+class ConformanceTest : public ::testing::TestWithParam<Conformance> {};
+
+TEST_P(ConformanceTest, AllSoftwareStrategiesAgree) {
+  const Conformance& c = GetParam();
+  auto dfa = DfaMatcher::Compile(c.pattern);
+  auto nfa = NfaMatcher::Compile(c.pattern);
+  auto bt = BacktrackMatcher::Compile(c.pattern);
+  ASSERT_TRUE(dfa.ok()) << c.pattern;
+  ASSERT_TRUE(nfa.ok()) << c.pattern;
+  ASSERT_TRUE(bt.ok()) << c.pattern;
+
+  MatchResult d = (*dfa)->Find(c.input);
+  EXPECT_EQ(d.matched, c.matched) << c.pattern << " on '" << c.input << "'";
+  EXPECT_EQ((*nfa)->Find(c.input), d)
+      << c.pattern << " on '" << c.input << "'";
+  EXPECT_EQ((*bt)->Find(c.input).matched, c.matched)
+      << c.pattern << " on '" << c.input << "'";
+}
+
+TEST_P(ConformanceTest, HardwarePathAgreesWhenMappable) {
+  const Conformance& c = GetParam();
+  DeviceConfig device;
+  device.max_chars = 64;
+  device.max_states = 32;
+  auto config = CompileRegexConfig(c.pattern, device);
+  if (!config.ok()) {
+    GTEST_SKIP() << "not hardware-mappable: "
+                 << config.status().ToString();
+  }
+  TokenNfaMatcher reference(config->nfa);
+  EXPECT_EQ(reference.Find(c.input).matched, c.matched)
+      << c.pattern << " on '" << c.input << "'";
+
+  ProcessingUnit pu(device);
+  ASSERT_TRUE(pu.Configure(config->vector).ok());
+  EXPECT_EQ(pu.ProcessString(c.input) != 0, c.matched)
+      << c.pattern << " on '" << c.input << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(Dialect, ConformanceTest,
+                         ::testing::ValuesIn(kCases));
+
+}  // namespace
+}  // namespace doppio

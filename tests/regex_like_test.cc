@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "regex/dfa_matcher.h"
+#include "regex/like_translator.h"
+#include "regex/thompson_nfa.h"
+
+namespace doppio {
+namespace {
+
+TEST(LikeTranslatorTest, SimpleSubstring) {
+  auto like = TranslateLike("%Strasse%");
+  ASSERT_TRUE(like.ok());
+  EXPECT_TRUE(like->is_multi_substring);
+  EXPECT_EQ(like->substrings, (std::vector<std::string>{"Strasse"}));
+  EXPECT_FALSE(like->anchored_start);
+  EXPECT_FALSE(like->anchored_end);
+  EXPECT_EQ(like->regex, "Strasse");
+}
+
+TEST(LikeTranslatorTest, MultiSubstring) {
+  auto like = TranslateLike("%special%requests%");
+  ASSERT_TRUE(like.ok());
+  EXPECT_TRUE(like->is_multi_substring);
+  EXPECT_EQ(like->substrings,
+            (std::vector<std::string>{"special", "requests"}));
+  EXPECT_EQ(like->regex, "special.*requests");
+}
+
+TEST(LikeTranslatorTest, Anchors) {
+  auto prefix = TranslateLike("abc%");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix->anchored_start);
+  EXPECT_FALSE(prefix->anchored_end);
+  EXPECT_FALSE(prefix->is_multi_substring);
+
+  auto suffix = TranslateLike("%abc");
+  ASSERT_TRUE(suffix.ok());
+  EXPECT_FALSE(suffix->anchored_start);
+  EXPECT_TRUE(suffix->anchored_end);
+
+  auto exact = TranslateLike("abc");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->anchored_start);
+  EXPECT_TRUE(exact->anchored_end);
+}
+
+TEST(LikeTranslatorTest, UnderscoreBreaksSubstringPath) {
+  auto like = TranslateLike("%a_c%");
+  ASSERT_TRUE(like.ok());
+  EXPECT_FALSE(like->is_multi_substring);
+  EXPECT_EQ(like->regex, "a.c");
+}
+
+TEST(LikeTranslatorTest, PercentRunsCollapse) {
+  auto like = TranslateLike("%%a%%%b%%");
+  ASSERT_TRUE(like.ok());
+  EXPECT_TRUE(like->is_multi_substring);
+  EXPECT_EQ(like->substrings, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LikeTranslatorTest, EscapedWildcards) {
+  auto like = TranslateLike(R"(%100\%%)");
+  ASSERT_TRUE(like.ok());
+  EXPECT_TRUE(like->is_multi_substring);
+  EXPECT_EQ(like->substrings, (std::vector<std::string>{"100%"}));
+}
+
+TEST(LikeTranslatorTest, DanglingEscapeFails) {
+  EXPECT_FALSE(TranslateLike("abc\\").ok());
+}
+
+TEST(LikeTranslatorTest, MetacharactersAreEscapedInRegex) {
+  auto like = TranslateLike("%a.b*c%");
+  ASSERT_TRUE(like.ok());
+  // The regex must match the literal characters, not regex operators.
+  auto m = DfaMatcher::Compile(like->regex);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->Matches("xxa.b*cxx"));
+  EXPECT_FALSE((*m)->Matches("xxaXbbbcxx"));
+}
+
+// LIKE evaluation through the translated regex agrees with direct
+// reasoning about the pattern.
+struct LikeCase {
+  std::string pattern;
+  std::string input;
+  bool expect;
+};
+
+class LikeSemanticsTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeSemanticsTest, TranslatedRegexMatches) {
+  const LikeCase& c = GetParam();
+  auto like = TranslateLike(c.pattern);
+  ASSERT_TRUE(like.ok());
+  CompileOptions opts;
+  opts.anchor_start = like->anchored_start;
+  opts.anchor_end = like->anchored_end;
+  auto program = CompileProgram(*like->ast, opts);
+  ASSERT_TRUE(program.ok());
+  auto matcher = DfaMatcher::FromProgram(std::move(*program));
+  EXPECT_EQ(matcher->Matches(c.input), c.expect)
+      << c.pattern << " on " << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LikeSemanticsTest,
+    ::testing::Values(
+        LikeCase{"%Strasse%", "44 Koblenzer Strasse", true},
+        LikeCase{"%Strasse%", "44 Koblenzer Gasse", false},
+        LikeCase{"%a%b%", "xaxbx", true},
+        LikeCase{"%a%b%", "xbxax", false},
+        LikeCase{"a%", "abc", true},
+        LikeCase{"a%", "bac", false},
+        LikeCase{"%c", "abc", true},
+        LikeCase{"%c", "cab", false},
+        LikeCase{"a_c", "abc", true},
+        LikeCase{"a_c", "abbc", false},
+        LikeCase{"a_c", "ac", false},
+        LikeCase{"abc", "abc", true},
+        LikeCase{"abc", "xabc", false},
+        LikeCase{"%", "anything", true},
+        LikeCase{"%", "", true},
+        LikeCase{"a%c", "abbbbc", true},
+        LikeCase{"a%c", "abbbbd", false}));
+
+}  // namespace
+}  // namespace doppio

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "regex/backtrack_matcher.h"
+#include "regex/dfa_matcher.h"
+#include "regex/nfa_matcher.h"
+#include "regex/substring_search.h"
+
+namespace doppio {
+namespace {
+
+struct Case {
+  std::string pattern;
+  std::string input;
+  bool matched;
+  int32_t end;  // checked for DFA/NFA (earliest-end semantics); -1 = skip
+};
+
+const std::vector<Case>& Cases() {
+  static const std::vector<Case> cases = {
+      {"abc", "xxabcxx", true, 5},
+      {"abc", "ab", false, 0},
+      {"abc", "", false, 0},
+      {"a|b", "zzb", true, 3},
+      {"(a|b).*c", "xbyc", true, 4},
+      {"(a|b).*c", "xyzc", false, 0},
+      {"[0-9]+(USD|EUR|GBP)", "price 42USD here", true, 11},
+      {"[0-9]+(USD|EUR|GBP)", "price 42 USD", false, 0},
+      {"[0-9]+(USD|EUR|GBP)", "9GBP", true, 4},
+      {R"((Strasse|Str\.).*(8[0-9]{4}))",
+       "Hans|44 Koblenzer Strasse|80331|Muenchen", true, -1},
+      {R"((Strasse|Str\.).*(8[0-9]{4}))",
+       "Hans|44 Koblenzer Str.|80331|Muenchen", true, -1},
+      {R"((Strasse|Str\.).*(8[0-9]{4}))",
+       "Hans|44 Koblenzer Strasse|60331|Muenchen", false, 0},
+      {R"([A-Za-z]{3}\:[0-9]{4})", "x Ref:2034 y", true, 10},
+      {R"([A-Za-z]{3}\:[0-9]{4})", "x Re:2034 y", false, 0},
+      {"a+", "aaa", true, 1},
+      {"a{3}", "aa", false, 0},
+      {"a{3}", "baaab", true, 4},
+      {"a{2,3}b", "aab", true, 3},
+      {"colou?r", "my color!", true, 8},
+      {"colou?r", "my colour!", true, 9},
+      {"x.z", "xyz", true, 3},
+      {"x.z", "xz", false, 0},
+      {"(ab)+c", "ababc", true, 5},
+      {"(ab)+c", "abc", true, 3},
+      {"(ab)+c", "ac", false, 0},
+      {"[^0-9]+", "123a", true, 4},
+      {"delivery", std::string(200, 'x') + "delivery", true, 208},
+  };
+  return cases;
+}
+
+class AllMatchersTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllMatchersTest, DfaFindsExpected) {
+  const Case& c = GetParam();
+  auto matcher = DfaMatcher::Compile(c.pattern);
+  ASSERT_TRUE(matcher.ok()) << matcher.status().ToString();
+  MatchResult m = (*matcher)->Find(c.input);
+  EXPECT_EQ(m.matched, c.matched) << c.pattern << " on " << c.input;
+  if (c.matched && c.end >= 0) {
+    EXPECT_EQ(m.end, c.end);
+  }
+}
+
+TEST_P(AllMatchersTest, NfaAgreesWithDfa) {
+  const Case& c = GetParam();
+  auto nfa = NfaMatcher::Compile(c.pattern);
+  auto dfa = DfaMatcher::Compile(c.pattern);
+  ASSERT_TRUE(nfa.ok());
+  ASSERT_TRUE(dfa.ok());
+  MatchResult mn = (*nfa)->Find(c.input);
+  MatchResult md = (*dfa)->Find(c.input);
+  EXPECT_EQ(mn, md) << c.pattern << " on " << c.input;
+}
+
+TEST_P(AllMatchersTest, BacktrackerAgreesOnBoolean) {
+  const Case& c = GetParam();
+  auto bt = BacktrackMatcher::Compile(c.pattern);
+  ASSERT_TRUE(bt.ok());
+  EXPECT_EQ((*bt)->Find(c.input).matched, c.matched)
+      << c.pattern << " on " << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AllMatchersTest,
+                         ::testing::ValuesIn(Cases()));
+
+TEST(DfaMatcherTest, EmptyMatchingPattern) {
+  auto m = DfaMatcher::Compile("a*");
+  ASSERT_TRUE(m.ok());
+  MatchResult r = (*m)->Find("zzz");
+  EXPECT_TRUE(r.matched);  // trivially true predicate
+  EXPECT_EQ(r.end, 0);
+}
+
+TEST(DfaMatcherTest, CaseInsensitive) {
+  CompileOptions opts;
+  opts.case_insensitive = true;
+  auto m = DfaMatcher::Compile("strasse", opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->Matches("KOBLENZER STRASSE"));
+  EXPECT_TRUE((*m)->Matches("Koblenzer Strasse"));
+  EXPECT_FALSE((*m)->Matches("Koblenzer Gasse"));
+}
+
+TEST(DfaMatcherTest, CaretDollarAnchors) {
+  // SQL-style explicit anchors in the pattern text.
+  auto exact = DfaMatcher::Compile("^abc$");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE((*exact)->Matches("abc"));
+  EXPECT_FALSE((*exact)->Matches("xabc"));
+  EXPECT_FALSE((*exact)->Matches("abcx"));
+
+  auto prefix = DfaMatcher::Compile("^ab");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE((*prefix)->Matches("abz"));
+  EXPECT_FALSE((*prefix)->Matches("zab"));
+
+  auto suffix = DfaMatcher::Compile("bc$");
+  ASSERT_TRUE(suffix.ok());
+  EXPECT_TRUE((*suffix)->Matches("abc"));
+  EXPECT_FALSE((*suffix)->Matches("bca"));
+
+  // Escaped '$' is a literal.
+  auto literal = DfaMatcher::Compile(R"(5\$)");
+  ASSERT_TRUE(literal.ok());
+  EXPECT_TRUE((*literal)->Matches("costs 5$ total"));
+  EXPECT_FALSE((*literal)->Matches("costs 5 total"));
+
+  // All three software engines agree on anchored patterns.
+  auto nfa = NfaMatcher::Compile("^a.*z$");
+  auto bt = BacktrackMatcher::Compile("^a.*z$");
+  auto dfa = DfaMatcher::Compile("^a.*z$");
+  ASSERT_TRUE(nfa.ok());
+  ASSERT_TRUE(bt.ok());
+  ASSERT_TRUE(dfa.ok());
+  for (const char* input : {"az", "abz", "xaz", "azx", "a", "z", ""}) {
+    EXPECT_EQ((*dfa)->Matches(input), (*nfa)->Matches(input)) << input;
+    EXPECT_EQ((*dfa)->Matches(input), (*bt)->Matches(input)) << input;
+  }
+}
+
+TEST(DfaMatcherTest, AnchoredStart) {
+  CompileOptions opts;
+  opts.anchor_start = true;
+  auto m = DfaMatcher::Compile("abc", opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->Matches("abcdef"));
+  EXPECT_FALSE((*m)->Matches("xabc"));
+}
+
+TEST(DfaMatcherTest, AnchoredEnd) {
+  CompileOptions opts;
+  opts.anchor_end = true;
+  auto m = DfaMatcher::Compile("abc", opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->Matches("xxabc"));
+  EXPECT_FALSE((*m)->Matches("abcx"));
+}
+
+TEST(DfaMatcherTest, FullyAnchored) {
+  CompileOptions opts;
+  opts.anchor_start = true;
+  opts.anchor_end = true;
+  auto m = DfaMatcher::Compile("a.*b", opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->Matches("axxxb"));
+  EXPECT_TRUE((*m)->Matches("ab"));
+  EXPECT_FALSE((*m)->Matches("xab"));
+  EXPECT_FALSE((*m)->Matches("abx"));
+}
+
+TEST(DfaMatcherTest, StatesAreCachedLazily) {
+  auto m = DfaMatcher::Compile("(a|b)+c");
+  ASSERT_TRUE(m.ok());
+  size_t before = (*m)->num_states();
+  (*m)->Find("ababababc");
+  size_t after = (*m)->num_states();
+  EXPECT_GT(after, before);
+  (*m)->Find("ababababc");
+  EXPECT_EQ((*m)->num_states(), after);  // warm: no new states
+}
+
+TEST(DfaMatcherTest, CacheFlushKeepsMatchingCorrect) {
+  // a(a|b){14}c has ~2^14 reachable subset states: enough to overflow the
+  // state cache. Results must stay identical to the NFA simulation across
+  // flushes.
+  const char* pattern = "a(a|b){14}c";
+  auto dfa = DfaMatcher::Compile(pattern);
+  auto nfa = NfaMatcher::Compile(pattern);
+  ASSERT_TRUE(dfa.ok());
+  ASSERT_TRUE(nfa.ok());
+  Rng rng(31);
+  int64_t checked = 0;
+  for (int i = 0; i < 800; ++i) {
+    std::string input = rng.FromAlphabet("ab", 100 + rng.NextBounded(400));
+    MatchResult d = (*dfa)->Find(input);
+    MatchResult n = (*nfa)->Find(input);
+    ASSERT_EQ(d, n) << input;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+  // The cache stayed bounded.
+  EXPECT_LE((*dfa)->num_states(), DfaMatcher::kMaxCachedStates + 2);
+  EXPECT_GT((*dfa)->cache_flushes(), 0);
+}
+
+TEST(BacktrackMatcherTest, StepBudget) {
+  // Classic catastrophic backtracking: (a+)+b against aaaa...a.
+  auto m = BacktrackMatcher::Compile("(a+)+b");
+  ASSERT_TRUE(m.ok());
+  (*m)->set_step_budget(10'000);
+  MatchResult r = (*m)->Find(std::string(64, 'a'));
+  EXPECT_FALSE(r.matched);
+  EXPECT_TRUE((*m)->last_find_exceeded_budget());
+}
+
+TEST(BacktrackMatcherTest, CostGrowsWithComplexity) {
+  // The same input costs more steps under a more complex pattern — the
+  // behaviour that motivates the FPGA offload.
+  std::string input = "John|Smith|44 Koblenzer Gasse|60327|Frankfurt";
+  auto simple = BacktrackMatcher::Compile("Strasse");
+  auto complex = BacktrackMatcher::Compile(
+      R"((Strasse|Str\.).*(8[0-9]{4}).*delivery)");
+  ASSERT_TRUE(simple.ok());
+  ASSERT_TRUE(complex.ok());
+  (*simple)->Find(input);
+  (*complex)->Find(input);
+  EXPECT_GT((*complex)->total_steps(), (*simple)->total_steps());
+}
+
+TEST(BoyerMooreTest, Basics) {
+  BoyerMooreMatcher bm("needle");
+  EXPECT_EQ(bm.Find("find the needle here"), 9u);
+  EXPECT_EQ(bm.Find("no match"), std::string_view::npos);
+  EXPECT_EQ(bm.Find("needle"), 0u);
+  EXPECT_EQ(bm.Find("needleneedle", 1), 6u);
+}
+
+TEST(BoyerMooreTest, CaseInsensitive) {
+  BoyerMooreMatcher bm("Strasse", /*case_insensitive=*/true);
+  EXPECT_EQ(bm.Find("KOBLENZER STRASSE"), 10u);
+  EXPECT_EQ(bm.Find("koblenzer strasse"), 10u);
+}
+
+TEST(KmpTest, AgreesWithBoyerMoore) {
+  for (const char* needle : {"ab", "aba", "xyz", "aaa"}) {
+    BoyerMooreMatcher bm(needle);
+    KmpMatcher kmp(needle);
+    for (const char* hay :
+         {"abababa", "xxxyzxx", "aaaa", "", "b", "abacabadaba"}) {
+      EXPECT_EQ(bm.Find(hay), kmp.Find(hay)) << needle << " in " << hay;
+    }
+  }
+}
+
+TEST(MultiSubstringTest, OrderedNonOverlapping) {
+  auto m = MultiSubstringMatcher::Create({"Alan", "Turing", "Cheshire"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->Matches("Alan M Turing of Cheshire"));
+  EXPECT_FALSE((*m)->Matches("Turing Alan Cheshire"));  // out of order
+  EXPECT_FALSE((*m)->Matches("Alan Turing"));
+  // Occurrences may not overlap: "aba" then "ab" needs a second "ab".
+  auto m2 = MultiSubstringMatcher::Create({"aba", "ab"});
+  ASSERT_TRUE(m2.ok());
+  EXPECT_FALSE((*m2)->Matches("abab"));
+  EXPECT_TRUE((*m2)->Matches("abaab"));
+}
+
+TEST(MultiSubstringTest, EndPositionMatchesDfa) {
+  auto multi = MultiSubstringMatcher::Create({"foo", "bar"});
+  auto dfa = DfaMatcher::Compile("foo.*bar");
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(dfa.ok());
+  for (const char* input :
+       {"foobar", "xxfooyybarzz", "foofoobarbar", "fobar", "barfoo"}) {
+    MatchResult a = (*multi)->Find(input);
+    MatchResult b = (*dfa)->Find(input);
+    EXPECT_EQ(a, b) << input;
+  }
+}
+
+}  // namespace
+}  // namespace doppio

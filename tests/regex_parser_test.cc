@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "regex/pattern_ast.h"
+#include "regex/pattern_parser.h"
+
+namespace doppio {
+namespace {
+
+Result<AstNodePtr> P(const std::string& s) { return ParsePattern(s); }
+
+TEST(PatternParserTest, Literal) {
+  auto ast = P("abc");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ((*ast)->kind, AstKind::kLiteral);
+  EXPECT_EQ((*ast)->literal, "abc");
+  EXPECT_EQ((*ast)->MinLength(), 3);
+}
+
+TEST(PatternParserTest, Alternation) {
+  auto ast = P("abc|de|f");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ((*ast)->kind, AstKind::kAlternate);
+  EXPECT_EQ((*ast)->children.size(), 3u);
+  EXPECT_EQ((*ast)->MinLength(), 1);
+}
+
+TEST(PatternParserTest, GroupingAndStar) {
+  auto ast = P("(a|b).*c");
+  ASSERT_TRUE(ast.ok());
+  const AstNode& root = **ast;
+  ASSERT_EQ(root.kind, AstKind::kConcat);
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0]->kind, AstKind::kAlternate);
+  EXPECT_EQ(root.children[1]->kind, AstKind::kRepeat);
+  EXPECT_EQ(root.children[1]->repeat_min, 0);
+  EXPECT_EQ(root.children[1]->repeat_max, -1);
+  EXPECT_EQ(root.children[2]->kind, AstKind::kLiteral);
+}
+
+TEST(PatternParserTest, QuantifierBindsToLastChar) {
+  auto ast = P("ab+");
+  ASSERT_TRUE(ast.ok());
+  const AstNode& root = **ast;
+  ASSERT_EQ(root.kind, AstKind::kConcat);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->literal, "a");
+  EXPECT_EQ(root.children[1]->kind, AstKind::kRepeat);
+  EXPECT_EQ(root.children[1]->children[0]->literal, "b");
+}
+
+TEST(PatternParserTest, CharClassWithRanges) {
+  auto ast = P("[a-c5]");
+  ASSERT_TRUE(ast.ok());
+  const CharSet& set = (*ast)->char_class;
+  EXPECT_TRUE(set.Test('a'));
+  EXPECT_TRUE(set.Test('b'));
+  EXPECT_TRUE(set.Test('c'));
+  EXPECT_TRUE(set.Test('5'));
+  EXPECT_FALSE(set.Test('d'));
+}
+
+TEST(PatternParserTest, NegatedClass) {
+  auto ast = P("[^ab]");
+  ASSERT_TRUE(ast.ok());
+  const CharSet& set = (*ast)->char_class;
+  EXPECT_FALSE(set.Test('a'));
+  EXPECT_FALSE(set.Test('b'));
+  EXPECT_TRUE(set.Test('c'));
+}
+
+TEST(PatternParserTest, BoundedRepeats) {
+  auto ast = P("[0-9]{4}");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ((*ast)->kind, AstKind::kRepeat);
+  EXPECT_EQ((*ast)->repeat_min, 4);
+  EXPECT_EQ((*ast)->repeat_max, 4);
+
+  auto ast2 = P("a{2,5}");
+  ASSERT_TRUE(ast2.ok());
+  EXPECT_EQ((*ast2)->repeat_min, 2);
+  EXPECT_EQ((*ast2)->repeat_max, 5);
+
+  auto ast3 = P("a{3,}");
+  ASSERT_TRUE(ast3.ok());
+  EXPECT_EQ((*ast3)->repeat_min, 3);
+  EXPECT_EQ((*ast3)->repeat_max, -1);
+}
+
+TEST(PatternParserTest, Escapes) {
+  auto ast = P(R"(Str\.)");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ((*ast)->kind, AstKind::kLiteral);
+  EXPECT_EQ((*ast)->literal, "Str.");
+
+  auto digits = P(R"(\d+)");
+  ASSERT_TRUE(digits.ok());
+  EXPECT_EQ((*digits)->kind, AstKind::kRepeat);
+  EXPECT_TRUE((*digits)->children[0]->char_class.Test('7'));
+}
+
+TEST(PatternParserTest, PaperQueriesParse) {
+  EXPECT_TRUE(P(R"((Strasse|Str\.).*(8[0-9]{4}))").ok());
+  EXPECT_TRUE(P("[0-9]+(USD|EUR|GBP)").ok());
+  EXPECT_TRUE(P(R"([A-Za-z]{3}\:[0-9]{4})").ok());
+  EXPECT_TRUE(P(R"((Strasse|Str\.).*(8[0-9]{4}).*delivery)").ok());
+  EXPECT_TRUE(P("(Blue|Gray).*skies").ok());
+  EXPECT_TRUE(P("(Josef|Klaus)strasse").ok());
+}
+
+TEST(PatternParserTest, Errors) {
+  EXPECT_FALSE(P("a(b").ok());
+  EXPECT_FALSE(P("a)b").ok());
+  EXPECT_FALSE(P("*a").ok());
+  EXPECT_FALSE(P("a**").ok());
+  EXPECT_FALSE(P("[a-").ok());
+  EXPECT_FALSE(P("[]").ok());
+  EXPECT_FALSE(P("a{2").ok());
+  EXPECT_FALSE(P("a{5,2}").ok());
+  EXPECT_FALSE(P("a\\").ok());
+  EXPECT_FALSE(P("a{99999}").ok());
+}
+
+TEST(PatternParserTest, ToStringRoundTrips) {
+  for (const char* pattern :
+       {"abc", "(a|b)", "(a|b).*c", "[0-9]+(USD|EUR|GBP)", "x?y+z*",
+        "(ab){2,3}c"}) {
+    auto ast = P(pattern);
+    ASSERT_TRUE(ast.ok()) << pattern;
+    std::string rendered = (*ast)->ToString();
+    auto reparsed = P(rendered);
+    ASSERT_TRUE(reparsed.ok()) << rendered;
+    // Idempotent rendering after one round trip.
+    EXPECT_EQ((*reparsed)->ToString(), rendered);
+  }
+}
+
+TEST(PatternParserTest, MatchesEmpty) {
+  EXPECT_TRUE((*P("a*"))->MatchesEmpty());
+  EXPECT_TRUE((*P("a?"))->MatchesEmpty());
+  EXPECT_FALSE((*P("a+"))->MatchesEmpty());
+  EXPECT_FALSE((*P("abc"))->MatchesEmpty());
+  EXPECT_TRUE((*P("a*b?"))->MatchesEmpty());
+  EXPECT_TRUE((*P("(a|b*)"))->MatchesEmpty());
+}
+
+TEST(CharSetTest, AnyCharMatchesAllBytes) {
+  CharSet any = CharSet::AnyChar();
+  EXPECT_EQ(any.Count(), 256u);
+}
+
+TEST(CharSetTest, FoldCase) {
+  CharSet set = CharSet::Single('a');
+  set.FoldCase();
+  EXPECT_TRUE(set.Test('A'));
+  EXPECT_TRUE(set.Test('a'));
+  EXPECT_FALSE(set.Test('b'));
+}
+
+}  // namespace
+}  // namespace doppio

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "text/inverted_index.h"
+#include "text/tokenizer.h"
+
+namespace doppio {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  auto words = TokenizeWords("Alan M. Turing, Cheshire!");
+  EXPECT_EQ(words, (std::vector<std::string>{"alan", "m", "turing",
+                                             "cheshire"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  auto words = TokenizeWords("STRASSE Strasse strasse");
+  EXPECT_EQ(words.size(), 3u);
+  for (const auto& w : words) EXPECT_EQ(w, "strasse");
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  auto words = TokenizeWords("a bb ccc", 2);
+  EXPECT_EQ(words, (std::vector<std::string>{"bb", "ccc"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("!!! ---").empty());
+}
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    strings_ = std::make_unique<Bat>(ValueType::kString);
+    ASSERT_TRUE(strings_->AppendString("Alan Turing of Cheshire").ok());
+    ASSERT_TRUE(strings_->AppendString("Alan Smith of London").ok());
+    ASSERT_TRUE(strings_->AppendString("Turing machines in Cheshire").ok());
+    ASSERT_TRUE(strings_->AppendString("nothing relevant").ok());
+    auto index = InvertedIndex::Build(*strings_);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(*index);
+  }
+
+  std::unique_ptr<Bat> strings_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(InvertedIndexTest, SingleTerm) {
+  auto rows = index_->Search("Alan");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<int64_t>{0, 1}));
+}
+
+TEST_F(InvertedIndexTest, Conjunction) {
+  auto rows = index_->Search("Alan & Turing & Cheshire");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<int64_t>{0}));
+  auto count = index_->Count("Turing & Cheshire");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2);
+}
+
+TEST_F(InvertedIndexTest, CaseInsensitiveTerms) {
+  auto rows = index_->Search("ALAN & turing");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<int64_t>{0}));
+}
+
+TEST_F(InvertedIndexTest, MissingTermEmptyResult) {
+  auto rows = index_->Search("Alan & Hamilton");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(InvertedIndexTest, EmptyQueryRejected) {
+  EXPECT_FALSE(index_->Search("").ok());
+  EXPECT_FALSE(index_->Search(" & ").ok());
+}
+
+TEST_F(InvertedIndexTest, StalenessDetected) {
+  EXPECT_FALSE(index_->IsStaleFor(*strings_));
+  ASSERT_TRUE(strings_->AppendString("new row").ok());
+  // The index has no idea about the new row — the paper's staleness
+  // problem with CONTAINS.
+  EXPECT_TRUE(index_->IsStaleFor(*strings_));
+}
+
+TEST_F(InvertedIndexTest, MemoryFootprintIsPositive) {
+  EXPECT_GT(index_->memory_bytes(), 0);
+  EXPECT_GT(index_->num_terms(), 0);
+  EXPECT_EQ(index_->num_rows(), 4);
+}
+
+TEST(InvertedIndexBuildTest, RejectsNonStringColumn) {
+  Bat ints(ValueType::kInt32);
+  ASSERT_TRUE(ints.AppendInt32(1).ok());
+  EXPECT_FALSE(InvertedIndex::Build(ints).ok());
+}
+
+TEST(InvertedIndexBuildTest, DuplicateWordsInRowCountOnce) {
+  Bat strings(ValueType::kString);
+  ASSERT_TRUE(strings.AppendString("echo echo echo").ok());
+  auto index = InvertedIndex::Build(strings);
+  ASSERT_TRUE(index.ok());
+  auto rows = (*index)->Search("echo");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<int64_t>{0}));
+}
+
+}  // namespace
+}  // namespace doppio

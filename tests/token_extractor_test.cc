@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "regex/dfa_matcher.h"
+#include "regex/pattern_parser.h"
+#include "regex/thompson_nfa.h"
+#include "regex/token_extractor.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+namespace {
+
+Result<TokenNfa> Extract(const std::string& pattern,
+                         const CompileOptions& opts = {}) {
+  return ExtractTokenNfa(pattern, opts);
+}
+
+TEST(TokenExtractorTest, SingleLiteralToken) {
+  auto nfa = Extract("Strasse");
+  ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+  EXPECT_EQ(nfa->tokens.size(), 1u);
+  EXPECT_EQ(nfa->tokens[0].length(), 7);
+  EXPECT_EQ(nfa->NumStates(), 1);
+  EXPECT_TRUE(nfa->states[0].accept);
+  EXPECT_TRUE(nfa->states[0].pred_states.empty());  // start-gated
+  EXPECT_EQ(nfa->TotalMatchers(), 7);
+}
+
+TEST(TokenExtractorTest, AlternationMergesIntoOneState) {
+  // The paper's Fig. 6: (a|b).*c — a and b trigger the same state.
+  auto nfa = Extract("(a|b).*c");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->NumStates(), 2);
+  EXPECT_EQ(nfa->tokens.size(), 3u);
+  const HwState& s0 = nfa->states[0];
+  EXPECT_EQ(s0.trigger_tokens.size(), 2u);  // a and b
+  EXPECT_TRUE(s0.latch);                    // '.*' glue
+  EXPECT_FALSE(s0.accept);
+  const HwState& s1 = nfa->states[1];
+  EXPECT_TRUE(s1.accept);
+  EXPECT_EQ(s1.pred_states, (std::vector<int>{0}));
+}
+
+TEST(TokenExtractorTest, BlueGraySkies) {
+  // (Blue|Gray).*skies: 3 tokens; Blue/Gray merge into one state.
+  auto nfa = Extract("(Blue|Gray).*skies");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->tokens.size(), 3u);
+  EXPECT_EQ(nfa->NumStates(), 2);
+  // Character matchers: 4 + 4 + 5.
+  EXPECT_EQ(nfa->TotalMatchers(), 13);
+}
+
+TEST(TokenExtractorTest, CharacterSequenceOptimization) {
+  // 8[0-9]{4} is a single chain: literal + four coupled range pairs.
+  auto nfa = Extract("8[0-9]{4}");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->tokens.size(), 1u);
+  EXPECT_EQ(nfa->tokens[0].length(), 5);
+  // Cost: 1 exact matcher + 4 range pairs = 9 slots.
+  EXPECT_EQ(nfa->TotalMatchers(), 9);
+  EXPECT_EQ(nfa->NumStates(), 1);
+}
+
+TEST(TokenExtractorTest, DotStarCostsNoMatchers) {
+  auto with = Extract("abc.*def");
+  auto without = Extract("abcdef");
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->TotalMatchers(), 6);
+  EXPECT_EQ(without->TotalMatchers(), 6);
+  // But '.*' splits the chain into two states, the first latched.
+  EXPECT_EQ(with->NumStates(), 2);
+  EXPECT_TRUE(with->states[0].latch);
+  EXPECT_EQ(without->NumStates(), 1);
+}
+
+TEST(TokenExtractorTest, PlusOnClassSelfRetriggers) {
+  auto nfa = Extract("[0-9]+(USD|EUR|GBP)");
+  ASSERT_TRUE(nfa.ok());
+  // digit state + merged currency state.
+  EXPECT_EQ(nfa->NumStates(), 2);
+  const HwState& digit = nfa->states[0];
+  EXPECT_FALSE(digit.accept);
+  EXPECT_EQ(digit.pred_states.size(), 0u);  // start-gated ('+' start)
+  const HwState& currency = nfa->states[1];
+  EXPECT_TRUE(currency.accept);
+  EXPECT_EQ(currency.trigger_tokens.size(), 3u);
+  EXPECT_EQ(currency.pred_states, (std::vector<int>{0}));
+}
+
+TEST(TokenExtractorTest, Q4IsOneChain) {
+  auto nfa = Extract(R"([A-Za-z]{3}\:[0-9]{4})");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->tokens.size(), 1u);
+  EXPECT_EQ(nfa->tokens[0].length(), 8);  // 3 classes + ':' + 4 digits
+  // [A-Za-z] has two ranges (4 slots); digits one range (2 slots).
+  EXPECT_EQ(nfa->TotalMatchers(), 3 * 4 + 1 + 4 * 2);
+  EXPECT_EQ(nfa->NumStates(), 1);
+}
+
+TEST(TokenExtractorTest, PaperDefaultGeometryFitsQ1toQ4) {
+  // All four evaluation queries must fit a 16-char x 8-state PU... except
+  // where they need more matchers: check the actual budget per query.
+  for (const char* pattern :
+       {"Strasse", R"((Strasse|Str\.).*(8[0-9]{4}))",
+        "[0-9]+(USD|EUR|GBP)"}) {
+    auto nfa = Extract(pattern);
+    ASSERT_TRUE(nfa.ok()) << pattern;
+    EXPECT_LE(nfa->NumStates(), 8) << pattern;
+  }
+}
+
+TEST(TokenExtractorTest, CaseInsensitiveUsesCollationRegisters) {
+  // Collation alternatives live in compare registers that every deployed
+  // matcher already carries (paper §6.4): case-insensitivity must not
+  // consume additional matcher slots.
+  CompileOptions ci;
+  ci.case_insensitive = true;
+  auto plain = Extract("abc");
+  auto folded = Extract("abc", ci);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded->TotalMatchers(), plain->TotalMatchers());
+  // The folded matcher really does match both cases.
+  TokenNfaMatcher matcher(*folded);
+  EXPECT_TRUE(matcher.Find("xxABCxx").matched);
+  EXPECT_TRUE(matcher.Find("xxabcxx").matched);
+}
+
+TEST(TokenExtractorTest, UserSpecifiedCollation) {
+  // §6.4: collations for accented characters — 'a' also matches 'ä'
+  // (0xE4 in latin-1) via the extra compare registers.
+  CompileOptions opts;
+  opts.collation_equivalents = {{static_cast<uint8_t>('a'), 0xE4}};
+  auto nfa = Extract("Strasse", opts);
+  ASSERT_TRUE(nfa.ok());
+  TokenNfaMatcher matcher(*nfa);
+  EXPECT_TRUE(matcher.Find("Koblenzer Strasse").matched);
+  std::string accented = "Koblenzer Str";
+  accented += static_cast<char>(0xE4);
+  accented += "sse";
+  EXPECT_TRUE(matcher.Find(accented).matched);
+  EXPECT_FALSE(matcher.Find("Koblenzer Strosse").matched);
+
+  // The software automaton honors the same collation.
+  auto ast = ParsePattern("Strasse");
+  ASSERT_TRUE(ast.ok());
+  auto program = CompileProgram(**ast, opts);
+  ASSERT_TRUE(program.ok());
+  auto dfa = DfaMatcher::FromProgram(std::move(*program));
+  EXPECT_TRUE(dfa->Matches(accented));
+}
+
+TEST(TokenExtractorTest, RejectsEmptyMatchingPatterns) {
+  EXPECT_TRUE(Extract(".*").status().IsCapacityExceeded());
+  EXPECT_TRUE(Extract("a*").status().IsCapacityExceeded());
+  EXPECT_TRUE(Extract("").status().IsCapacityExceeded());
+}
+
+TEST(TokenExtractorTest, RejectsAnchoredSearch) {
+  CompileOptions opts;
+  opts.anchor_start = true;
+  EXPECT_TRUE(Extract("abc", opts).status().IsCapacityExceeded());
+}
+
+TEST(TokenExtractorTest, ValidateAndToString) {
+  auto nfa = Extract(R"((Strasse|Str\.).*(8[0-9]{4}))");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->Validate().ok());
+  std::string dump = nfa->ToString();
+  EXPECT_NE(dump.find("Strasse"), std::string::npos);
+  EXPECT_NE(dump.find("latch"), std::string::npos);
+  EXPECT_NE(dump.find("accept"), std::string::npos);
+}
+
+// --- TokenNfaMatcher semantics ----------------------------------------------
+
+MatchResult RunTokenNfa(const std::string& pattern,
+                        const std::string& input) {
+  auto nfa = Extract(pattern);
+  EXPECT_TRUE(nfa.ok()) << pattern << ": " << nfa.status().ToString();
+  TokenNfaMatcher matcher(*nfa);
+  return matcher.Find(input);
+}
+
+TEST(TokenNfaMatcherTest, AgreesWithDfaOnPaperQueries) {
+  const char* patterns[] = {
+      "Strasse",
+      R"((Strasse|Str\.).*(8[0-9]{4}))",
+      "[0-9]+(USD|EUR|GBP)",
+      R"([A-Za-z]{3}\:[0-9]{4})",
+      R"((Strasse|Str\.).*(8[0-9]{4}).*delivery)",
+      "(Blue|Gray).*skies",
+      "(Josef|Klaus)strasse",
+  };
+  const char* inputs[] = {
+      "John|Smith|44 Koblenzer Strasse|60327|Frankfurt",
+      "Anna|Meier|7 Berner Str.|81234|Muenchen",
+      "Anna|Meier|7 Berner Str.|61234|Muenchen",
+      "price 42USD",
+      "price 42 USD",
+      "Ref:2034",
+      "Re:2034",
+      "Blue skies ahead",
+      "Gray and rainy skies",
+      "skies Blue",
+      "Josefstrasse 5",
+      "Klausstrasse 5",
+      "Josef strasse",
+      "Str.|80000 delivery",
+      "",
+      "aaaa",
+  };
+  for (const char* pattern : patterns) {
+    auto dfa = DfaMatcher::Compile(pattern);
+    ASSERT_TRUE(dfa.ok());
+    for (const char* input : inputs) {
+      MatchResult hw = RunTokenNfa(pattern, input);
+      MatchResult sw = (*dfa)->Find(input);
+      EXPECT_EQ(hw, sw) << pattern << " on '" << input << "'";
+    }
+  }
+}
+
+TEST(TokenNfaMatcherTest, AdjacencyIsStrict) {
+  // ab then cd with no glue: "abxcd" must not match "abcd".
+  EXPECT_TRUE(RunTokenNfa("(ab|zz)cd", "xxabcdxx").matched);
+  EXPECT_FALSE(RunTokenNfa("(ab|zz)cd", "xxabxcdxx").matched);
+}
+
+TEST(TokenNfaMatcherTest, DotPlusRequiresAGapCharacter) {
+  EXPECT_FALSE(RunTokenNfa("ab.+cd", "abcd").matched);
+  EXPECT_TRUE(RunTokenNfa("ab.+cd", "abxcd").matched);
+  EXPECT_TRUE(RunTokenNfa("ab.+cd", "abxxxcd").matched);
+}
+
+TEST(TokenNfaMatcherTest, OverlappingChainInstances) {
+  // Partial matches in flight must not clobber each other: "aab" needs
+  // the second 'a' to start a fresh chain while the first is mid-flight.
+  EXPECT_TRUE(RunTokenNfa("aab", "aaab").matched);
+  EXPECT_TRUE(RunTokenNfa("abab", "ababab").matched);
+}
+
+TEST(TokenNfaMatcherTest, ReportsEarliestEnd) {
+  MatchResult m = RunTokenNfa("ab", "xxabxxab");
+  EXPECT_TRUE(m.matched);
+  EXPECT_EQ(m.end, 4);
+}
+
+}  // namespace
+}  // namespace doppio

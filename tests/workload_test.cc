@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "regex/dfa_matcher.h"
+#include "regex/substring_search.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+#include "workload/tpch_generator.h"
+
+namespace doppio {
+namespace {
+
+double Selectivity(const Bat& strings, const std::string& pattern) {
+  auto dfa = DfaMatcher::Compile(pattern);
+  EXPECT_TRUE(dfa.ok());
+  int64_t hits = 0;
+  for (int64_t i = 0; i < strings.count(); ++i) {
+    if ((*dfa)->Matches(strings.GetString(i))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(strings.count());
+}
+
+TEST(AddressGeneratorTest, SchemaAndFormat) {
+  AddressDataOptions opts;
+  opts.num_records = 1000;
+  auto table = GenerateAddressTable(opts, "address_table");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1000);
+  const Bat* ids = (*table)->GetColumn("id");
+  const Bat* strings = (*table)->GetColumn("address_string");
+  ASSERT_NE(ids, nullptr);
+  ASSERT_NE(strings, nullptr);
+  EXPECT_EQ(ids->GetInt32(0), 0);
+  EXPECT_EQ(ids->GetInt32(999), 999);
+  // Pipe-separated fields: name|surname|street|zip|city[...].
+  std::string_view first = strings->GetString(0);
+  int pipes = 0;
+  for (char c : first) pipes += c == '|' ? 1 : 0;
+  EXPECT_GE(pipes, 4);
+}
+
+TEST(AddressGeneratorTest, LengthNearTarget) {
+  AddressDataOptions opts;
+  opts.num_records = 2000;
+  opts.string_length = 64;
+  auto table = GenerateAddressTable(opts, "t");
+  ASSERT_TRUE(table.ok());
+  const Bat* strings = (*table)->GetColumn("address_string");
+  int64_t total = 0;
+  for (int64_t i = 0; i < strings->count(); ++i) {
+    total += static_cast<int64_t>(strings->GetString(i).size());
+  }
+  double avg = static_cast<double>(total) / strings->count();
+  EXPECT_GT(avg, 50);
+  EXPECT_LT(avg, 80);
+}
+
+TEST(AddressGeneratorTest, SelectivitiesNearTarget) {
+  AddressDataOptions opts;
+  opts.num_records = 40'000;
+  opts.selectivity = 0.2;
+  auto table = GenerateAddressTable(opts, "t");
+  ASSERT_TRUE(table.ok());
+  const Bat* strings = (*table)->GetColumn("address_string");
+  EXPECT_NEAR(Selectivity(*strings, QueryPattern(EvalQuery::kQ1)), 0.2,
+              0.02);
+  EXPECT_NEAR(Selectivity(*strings, QueryPattern(EvalQuery::kQ3)), 0.2,
+              0.02);
+  EXPECT_NEAR(Selectivity(*strings, QueryPattern(EvalQuery::kQ4)), 0.2,
+              0.02);
+  // Q2 also fires on QH rows (they carry the same prefix).
+  double q2 = Selectivity(*strings, QueryPattern(EvalQuery::kQ2));
+  EXPECT_GT(q2, 0.15);
+  EXPECT_LT(q2, 0.40);
+}
+
+TEST(AddressGeneratorTest, SelectivityZeroAndOne) {
+  AddressDataOptions zero;
+  zero.num_records = 5000;
+  zero.selectivity = 0.0;
+  zero.qh_selectivity = 0.0;
+  auto table = GenerateAddressTable(zero, "t");
+  ASSERT_TRUE(table.ok());
+  const Bat* strings = (*table)->GetColumn("address_string");
+  for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ2, EvalQuery::kQ3,
+                      EvalQuery::kQ4, EvalQuery::kQH}) {
+    EXPECT_EQ(Selectivity(*strings, QueryPattern(q)), 0.0) << QueryName(q);
+  }
+
+  AddressDataOptions one;
+  one.num_records = 5000;
+  one.selectivity = 1.0;
+  auto table1 = GenerateAddressTable(one, "t");
+  ASSERT_TRUE(table1.ok());
+  EXPECT_EQ(Selectivity(*(*table1)->GetColumn("address_string"),
+                        QueryPattern(EvalQuery::kQ1)),
+            1.0);
+}
+
+TEST(AddressGeneratorTest, QhHitsAlwaysContainDelivery) {
+  // Fig. 13's construction: every string matching the QH prefix also
+  // matches the full QH expression.
+  AddressDataOptions opts;
+  opts.num_records = 20'000;
+  opts.selectivity = 0.0;
+  opts.q2_selectivity = 0.0;
+  opts.qh_selectivity = 0.35;
+  auto table = GenerateAddressTable(opts, "t");
+  ASSERT_TRUE(table.ok());
+  const Bat* strings = (*table)->GetColumn("address_string");
+  double prefix = Selectivity(*strings, QueryPattern(EvalQuery::kQ2));
+  double full = Selectivity(*strings, QueryPattern(EvalQuery::kQH));
+  EXPECT_NEAR(prefix, 0.35, 0.02);
+  EXPECT_DOUBLE_EQ(prefix, full);
+}
+
+TEST(AddressGeneratorTest, DeterministicBySeed) {
+  AddressDataOptions opts;
+  opts.num_records = 100;
+  auto a = GenerateAddressTable(opts, "a");
+  auto b = GenerateAddressTable(opts, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*a)->GetColumn("address_string")->GetString(i),
+              (*b)->GetColumn("address_string")->GetString(i));
+  }
+  opts.seed = 43;
+  auto c = GenerateAddressTable(opts, "c");
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (int64_t i = 0; i < 100; ++i) {
+    any_diff |= (*a)->GetColumn("address_string")->GetString(i) !=
+                (*c)->GetColumn("address_string")->GetString(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpchGeneratorTest, Cardinalities) {
+  TpchOptions opts;
+  opts.scale_factor = 0.01;
+  auto customer = GenerateCustomerTable(opts);
+  auto orders = GenerateOrdersTable(opts);
+  ASSERT_TRUE(customer.ok());
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ((*customer)->num_rows(), 1500);
+  EXPECT_EQ((*orders)->num_rows(), 15'000);
+}
+
+TEST(TpchGeneratorTest, OneThirdOfCustomersHaveNoOrders) {
+  TpchOptions opts;
+  opts.scale_factor = 0.01;
+  auto orders = GenerateOrdersTable(opts);
+  ASSERT_TRUE(orders.ok());
+  const Bat* ocust = (*orders)->GetColumn("o_custkey");
+  for (int64_t i = 0; i < ocust->count(); ++i) {
+    EXPECT_NE(ocust->GetInt32(i) % 3, 0);
+  }
+}
+
+TEST(TpchGeneratorTest, SpecialRequestsFractions) {
+  TpchOptions opts;
+  opts.scale_factor = 0.05;
+  auto orders = GenerateOrdersTable(opts);
+  ASSERT_TRUE(orders.ok());
+  const Bat* comments = (*orders)->GetColumn("o_comment");
+  MultiSubstringMatcher* raw = nullptr;
+  auto exact = MultiSubstringMatcher::Create({"special", "requests"});
+  auto folded =
+      MultiSubstringMatcher::Create({"special", "requests"}, true);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(folded.ok());
+  (void)raw;
+  int64_t exact_hits = 0;
+  int64_t folded_hits = 0;
+  for (int64_t i = 0; i < comments->count(); ++i) {
+    std::string_view s = comments->GetString(i);
+    exact_hits += (*exact)->Matches(s) ? 1 : 0;
+    folded_hits += (*folded)->Matches(s) ? 1 : 0;
+  }
+  double n = static_cast<double>(comments->count());
+  EXPECT_NEAR(exact_hits / n, opts.special_fraction, 0.005);
+  // ILIKE catches the case variants too.
+  EXPECT_NEAR(folded_hits / n,
+              opts.special_fraction + opts.special_case_variant_fraction,
+              0.005);
+  EXPECT_GT(folded_hits, exact_hits);
+}
+
+TEST(QueriesTest, SqlRendering) {
+  EXPECT_EQ(QuerySql(EvalQuery::kQ1, QueryEngineVariant::kMonetSoftware),
+            "SELECT count(*) FROM address_table WHERE address_string LIKE "
+            "'%Strasse%';");
+  std::string q2 = QuerySql(EvalQuery::kQ2, QueryEngineVariant::kFpga);
+  EXPECT_NE(q2.find("REGEXP_FPGA"), std::string::npos);
+  EXPECT_NE(q2.find("<> 0"), std::string::npos);
+  std::string q3 =
+      QuerySql(EvalQuery::kQ3, QueryEngineVariant::kMonetSoftware);
+  EXPECT_NE(q3.find("REGEXP_LIKE"), std::string::npos);
+  std::string qh = QuerySql(EvalQuery::kQH, QueryEngineVariant::kHybrid);
+  EXPECT_NE(qh.find("REGEXP_HYBRID"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace doppio
