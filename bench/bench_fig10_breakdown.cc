@@ -25,9 +25,9 @@ int main() {
   }
 
   const int kReps = 10;
-  std::printf("%4s %12s %12s %12s %12s %12s %12s\n", "qry", "db [us]",
+  std::printf("%4s %12s %12s %12s %12s %12s %12s  %s\n", "qry", "db [us]",
               "udf sw [us]", "config [us]", "hal [us]", "hw [us]",
-              "total [us]");
+              "total [us]", "pu kernel");
   for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ2, EvalQuery::kQ3,
                       EvalQuery::kQ4}) {
     QueryStats sum;
@@ -37,11 +37,11 @@ int main() {
       sum.Accumulate(outcome.stats);
     }
     auto us = [&](double seconds) { return seconds / kReps * 1e6; };
-    std::printf("%4s %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+    std::printf("%4s %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f  %s\n",
                 QueryName(q), us(sum.database_seconds),
                 us(sum.udf_software_seconds), us(sum.config_gen_seconds),
                 us(sum.hal_seconds), us(sum.hw_seconds),
-                us(sum.TotalSeconds()));
+                us(sum.TotalSeconds()), KernelTag(sum).c_str());
   }
   std::printf(
       "\nshape check: hardware processing dominates; configuration vector\n"

@@ -3,9 +3,12 @@
 // is costly in software" and for the PU's constant consumption rate.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common/random.h"
 #include "hw/config_compiler.h"
 #include "hw/processing_unit.h"
+#include "hw/pu_kernel.h"
 #include "regex/backtrack_matcher.h"
 #include "regex/dfa_matcher.h"
 #include "regex/nfa_matcher.h"
@@ -30,8 +33,13 @@ std::vector<std::string> MakeCorpus(int64_t rows) {
   return corpus;
 }
 
+/// DOPPIO_BENCH_SMOKE=1 shrinks the corpus so CI can exercise every
+/// benchmark path in seconds (numbers are not meaningful in smoke mode).
+bool SmokeMode() { return std::getenv("DOPPIO_BENCH_SMOKE") != nullptr; }
+
 const std::vector<std::string>& Corpus() {
-  static const std::vector<std::string> corpus = MakeCorpus(10'000);
+  static const std::vector<std::string> corpus =
+      MakeCorpus(SmokeMode() ? 300 : 10'000);
   return corpus;
 }
 
@@ -118,6 +126,7 @@ void BM_ProcessingUnitSim(benchmark::State& state) {
       CompileRegexConfig(QueryPattern(QueryForIndex(state.range(0))), device);
   if (!config.ok()) state.SkipWithError("compile failed");
   if (!pu.Configure(config->vector).ok()) state.SkipWithError("config");
+  state.SetLabel(std::string("kernel=") + PuKernelName(pu.kernel()));
   int64_t matches = 0;
   for (auto _ : state) {
     for (const auto& s : Corpus()) {
@@ -126,8 +135,61 @@ void BM_ProcessingUnitSim(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(matches);
   state.SetBytesProcessed(state.iterations() * CorpusBytes());
+  state.counters["functional_mbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * CorpusBytes()) / 1e6,
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ProcessingUnitSim)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+// PU compiled-kernel comparison: the same PU program run through the
+// auto-selected kernel vs. forced backends. The kernel tag rides in the
+// benchmark label and the throughput in the `functional_mbps` counter, so
+// BENCH_*.json tracking can chart selection and speedups over time.
+void RunPuKernel(benchmark::State& state, PuKernelOptions::Force force) {
+  DeviceConfig device;
+  auto config =
+      CompileRegexConfig(QueryPattern(QueryForIndex(state.range(0))), device);
+  if (!config.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  PuKernelOptions kopts;
+  kopts.force = force;
+  auto program = CompiledPuProgram::Compile(config->vector, device, kopts);
+  if (!program.ok()) {
+    state.SkipWithError("kernel compile failed");
+    return;
+  }
+  ProcessingUnit pu(device);
+  pu.Configure(*program);
+  state.SetLabel(std::string("kernel=") + PuKernelName(pu.kernel()));
+  int64_t matches = 0;
+  for (auto _ : state) {
+    for (const auto& s : Corpus()) {
+      matches += pu.ProcessString(s) != 0;
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetBytesProcessed(state.iterations() * CorpusBytes());
+  state.counters["functional_mbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * CorpusBytes()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_PuKernelAuto(benchmark::State& state) {
+  RunPuKernel(state, PuKernelOptions::Force::kAuto);
+}
+BENCHMARK(BM_PuKernelAuto)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_PuKernelLazyDfa(benchmark::State& state) {
+  RunPuKernel(state, PuKernelOptions::Force::kLazyDfa);
+}
+BENCHMARK(BM_PuKernelLazyDfa)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_PuKernelNfaLoop(benchmark::State& state) {
+  RunPuKernel(state, PuKernelOptions::Force::kNfaLoop);
+}
+BENCHMARK(BM_PuKernelNfaLoop)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 
 void BM_ConfigCompile(benchmark::State& state) {
   DeviceConfig device;

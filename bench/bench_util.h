@@ -105,6 +105,17 @@ inline double SoftwareSeconds(const QueryStats& stats) {
          stats.config_gen_seconds + stats.hal_seconds;
 }
 
+/// One-line compiled-kernel tag for a finished hardware query: which PU
+/// kernel served the functional pass and its host throughput. Empty when
+/// the hardware path did not run (software strategies).
+inline std::string KernelTag(const QueryStats& stats) {
+  if (stats.pu_kernel.empty()) return "";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "kernel=%s functional_mbps=%.0f",
+                stats.pu_kernel.c_str(), stats.FunctionalMbps());
+  return buf;
+}
+
 inline void PrintHeader(const char* title, const char* paper_reference) {
   std::printf("\n==============================================================\n");
   std::printf("%s\n", title);

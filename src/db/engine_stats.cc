@@ -14,6 +14,10 @@ std::string QueryStats::ToString() const {
       << " hw=" << hw_seconds << "s"
       << " scanned=" << rows_scanned << " matched=" << rows_matched
       << " strategy=" << strategy;
+  if (!pu_kernel.empty()) {
+    out << " pu_kernel=" << pu_kernel
+        << " functional_mbps=" << FunctionalMbps();
+  }
   return out.str();
 }
 
@@ -30,6 +34,13 @@ void QueryStats::Accumulate(const QueryStats& other) {
     strategy = other.strategy;
   } else if (!other.strategy.empty() && other.strategy != strategy) {
     strategy += "+" + other.strategy;
+  }
+  functional_bytes += other.functional_bytes;
+  functional_seconds += other.functional_seconds;
+  if (pu_kernel.empty()) {
+    pu_kernel = other.pu_kernel;
+  } else if (!other.pu_kernel.empty() && other.pu_kernel != pu_kernel) {
+    pu_kernel += "+" + other.pu_kernel;
   }
 }
 

@@ -31,6 +31,21 @@ struct QueryStats {
   /// Which execution strategy served the string predicate.
   std::string strategy;
 
+  /// Which compiled PU kernel the hardware path's functional pass used
+  /// ("literal" / "lazy-dfa" / "nfa-loop"), and its host-side throughput.
+  /// Simulator observability — orthogonal to the virtual-time phases.
+  std::string pu_kernel;
+  int64_t functional_bytes = 0;
+  double functional_seconds = 0;
+
+  /// Functional-pass host throughput in MB/s (0 when unmeasured).
+  double FunctionalMbps() const {
+    return functional_seconds > 0
+               ? static_cast<double>(functional_bytes) / 1e6 /
+                     functional_seconds
+               : 0;
+  }
+
   double TotalSeconds() const {
     return database_seconds + udf_software_seconds + config_gen_seconds +
            hal_seconds + hw_seconds;

@@ -66,6 +66,9 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
     first_enqueue = std::min(first_enqueue, status.enqueue_time);
     last_finish = std::max(last_finish, status.finish_time);
     out.stats.rows_matched += status.matches;
+    if (out.stats.pu_kernel.empty()) out.stats.pu_kernel = status.pu_kernel;
+    out.stats.functional_bytes += status.functional_bytes;
+    out.stats.functional_seconds += status.functional_host_seconds;
   }
   out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
   out.stats.hw_seconds = SecondsFromPicos(last_finish - first_enqueue);
@@ -130,6 +133,9 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
   out.stats.sim_host_seconds = wait_host_seconds;
   out.stats.hw_seconds = job.HwSeconds();  // virtual (simulated) time
   out.stats.rows_matched = job.status().matches;
+  out.stats.pu_kernel = job.status().pu_kernel;
+  out.stats.functional_bytes = job.status().functional_bytes;
+  out.stats.functional_seconds = job.status().functional_host_seconds;
   out.stats.udf_software_seconds = udf_watch.ElapsedSeconds() -
                                    out.stats.hal_seconds -
                                    wait_host_seconds;

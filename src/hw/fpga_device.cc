@@ -101,7 +101,7 @@ Status FpgaDevice::ValidateJob(const JobParams& params) const {
 Result<JobId> FpgaDevice::Submit(JobParams params,
                                  std::function<void()> on_done) {
   DOPPIO_RETURN_NOT_OK(ValidateJob(params));
-  std::lock_guard<std::mutex> lock(sim_mutex_);
+  std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
   auto record = std::make_unique<JobRecord>();
   record->params = std::move(params);
   JobRecord* raw = record.get();
@@ -117,13 +117,13 @@ Result<JobId> FpgaDevice::Submit(JobParams params,
 }
 
 JobStatus* FpgaDevice::status(JobId id) {
-  std::lock_guard<std::mutex> lock(sim_mutex_);
+  std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
   if (id < 0 || id >= static_cast<JobId>(jobs_.size())) return nullptr;
   return &jobs_[static_cast<size_t>(id)]->status;
 }
 
 SimTime FpgaDevice::RunToIdle() {
-  std::lock_guard<std::mutex> lock(sim_mutex_);
+  std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
   return scheduler_.Run();
 }
 
@@ -134,7 +134,7 @@ Result<SimTime> FpgaDevice::WaitForJob(JobId id) {
   // threads take turns driving the virtual clock, one event per lock hold,
   // so concurrent clients make joint progress.
   while (st->done.load(std::memory_order_acquire) == 0) {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
     if (st->done.load(std::memory_order_acquire) != 0) break;
     if (!scheduler_.RunOne()) {
       return Status::Internal("device idle but job not done");

@@ -81,8 +81,10 @@ class FpgaDevice {
   /// Serializes access to the virtual-time machinery. Multiple host
   /// threads may Submit/WaitForJob concurrently (the paper's multi-client
   /// scenario); each scheduler event runs atomically under this lock and
-  /// the waiting threads cooperatively drain the event queue.
-  mutable std::mutex sim_mutex_;
+  /// the waiting threads cooperatively drain the event queue. Recursive
+  /// because closed-loop drivers Submit() their next job from inside a
+  /// completion callback, which already runs under the lock.
+  mutable std::recursive_mutex sim_mutex_;
 
   DeviceConfig config_;
   SharedArena* arena_;

@@ -48,6 +48,13 @@ struct JobStatus {
   int64_t matches = 0;
   int64_t strings_processed = 0;
   int64_t bytes_streamed = 0;       // heap + offset + result traffic
+
+  // Functional-pass observability (simulator implementation detail, not
+  // modeled hardware time): which compiled kernel served the job, the
+  // payload it matched, and the host wall-clock it took.
+  const char* pu_kernel = "";       // PuKernelName() literal
+  int64_t functional_bytes = 0;
+  double functional_host_seconds = 0;
   int64_t engine_id = -1;
   SimTime enqueue_time = 0;         // virtual time entering the job queue
   SimTime start_time = 0;           // assigned to an engine

@@ -1,61 +1,28 @@
 #include "hw/processing_unit.h"
 
 #include "common/logging.h"
-#include "hw/config_compiler.h"
 
 namespace doppio {
 
 ProcessingUnit::ProcessingUnit(const DeviceConfig& device) : device_(device) {}
 
 Status ProcessingUnit::Configure(const ConfigVector& config) {
-  DOPPIO_ASSIGN_OR_RETURN(TokenNfa nfa, config.Decode());
-  // A real PU has exactly max_chars matchers and max_states graph nodes;
-  // configurations beyond that cannot be loaded.
-  DOPPIO_RETURN_NOT_OK(CheckCapacity(nfa, device_));
-  if (nfa.NumStates() > 64) {
-    return Status::CapacityExceeded("simulator supports up to 64 states");
-  }
-
-  nfa_ = std::move(nfa);
-  edges_.clear();
-  pred_masks_.assign(static_cast<size_t>(nfa_.NumStates()), 0);
-  start_gated_mask_ = latch_mask_ = accept_mask_ = 0;
-
-  for (size_t s = 0; s < nfa_.states.size(); ++s) {
-    const HwState& state = nfa_.states[s];
-    if (state.pred_states.empty()) {
-      start_gated_mask_ |= uint64_t{1} << s;
-    }
-    for (int p : state.pred_states) {
-      pred_masks_[s] |= uint64_t{1} << p;
-    }
-    if (state.latch) latch_mask_ |= uint64_t{1} << s;
-    if (state.accept) accept_mask_ |= uint64_t{1} << s;
-
-    for (int t : state.trigger_tokens) {
-      const HwToken& token = nfa_.tokens[static_cast<size_t>(t)];
-      Edge edge;
-      edge.state = static_cast<int>(s);
-      edge.chain_len = token.length();
-      edge.fired_bit = uint64_t{1} << (edge.chain_len - 1);
-      edge.pred_mask = pred_masks_[s];
-      for (int b = 0; b < 256; ++b) {
-        uint64_t mask = 0;
-        for (int j = 0; j < edge.chain_len; ++j) {
-          if (token.chain[static_cast<size_t>(j)].Test(
-                  static_cast<uint8_t>(b))) {
-            mask |= uint64_t{1} << j;
-          }
-        }
-        edge.byte_mask[static_cast<size_t>(b)] = mask;
-      }
-      edges_.push_back(std::move(edge));
-    }
-  }
-  progress_.assign(edges_.size(), 0);
-  configured_ = true;
-  StartString();
+  DOPPIO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledPuProgram> program,
+      CompiledPuProgram::Compile(config, device_));
+  Configure(std::move(program));
   return Status::OK();
+}
+
+void ProcessingUnit::Configure(
+    std::shared_ptr<const CompiledPuProgram> program) {
+  DOPPIO_CHECK(program != nullptr);
+  program_ = std::move(program);
+  dfa_ = program_->kernel() == PuKernelKind::kLazyDfa
+             ? std::make_unique<LazyDfaCache>(program_.get())
+             : nullptr;
+  progress_.assign(program_->edges().size(), 0);
+  StartString();
 }
 
 void ProcessingUnit::StartString() {
@@ -63,7 +30,6 @@ void ProcessingUnit::StartString() {
   active_ = 0;
   position_ = 0;
   match_index_ = 0;
-  matched_at_zero_ = false;
 }
 
 void ProcessingUnit::ConsumeByte(uint8_t byte) {
@@ -71,44 +37,93 @@ void ProcessingUnit::ConsumeByte(uint8_t byte) {
   ++position_;
   if (match_index_ != 0) return;  // first match latched; PU keeps streaming
 
-  uint64_t next_active = active_ & latch_mask_;
+  const std::vector<CompiledPuProgram::Edge>& edges = program_->edges();
+  uint64_t next_active = active_ & program_->latch_mask();
   const uint64_t active_old = active_;
-  for (size_t e = 0; e < edges_.size(); ++e) {
-    Edge& edge = edges_[e];
-    const uint64_t state_bit = uint64_t{1} << edge.state;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const CompiledPuProgram::Edge& edge = edges[e];
     // Chain start gate: start-gated states are always open; others need an
     // active predecessor on the previous cycle.
-    uint64_t gate =
-        ((start_gated_mask_ & state_bit) != 0 ||
-         (active_old & edge.pred_mask) != 0)
-            ? 1
-            : 0;
-    progress_[e] =
-        ((progress_[e] << 1) | gate) & edge.byte_mask[byte];
+    const uint64_t gate =
+        (edge.start_gated || (active_old & edge.pred_mask) != 0) ? 1 : 0;
+    progress_[e] = ((progress_[e] << 1) | gate) & edge.byte_mask[byte];
     if ((progress_[e] & edge.fired_bit) != 0) {
-      next_active |= state_bit;
+      next_active |= uint64_t{1} << edge.state;
     }
   }
   active_ = next_active;
-  if ((active_ & accept_mask_) != 0) {
+  if ((active_ & program_->accept_mask()) != 0) {
     match_index_ = position_ > 65535
                        ? 65535
                        : static_cast<uint16_t>(position_);
   }
 }
 
-uint16_t ProcessingUnit::ProcessString(std::string_view input) {
-  DOPPIO_CHECK(configured_);
-  StartString();
-  for (char c : input) {
-    ConsumeByte(static_cast<uint8_t>(c));
-    if (match_index_ != 0) {
-      // The real PU streams the rest of the string (constant consumption
-      // rate); account those cycles without re-running the state graph.
-      cycles_ += static_cast<int64_t>(input.size()) - position_;
-      break;
+uint16_t ProcessingUnit::RunNfaLoop(std::string_view input) {
+  const std::vector<CompiledPuProgram::Edge>& edges = program_->edges();
+  const uint64_t latch_mask = program_->latch_mask();
+  const uint64_t accept_mask = program_->accept_mask();
+  std::fill(progress_.begin(), progress_.end(), 0);
+  uint64_t active = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const uint8_t byte = static_cast<uint8_t>(input[i]);
+    uint64_t next_active = active & latch_mask;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      const CompiledPuProgram::Edge& edge = edges[e];
+      const uint64_t gate =
+          (edge.start_gated || (active & edge.pred_mask) != 0) ? 1 : 0;
+      progress_[e] = ((progress_[e] << 1) | gate) & edge.byte_mask[byte];
+      if ((progress_[e] & edge.fired_bit) != 0) {
+        next_active |= uint64_t{1} << edge.state;
+      }
+    }
+    active = next_active;
+    if ((active & accept_mask) != 0) {
+      return i + 1 > 65535 ? 65535 : static_cast<uint16_t>(i + 1);
     }
   }
+  return 0;
+}
+
+uint16_t ProcessingUnit::RunLiteral(std::string_view input) const {
+  size_t pos = 0;
+  for (const CompiledPuProgram::LiteralStage& stage :
+       program_->literal_stages()) {
+    const size_t hit =
+        stage.case_insensitive
+            ? stage.matcher.Find(input, pos)
+            : FindLiteralScan(input, stage.matcher.needle(), pos);
+    if (hit == std::string_view::npos) return 0;
+    pos = hit + stage.matcher.needle().size();
+  }
+  return pos > 65535 ? 65535 : static_cast<uint16_t>(pos);
+}
+
+uint16_t ProcessingUnit::ProcessString(std::string_view input) {
+  DOPPIO_CHECK(configured());
+  StartString();
+  switch (program_->kernel()) {
+    case PuKernelKind::kLiteral:
+      match_index_ = RunLiteral(input);
+      break;
+    case PuKernelKind::kLazyDfa: {
+      uint16_t index = 0;
+      // Bounded cache: on overflow mid-string, re-run through the
+      // interpreter loop (identical semantics).
+      match_index_ = dfa_->Run(input, &index) ? index : RunNfaLoop(input);
+      break;
+    }
+    case PuKernelKind::kNfaLoop:
+      match_index_ = RunNfaLoop(input);
+      break;
+  }
+  // The real PU streams every byte of the string at its constant one
+  // byte/cycle rate no matter when (or whether) the match latched, so the
+  // whole string is accounted exactly once — the single point of cycle
+  // accounting for this string (no streaming-tail double-advance when the
+  // match lands on the final byte).
+  position_ = static_cast<int64_t>(input.size());
+  cycles_ += static_cast<int64_t>(input.size());
   return match_index_;
 }
 

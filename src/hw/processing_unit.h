@@ -6,20 +6,25 @@
 // the fully connected State Graph; both are loaded from the configuration
 // vector at job start (~300 ns, modelled in the engine timing).
 //
-// The implementation keeps one shift register per (trigger token, state)
-// edge; a set bit is an in-flight partial token match. Per byte it does a
-// handful of word operations, so simulating a full table is feasible while
-// remaining cycle-exact: byte i of a string is processed in PU cycle i.
+// The loaded program lives in an immutable CompiledPuProgram shared by all
+// PUs of an engine (hw/pu_kernel.h); only the per-string dynamic state is
+// per-PU. ConsumeByte is the cycle-exact interpreter: byte i of a string
+// is processed in PU cycle i. ProcessString produces the same 16-bit
+// result through the cheapest compiled kernel (literal substring search,
+// lazy DFA, or the interpreter's bit-parallel loop) while preserving the
+// constant-consumption cycle accounting — a pure functional-path
+// optimization; simulated timing never observes which kernel ran.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "hw/config_vector.h"
 #include "hw/device_config.h"
+#include "hw/pu_kernel.h"
 #include "regex/token_nfa.h"
 
 namespace doppio {
@@ -29,10 +34,14 @@ class ProcessingUnit {
   /// Creates a PU with the deployment geometry (capacity limits).
   explicit ProcessingUnit(const DeviceConfig& device);
 
-  /// Loads a configuration vector into the Tokens/Triggers/Transitions
-  /// registers. Fails if the decoded program exceeds the geometry — the
-  /// hardware would have no registers to hold it.
+  /// Compiles and loads a configuration vector into the Tokens/Triggers/
+  /// Transitions registers. Fails if the decoded program exceeds the
+  /// geometry — the hardware would have no registers to hold it.
   Status Configure(const ConfigVector& config);
+
+  /// Loads an already-compiled shared program (the per-job path: the
+  /// engine compiles once, all 16 PUs and every worker thread share it).
+  void Configure(std::shared_ptr<const CompiledPuProgram> program);
 
   /// Resets the state graph for a new input string.
   void StartString();
@@ -44,42 +53,39 @@ class ProcessingUnit {
   /// first match's last character, or 0. Saturates at 65535 for longer
   /// strings (the hardware result lane is 16 bits wide).
   uint16_t MatchIndex() const { return match_index_; }
-  bool Matched() const { return match_index_ != 0 || matched_at_zero_; }
+  bool Matched() const { return match_index_ != 0; }
 
-  /// Convenience: full string through the PU (StartString + byte loop).
+  /// Convenience: full string through the PU. Dispatches to the compiled
+  /// kernel; the result and the cycle count are identical to a
+  /// StartString + ConsumeByte loop over every byte.
   uint16_t ProcessString(std::string_view input);
 
   /// Total bytes consumed since Configure — equals PU clock cycles spent.
   int64_t cycles() const { return cycles_; }
 
-  bool configured() const { return configured_; }
-  const TokenNfa& program() const { return nfa_; }
+  bool configured() const { return program_ != nullptr; }
+  const TokenNfa& program() const { return program_->nfa(); }
+  const CompiledPuProgram* compiled_program() const { return program_.get(); }
+  PuKernelKind kernel() const { return program_->kernel(); }
 
  private:
-  struct Edge {
-    int state;
-    int chain_len;
-    uint64_t fired_bit;
-    uint64_t pred_mask;                   // predecessor-state bitmask
-    std::array<uint64_t, 256> byte_mask;  // chain positions matching byte
-  };
+  /// The bit-parallel interpreter over the whole string (general case and
+  /// lazy-DFA overflow fallback). Touches only `progress_`; leaves the
+  /// streaming state (`active_`, `position_`, `cycles_`) to the caller.
+  uint16_t RunNfaLoop(std::string_view input);
+  /// Ordered substring stages (LIKE '%s1%s2%...%' shape).
+  uint16_t RunLiteral(std::string_view input) const;
 
   DeviceConfig device_;
-  bool configured_ = false;
-  TokenNfa nfa_;
-
-  std::vector<Edge> edges_;
-  std::vector<uint64_t> pred_masks_;   // per state: bitmask of predecessors
-  uint64_t start_gated_mask_ = 0;      // states with no predecessors
-  uint64_t latch_mask_ = 0;
-  uint64_t accept_mask_ = 0;
+  std::shared_ptr<const CompiledPuProgram> program_;
+  /// Lazy-DFA transition memo; per-PU so worker threads never contend.
+  std::unique_ptr<LazyDfaCache> dfa_;
 
   // Per-string dynamic state.
   std::vector<uint64_t> progress_;     // per edge
   uint64_t active_ = 0;                // active states bitmask
-  int32_t position_ = 0;
+  int64_t position_ = 0;
   uint16_t match_index_ = 0;
-  bool matched_at_zero_ = false;
 
   int64_t cycles_ = 0;
 };

@@ -1,0 +1,168 @@
+// Compiled PU kernels: specialized functional-path executors selected per
+// configuration vector.
+//
+// The cycle-level interpreter in hw/processing_unit.cc walks every
+// (trigger token, state) edge for every input byte — faithful, but it caps
+// the simulator's wall-clock throughput far below what the modeled
+// hardware sustains. When a job's ConfigVector is loaded, this layer
+// analyzes the decoded TokenNfa once and picks the cheapest equivalent
+// backend:
+//
+//   1. literal    — the token graph reduces to ordered substring search
+//                   (single needle, or needles glued by '.*' latches);
+//                   dispatches to regex/substring_search.
+//   2. lazy-dfa   — RE2-style subset construction over the PU machine
+//                   state, memoizing (state, byte-class) -> state
+//                   transitions on demand in a bounded cache.
+//   3. nfa-loop   — the original bit-parallel edge interpreter; general
+//                   case and the fallback when the DFA cache overflows.
+//
+// The compiled program is immutable and shared (shared_ptr) by all PUs of
+// an engine and by every worker thread of the host-parallel path, so the
+// per-job ConfigVector::Decode() and 256-entry byte-mask table builds
+// happen exactly once per job instead of once per PU.
+//
+// Functional-path optimization only: simulated timing (BlockTiming,
+// arbiter, scheduler) never looks at which kernel ran.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/config_vector.h"
+#include "hw/device_config.h"
+#include "regex/substring_search.h"
+#include "regex/token_nfa.h"
+
+namespace doppio {
+
+enum class PuKernelKind { kLiteral, kLazyDfa, kNfaLoop };
+
+/// Stable short tag ("literal", "lazy-dfa", "nfa-loop") for stats/benches.
+const char* PuKernelName(PuKernelKind kind);
+
+struct PuKernelOptions {
+  /// kAuto picks literal when the graph reduces to substring search and
+  /// lazy-dfa otherwise; the forced choices exist for equivalence tests
+  /// and baseline benchmarks.
+  enum class Force { kAuto, kLazyDfa, kNfaLoop };
+  Force force = Force::kAuto;
+
+  /// Lazy-DFA subset-state cache bound (per PU). Once full, a transition
+  /// miss makes the PU re-run the current string through the NFA loop;
+  /// cached territory keeps serving fast.
+  int max_dfa_states = 4096;
+};
+
+/// The immutable, shareable compilation of one configuration vector:
+/// decoded token NFA, the bit-parallel edge tables the interpreter and
+/// lazy DFA execute over, the byte-class partition, and — when eligible —
+/// the literal stages.
+class CompiledPuProgram {
+ public:
+  /// One (trigger token, state) edge of the bit-parallel machine.
+  struct Edge {
+    int state;
+    int chain_len;
+    bool start_gated;
+    uint64_t fired_bit;
+    uint64_t pred_mask;                   // predecessor-state bitmask
+    std::array<uint64_t, 256> byte_mask;  // chain positions matching byte
+  };
+
+  /// One stage of the literal kernel: LIKE-style ordered substring.
+  struct LiteralStage {
+    BoyerMooreMatcher matcher;  // owns the needle; used when folding case
+    bool case_insensitive;
+  };
+
+  /// Decodes, validates against the geometry, builds the edge tables and
+  /// byte classes, and selects the kernel. Fails exactly where the old
+  /// per-PU Configure failed (CapacityExceeded and structural errors).
+  static Result<std::shared_ptr<const CompiledPuProgram>> Compile(
+      const ConfigVector& config, const DeviceConfig& device,
+      const PuKernelOptions& options = {});
+
+  PuKernelKind kernel() const { return kernel_; }
+  const TokenNfa& nfa() const { return nfa_; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  uint64_t latch_mask() const { return latch_mask_; }
+  uint64_t accept_mask() const { return accept_mask_; }
+
+  const std::vector<LiteralStage>& literal_stages() const {
+    return literal_stages_;
+  }
+
+  int num_byte_classes() const { return num_byte_classes_; }
+  uint16_t byte_class(uint8_t byte) const { return byte_classes_[byte]; }
+  const std::array<uint16_t, 256>& byte_classes() const {
+    return byte_classes_;
+  }
+  /// Per-edge byte masks of one byte class (all bytes of a class share
+  /// them by construction).
+  const std::vector<uint64_t>& class_edge_masks(int byte_class) const {
+    return class_edge_masks_[static_cast<size_t>(byte_class)];
+  }
+
+  int max_dfa_states() const { return max_dfa_states_; }
+
+ private:
+  CompiledPuProgram() = default;
+
+  TokenNfa nfa_;
+  PuKernelKind kernel_ = PuKernelKind::kNfaLoop;
+  std::vector<Edge> edges_;
+  uint64_t latch_mask_ = 0;
+  uint64_t accept_mask_ = 0;
+  std::vector<LiteralStage> literal_stages_;
+  std::array<uint16_t, 256> byte_classes_{};
+  int num_byte_classes_ = 0;
+  std::vector<std::vector<uint64_t>> class_edge_masks_;
+  int max_dfa_states_ = 0;
+};
+
+/// Lazy-DFA transition memo over a compiled program. The DFA state is the
+/// full PU machine state (every edge's chain shift register plus the
+/// active-state mask), so the construction is exact — not an
+/// approximation of the NFA semantics. Mutable and intentionally NOT
+/// thread-safe: each host thread owns one through its ProcessingUnit; the
+/// program underneath is shared and immutable.
+class LazyDfaCache {
+ public:
+  explicit LazyDfaCache(const CompiledPuProgram* program);
+
+  /// Executes `input` through the memoized DFA. Returns false when the
+  /// bounded state cache overflowed before the string finished (the
+  /// caller falls back to the NFA loop); true otherwise, with
+  /// *match_index set to the PU result (0 = no match, 1-based end
+  /// position saturated at 65535).
+  bool Run(std::string_view input, uint16_t* match_index);
+
+  /// Subset states materialized so far (observability for tests).
+  size_t num_states() const { return regs_.size(); }
+
+ private:
+  /// Interns the machine state, returning its dense id; -1 when the cache
+  /// is full and the state is new.
+  int32_t Intern(std::vector<uint64_t> regs);
+  /// Computes and caches the transition; -1 when the cache is full and
+  /// the target state is not already materialized.
+  int32_t Step(int32_t from, int byte_class);
+
+  const CompiledPuProgram* program_;
+  /// The hot path runs entirely over these flat arrays: one dependent
+  /// load per input byte (`trans_[sid * classes + class]`) plus the
+  /// accept flag — the interning map is only touched on cache misses.
+  std::vector<int32_t> trans_;   // num_states x num_byte_classes; -1 = miss
+  std::vector<uint8_t> accept_;  // per state id
+  std::vector<std::vector<uint64_t>> regs_;  // per state id: machine state
+  std::map<std::vector<uint64_t>, int32_t> ids_;
+};
+
+}  // namespace doppio

@@ -3,7 +3,9 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "hw/fifo.h"
+#include "hw/pu_kernel.h"
 #include "hw/output_collector.h"
 #include "hw/string_reader.h"
 
@@ -86,12 +88,21 @@ void RegexEngine::BuildChunks() {
 
 Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
                                   std::vector<BlockTiming>* blocks) {
-  // Configure every PU from the job's configuration vector (they all
-  // evaluate the same expression; parallelism is across tuples).
+  // Compile the job's configuration vector once; every PU (and every
+  // worker thread) shares the immutable program — they all evaluate the
+  // same expression; parallelism is across tuples.
   DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
                           ConfigVector::FromBytes(params->config));
+  DOPPIO_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPuProgram> program,
+                          CompiledPuProgram::Compile(cv, device_));
   for (ProcessingUnit& pu : pus_) {
-    DOPPIO_RETURN_NOT_OK(pu.Configure(cv));
+    pu.Configure(program);
+  }
+  status->pu_kernel = PuKernelName(program->kernel());
+  switch (program->kernel()) {
+    case PuKernelKind::kLiteral: stats_.literal_jobs += 1; break;
+    case PuKernelKind::kLazyDfa: stats_.lazy_dfa_jobs += 1; break;
+    case PuKernelKind::kNfaLoop: stats_.nfa_loop_jobs += 1; break;
   }
 
   StringReader reader(*params);
@@ -100,6 +111,8 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
   const bool parallel =
       pool_ != nullptr && params->count >= kParallelThreshold;
 
+  Stopwatch functional_clock;
+  int64_t functional_bytes = 0;
   while (reader.HasMore()) {
     DOPPIO_ASSIGN_OR_RETURN(StringReader::Block block, reader.ReadBlock());
     blocks->push_back(BlockTiming{block.offset_lines, block.heap_lines,
@@ -107,6 +120,7 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
 
     const int npus = device_.pus_per_engine;
     if (params->timing_only) continue;  // traffic model only
+    functional_bytes += block.string_bytes;
     std::vector<uint16_t> results(block.strings.size());
     if (!parallel) {
       // Structural path (Fig. 4): the reader scatters strings round-robin
@@ -156,14 +170,22 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
         }
       }
     } else {
-      // Host-parallel fast path: every PU runs the same program, so the
-      // results are identical to the structural round-robin path.
+      // Host-parallel fast path: each worker thread gets its own PU (own
+      // dynamic state and lazy-DFA cache) referencing the shared compiled
+      // program, and processes a contiguous range of the block. Every PU
+      // runs the same program, so the results are identical to the
+      // structural round-robin path.
       const int shards = pool_->num_threads();
+      const size_t n = block.strings.size();
       pool_->ParallelFor(shards, [&](int shard) {
-        ProcessingUnit pu = pus_[0];  // copy: private dynamic state
-        for (size_t i = static_cast<size_t>(shard);
-             i < block.strings.size();
-             i += static_cast<size_t>(shards)) {
+        const size_t begin =
+            n * static_cast<size_t>(shard) / static_cast<size_t>(shards);
+        const size_t end =
+            n * (static_cast<size_t>(shard) + 1) / static_cast<size_t>(shards);
+        if (begin == end) return;
+        ProcessingUnit pu(device_);
+        pu.Configure(program);
+        for (size_t i = begin; i < end; ++i) {
           results[i] = pu.ProcessString(block.strings[i]);
         }
       });
@@ -172,6 +194,11 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
       DOPPIO_RETURN_NOT_OK(collector.Append(r));
     }
   }
+
+  status->functional_bytes = functional_bytes;
+  status->functional_host_seconds = functional_clock.ElapsedSeconds();
+  stats_.functional_bytes += functional_bytes;
+  stats_.functional_seconds += status->functional_host_seconds;
 
   status->matches = collector.matches();
   status->strings_processed =

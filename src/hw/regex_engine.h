@@ -34,6 +34,15 @@ struct EngineStats {
   int64_t strings_processed = 0;
   int64_t bytes_streamed = 0;
   SimTime busy_time = 0;
+
+  // Functional-pass (host wall-clock) observability: payload bytes run
+  // through the compiled kernels and the time they took. Simulator
+  // implementation detail — independent of the virtual-time figures.
+  int64_t functional_bytes = 0;
+  double functional_seconds = 0;
+  int64_t literal_jobs = 0;
+  int64_t lazy_dfa_jobs = 0;
+  int64_t nfa_loop_jobs = 0;
 };
 
 class RegexEngine {

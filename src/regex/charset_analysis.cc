@@ -1,0 +1,97 @@
+#include "regex/charset_analysis.h"
+
+#include <map>
+#include <vector>
+
+namespace doppio {
+
+namespace {
+
+// Enumerates the byte set of a spec by testing all 256 byte values — robust
+// against redundant or overlapping range encodings.
+int MatchedBytes(const CharSpec& spec, uint8_t out[2]) {
+  int count = 0;
+  for (int b = 0; b < 256; ++b) {
+    if (spec.Test(static_cast<uint8_t>(b))) {
+      if (count < 2) out[count] = static_cast<uint8_t>(b);
+      if (++count > 2) return count;  // more than a pair: caller gives up
+    }
+  }
+  return count;
+}
+
+bool IsAsciiLetter(uint8_t c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+}
+
+}  // namespace
+
+bool SpecIsExactByte(const CharSpec& spec, uint8_t* byte) {
+  if (spec.any) return false;
+  uint8_t bytes[2];
+  if (MatchedBytes(spec, bytes) != 1) return false;
+  *byte = bytes[0];
+  return true;
+}
+
+bool SpecIsCaseFoldPair(const CharSpec& spec, uint8_t* lower) {
+  if (spec.any) return false;
+  uint8_t bytes[2];
+  if (MatchedBytes(spec, bytes) != 2) return false;
+  if (!IsAsciiLetter(bytes[0]) || bytes[1] != (bytes[0] ^ 0x20)) {
+    return false;
+  }
+  *lower = bytes[0] | 0x20;
+  return true;
+}
+
+std::optional<TokenLiteral> TokenToLiteral(const HwToken& token) {
+  TokenLiteral literal;
+  bool saw_fold_pair = false;
+  bool saw_exact_letter = false;
+  for (const CharSpec& spec : token.chain) {
+    uint8_t byte;
+    if (SpecIsExactByte(spec, &byte)) {
+      if (IsAsciiLetter(byte)) saw_exact_letter = true;
+      literal.needle.push_back(static_cast<char>(byte));
+    } else if (SpecIsCaseFoldPair(spec, &byte)) {
+      saw_fold_pair = true;
+      literal.needle.push_back(static_cast<char>(byte));
+    } else {
+      return std::nullopt;
+    }
+  }
+  // A global fold flag cannot express "this letter exact, that one either
+  // case" — such chains stay on the general kernels.
+  if (saw_fold_pair && saw_exact_letter) return std::nullopt;
+  literal.case_insensitive = saw_fold_pair;
+  return literal;
+}
+
+int ComputeByteClasses(const TokenNfa& nfa,
+                       std::array<uint16_t, 256>* classes) {
+  // Signature of a byte: one bit per (token, chain position) spec.
+  size_t num_specs = 0;
+  for (const HwToken& token : nfa.tokens) num_specs += token.chain.size();
+  const size_t words = (num_specs + 63) / 64;
+
+  std::map<std::vector<uint64_t>, uint16_t> seen;
+  for (int b = 0; b < 256; ++b) {
+    std::vector<uint64_t> sig(words, 0);
+    size_t bit = 0;
+    for (const HwToken& token : nfa.tokens) {
+      for (const CharSpec& spec : token.chain) {
+        if (spec.Test(static_cast<uint8_t>(b))) {
+          sig[bit / 64] |= uint64_t{1} << (bit % 64);
+        }
+        ++bit;
+      }
+    }
+    auto [it, inserted] =
+        seen.emplace(std::move(sig), static_cast<uint16_t>(seen.size()));
+    (*classes)[static_cast<size_t>(b)] = it->second;
+  }
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace doppio

@@ -1,0 +1,47 @@
+// Character-spec analysis shared by the compiled PU kernels (hw/pu_kernel)
+// and anything else that wants to specialize execution by pattern shape.
+//
+// Two kinds of analysis live here:
+//  * literal reduction — recognizing that a token chain matches exactly one
+//    byte string (possibly up to ASCII case), which lets a whole PU program
+//    collapse into substring search;
+//  * byte-equivalence classes — the RE2 trick of partitioning the 256-byte
+//    alphabet into groups the program cannot tell apart, which shrinks
+//    lazy-DFA transition tables and speeds up subset construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "regex/token_nfa.h"
+
+namespace doppio {
+
+/// True iff `spec` matches exactly one byte; sets *byte.
+bool SpecIsExactByte(const CharSpec& spec, uint8_t* byte);
+
+/// True iff `spec` matches exactly an ASCII letter and its case
+/// counterpart (the collation-register encoding of case-insensitive
+/// matching); sets *lower to the lowercase byte.
+bool SpecIsCaseFoldPair(const CharSpec& spec, uint8_t* lower);
+
+/// A token chain reduced to a plain needle. `needle` holds the bytes as
+/// written except that case-fold pairs are stored lowercase and flip
+/// `case_insensitive` — mixing exact letters with fold pairs in one chain
+/// is not representable and yields nullopt.
+struct TokenLiteral {
+  std::string needle;
+  bool case_insensitive = false;
+};
+std::optional<TokenLiteral> TokenToLiteral(const HwToken& token);
+
+/// Partitions 0..255 into equivalence classes: two bytes share a class
+/// when every character spec of every token treats them identically, so
+/// the whole program (and any DFA built over it) cannot distinguish them.
+/// Fills classes[b] with the class id of byte b; returns the class count.
+int ComputeByteClasses(const TokenNfa& nfa,
+                       std::array<uint16_t, 256>* classes);
+
+}  // namespace doppio

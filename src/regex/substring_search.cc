@@ -1,8 +1,32 @@
 #include "regex/substring_search.h"
 
 #include <cctype>
+#include <cstring>
 
 namespace doppio {
+
+size_t FindLiteralScan(std::string_view haystack, std::string_view needle,
+                       size_t from) {
+  const size_t m = needle.size();
+  if (m == 0) return from <= haystack.size() ? from : std::string_view::npos;
+  if (haystack.size() < m || from > haystack.size() - m) {
+    return std::string_view::npos;
+  }
+  const char first = needle[0];
+  const char* base = haystack.data();
+  size_t pos = from;
+  const size_t last_start = haystack.size() - m;
+  while (pos <= last_start) {
+    const void* hit = std::memchr(base + pos, first, last_start - pos + 1);
+    if (hit == nullptr) return std::string_view::npos;
+    pos = static_cast<size_t>(static_cast<const char*>(hit) - base);
+    if (m == 1 || std::memcmp(base + pos + 1, needle.data() + 1, m - 1) == 0) {
+      return pos;
+    }
+    ++pos;
+  }
+  return std::string_view::npos;
+}
 
 namespace {
 inline uint8_t Fold(uint8_t c, bool fold) {

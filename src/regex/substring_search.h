@@ -17,6 +17,13 @@
 
 namespace doppio {
 
+/// memchr skip loop + memcmp verify: leans on libc's SWAR/SIMD byte scan
+/// to find candidate positions of the needle's first byte, then compares
+/// the remainder. Typically the fastest option for short, case-sensitive
+/// needles; index of the first occurrence at or after `from`, or npos.
+size_t FindLiteralScan(std::string_view haystack, std::string_view needle,
+                       size_t from = 0);
+
 /// Boyer-Moore-Horspool: bad-character shifts, sublinear on text that
 /// rarely contains the needle's bytes.
 class BoyerMooreMatcher {

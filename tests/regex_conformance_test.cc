@@ -6,6 +6,7 @@
 
 #include "hw/config_compiler.h"
 #include "hw/processing_unit.h"
+#include "hw/pu_kernel.h"
 #include "regex/backtrack_matcher.h"
 #include "regex/dfa_matcher.h"
 #include "regex/nfa_matcher.h"
@@ -139,6 +140,44 @@ TEST_P(ConformanceTest, HardwarePathAgreesWhenMappable) {
   ASSERT_TRUE(pu.Configure(config->vector).ok());
   EXPECT_EQ(pu.ProcessString(c.input) != 0, c.matched)
       << c.pattern << " on '" << c.input << "'";
+}
+
+TEST_P(ConformanceTest, AllCompiledKernelsAgreeWhenMappable) {
+  // Every compiled kernel (auto selection, forced lazy-DFA, forced NFA
+  // loop) must return the same 16-bit match index on the whole corpus.
+  const Conformance& c = GetParam();
+  DeviceConfig device;
+  device.max_chars = 64;
+  device.max_states = 32;
+  auto config = CompileRegexConfig(c.pattern, device);
+  if (!config.ok()) {
+    GTEST_SKIP() << "not hardware-mappable: "
+                 << config.status().ToString();
+  }
+  uint16_t reference = 0;
+  bool first = true;
+  for (PuKernelOptions::Force force :
+       {PuKernelOptions::Force::kAuto, PuKernelOptions::Force::kLazyDfa,
+        PuKernelOptions::Force::kNfaLoop}) {
+    PuKernelOptions kopts;
+    kopts.force = force;
+    auto program = CompiledPuProgram::Compile(config->vector, device, kopts);
+    ASSERT_TRUE(program.ok()) << c.pattern;
+    ProcessingUnit pu(device);
+    pu.Configure(*program);
+    const uint16_t index = pu.ProcessString(c.input);
+    EXPECT_EQ(index != 0, c.matched)
+        << c.pattern << " on '" << c.input << "' kernel "
+        << PuKernelName((*program)->kernel());
+    if (first) {
+      reference = index;
+      first = false;
+    } else {
+      EXPECT_EQ(index, reference)
+          << c.pattern << " on '" << c.input << "' kernel "
+          << PuKernelName((*program)->kernel());
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Dialect, ConformanceTest,
