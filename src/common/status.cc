@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "TimingViolation";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

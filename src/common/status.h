@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kInternal = 8,
   kTimingViolation = 9,  // circuit configuration fails timing closure
   kParseError = 10,
+  kUnavailable = 11,       // transient device fault; retrying may succeed
+  kDeadlineExceeded = 12,  // job missed its wait deadline
 };
 
 /// \brief Outcome of a fallible operation.
@@ -66,6 +68,12 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -88,6 +96,10 @@ class Status {
     return code() == StatusCode::kTimingViolation;
   }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -153,5 +165,25 @@ class Result {
 };
 
 const char* StatusCodeName(StatusCode code);
+
+/// Classifies a hardware-path error for the degradation machinery: true
+/// when a software matcher can still serve the query (device overloaded,
+/// unavailable, job lost or too big for the deployed geometry), false for
+/// errors a re-execution cannot fix (bad arguments, broken patterns,
+/// internal invariant violations). Used by the HUDF fallback path and
+/// REGEXP_AUTO to distinguish "use software" from "fail the query".
+inline bool IsFallbackEligible(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:        // transient device fault
+    case StatusCode::kDeadlineExceeded:   // stuck/lost job
+    case StatusCode::kIOError:            // job-queue back-pressure
+    case StatusCode::kCapacityExceeded:   // pattern exceeds PU geometry
+    case StatusCode::kNotImplemented:     // e.g. unsupported offset width
+    case StatusCode::kTimingViolation:    // config fails timing closure
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace doppio

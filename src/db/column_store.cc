@@ -231,20 +231,50 @@ Result<std::vector<uint8_t>> ColumnStoreEngine::EvalFpga(
 
   std::unique_ptr<Bat> result;
   QueryStats local;
+  Status hw_status = Status::OK();
   if (spec.op == StringFilterSpec::Op::kHybrid) {
-    DOPPIO_ASSIGN_OR_RETURN(
-        HybridResult hybrid,
-        ExecuteHybrid(options_.hal, column, spec.pattern, copts));
-    result = std::move(hybrid.result);
-    local = hybrid.stats;
+    Result<HybridResult> hybrid =
+        ExecuteHybrid(options_.hal, column, spec.pattern, copts);
+    if (hybrid.ok()) {
+      result = std::move(hybrid->result);
+      local = hybrid->stats;
+    } else {
+      hw_status = hybrid.status();
+    }
   } else {
     // The engine-side HUDF partitions one query's data across all Regex
     // Engines (paper §7.5).
-    DOPPIO_ASSIGN_OR_RETURN(
-        HudfResult hw,
-        RegexpFpgaPartitioned(options_.hal, column, spec.pattern, copts));
-    result = std::move(hw.result);
-    local = hw.stats;
+    Result<HudfResult> hw =
+        RegexpFpgaPartitioned(options_.hal, column, spec.pattern, copts);
+    if (hw.ok()) {
+      result = std::move(hw->result);
+      local = hw->stats;
+    } else {
+      hw_status = hw.status();
+    }
+  }
+  if (!hw_status.ok()) {
+    // The layers below degrade per-slice; an error that still reaches the
+    // scan operator and is fallback-eligible (device refused the job
+    // outright) degrades the whole predicate to the software matchers.
+    // Capacity is the exception: it is a planning-time property of the
+    // pattern, and the explicit REGEXP_FPGA operator surfaces it — the
+    // documented route around an oversized pattern is the AUTO/HYBRID
+    // planner, which splits or goes software *by plan*, not by fault.
+    if (!IsFallbackEligible(hw_status) || hw_status.IsCapacityExceeded()) {
+      return hw_status;
+    }
+    Stopwatch sw_watch;
+    DOPPIO_ASSIGN_OR_RETURN(std::vector<uint8_t> bits,
+                            EvalRegexp(column, spec));
+    if (stats != nullptr) {
+      QueryStats degraded;
+      degraded.strategy = "fpga+sw_fallback";
+      degraded.udf_software_seconds = sw_watch.ElapsedSeconds();
+      degraded.fallback_rows = column.count();
+      stats->Accumulate(degraded);
+    }
+    return bits;
   }
   if (stats != nullptr) {
     // Do not double count volumes; phases only.

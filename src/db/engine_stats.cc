@@ -18,6 +18,11 @@ std::string QueryStats::ToString() const {
     out << " pu_kernel=" << pu_kernel
         << " functional_mbps=" << FunctionalMbps();
   }
+  if (job_retries != 0 || faults_recovered != 0 || fallback_rows != 0) {
+    out << " retries=" << job_retries
+        << " faults_recovered=" << faults_recovered
+        << " fallback_rows=" << fallback_rows;
+  }
   return out.str();
 }
 
@@ -30,6 +35,9 @@ void QueryStats::Accumulate(const QueryStats& other) {
   sim_host_seconds += other.sim_host_seconds;
   rows_scanned += other.rows_scanned;
   rows_matched += other.rows_matched;
+  job_retries += other.job_retries;
+  faults_recovered += other.faults_recovered;
+  fallback_rows += other.fallback_rows;
   if (strategy.empty()) {
     strategy = other.strategy;
   } else if (!other.strategy.empty() && other.strategy != strategy) {

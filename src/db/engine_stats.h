@@ -28,6 +28,13 @@ struct QueryStats {
   int64_t rows_scanned = 0;
   int64_t rows_matched = 0;
 
+  // Fault-tolerance accounting (all zero on a fault-free run; only then
+  // are they printed, so baseline figure output is unchanged).
+  int32_t job_retries = 0;      // job resubmissions across all slices
+  int32_t faults_recovered = 0; // jobs that saw a fault but still completed
+  int64_t fallback_rows = 0;    // rows re-matched in software after the
+                                // hardware path gave up
+
   /// Which execution strategy served the string predicate.
   std::string strategy;
 

@@ -2,11 +2,45 @@
 
 #include <algorithm>
 #include <limits>
+#include <string_view>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "hw/output_collector.h"
+#include "hw/processing_unit.h"
+#include "hw/string_reader.h"
 
 namespace doppio {
+
+namespace {
+
+/// Software degradation path: re-executes one job slice on the host
+/// through the same compiled PU program the engines run, writing raw
+/// 16-bit match indexes into the slice's result range. Bit-identical to
+/// the hardware functional pass by construction — same ConfigVector
+/// decode, same kernel, same saturation — so a degraded query returns
+/// exactly the BAT a healthy device would have produced. Returns the
+/// slice's match count.
+Result<int64_t> RunSliceInSoftware(const DeviceConfig& device,
+                                   const JobParams& params) {
+  DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
+                          ConfigVector::FromBytes(params.config));
+  DOPPIO_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPuProgram> program,
+                          CompiledPuProgram::Compile(cv, device));
+  ProcessingUnit pu(device);
+  pu.Configure(std::move(program));
+  StringReader reader(params);
+  OutputCollector collector(params);
+  while (reader.HasMore()) {
+    DOPPIO_ASSIGN_OR_RETURN(StringReader::Block block, reader.ReadBlock());
+    for (std::string_view s : block.strings) {
+      DOPPIO_RETURN_NOT_OK(collector.Append(pu.ProcessString(s)));
+    }
+  }
+  return collector.matches();
+}
+
+}  // namespace
 
 Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
                                          const RegexConfig& config,
@@ -28,17 +62,38 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
       Bat::New(ValueType::kInt16, input.count(), hal->bat_allocator()));
   DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(input.count()));
 
+  if (input.count() == 0) {
+    // Degenerate job: no rows means no slices. Without this guard the
+    // submit loop below produces no jobs and the hardware phase would be
+    // derived from an empty min/max (a bogus negative duration).
+    out.stats.udf_software_seconds = udf_watch.ElapsedSeconds();
+    return out;
+  }
+
+  const RetryPolicy& policy = hal->retry_policy();
+
   // One job per slice; all slices share the heap and the result BAT.
+  // Every slice is submitted before any is waited on, so slices overlap
+  // in virtual time across engines.
   Stopwatch hal_watch;
   const int64_t chunk = (input.count() + partitions - 1) / partitions;
   const uint32_t* all_offsets =
       reinterpret_cast<const uint32_t*>(input.tail_data());
-  std::vector<FpgaJob> jobs;
+  struct Slice {
+    JobParams params;     // kept alive across resubmissions
+    FpgaJob job;          // invalid when the submit itself degraded
+    JobOutcome outcome;
+    bool fallback = false;
+  };
+  std::vector<Slice> slices;
   for (int p = 0; p < partitions; ++p) {
     const int64_t first = p * chunk;
     if (first >= input.count()) break;
     const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
-    JobParams params;
+    if (rows <= 0) continue;
+    slices.emplace_back();
+    Slice& slice = slices.back();
+    JobParams& params = slice.params;
     params.offsets = input.tail_data() + first * input.offset_width();
     params.heap = input.heap()->data();
     params.result = out.result->mutable_tail_data() + first * 2;
@@ -51,27 +106,62 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
             ? static_cast<int64_t>(all_offsets[first + rows])
             : input.heap()->size_bytes();
     params.config = config.vector.bytes();
-    DOPPIO_ASSIGN_OR_RETURN(JobId id,
-                            hal->device()->Submit(std::move(params)));
-    jobs.emplace_back(hal->device(), id);
+    Result<FpgaJob> job =
+        SubmitJobWithRetry(hal->device(), params, policy, &slice.outcome);
+    if (job.ok()) {
+      slice.job = *job;
+    } else if (IsFallbackEligible(job.status())) {
+      slice.fallback = true;
+    } else {
+      return job.status();
+    }
   }
   out.stats.hal_seconds = hal_watch.ElapsedSeconds();
 
   Stopwatch wait_watch;
   SimTime first_enqueue = std::numeric_limits<SimTime>::max();
   SimTime last_finish = 0;
-  for (FpgaJob& job : jobs) {
-    DOPPIO_RETURN_NOT_OK(job.Wait());
-    const JobStatus& status = job.status();
-    first_enqueue = std::min(first_enqueue, status.enqueue_time);
-    last_finish = std::max(last_finish, status.finish_time);
-    out.stats.rows_matched += status.matches;
-    if (out.stats.pu_kernel.empty()) out.stats.pu_kernel = status.pu_kernel;
-    out.stats.functional_bytes += status.functional_bytes;
-    out.stats.functional_seconds += status.functional_host_seconds;
+  bool any_hw = false;
+  for (Slice& slice : slices) {
+    if (!slice.fallback) {
+      Status st = AwaitJobWithRecovery(hal->device(), &slice.job,
+                                       slice.params, policy, &slice.outcome);
+      if (st.ok()) {
+        const JobStatus& status = slice.job.status();
+        any_hw = true;
+        first_enqueue = std::min(first_enqueue, status.enqueue_time);
+        last_finish = std::max(last_finish, status.finish_time);
+        out.stats.rows_matched += status.matches;
+        if (out.stats.pu_kernel.empty()) {
+          out.stats.pu_kernel = status.pu_kernel;
+        }
+        out.stats.functional_bytes += status.functional_bytes;
+        out.stats.functional_seconds += status.functional_host_seconds;
+      } else if (IsFallbackEligible(st)) {
+        slice.fallback = true;
+      } else {
+        return st;
+      }
+    }
+    out.stats.job_retries += slice.outcome.retries;
+    if (slice.outcome.ok && slice.outcome.fault_seen) {
+      out.stats.faults_recovered += 1;
+    }
   }
+  // Slices the device could not complete degrade to the software matchers
+  // (the query must not fail for a fault the CPU can absorb).
+  for (Slice& slice : slices) {
+    if (!slice.fallback) continue;
+    DOPPIO_ASSIGN_OR_RETURN(
+        int64_t matches,
+        RunSliceInSoftware(hal->device_config(), slice.params));
+    out.stats.rows_matched += matches;
+    out.stats.fallback_rows += slice.params.count;
+  }
+  if (out.stats.fallback_rows > 0) out.stats.strategy = "fpga+sw_fallback";
   out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
-  out.stats.hw_seconds = SecondsFromPicos(last_finish - first_enqueue);
+  out.stats.hw_seconds =
+      any_hw ? SecondsFromPicos(last_finish - first_enqueue) : 0;
   out.stats.udf_software_seconds =
       std::max(0.0, udf_watch.ElapsedSeconds() - out.stats.hal_seconds -
                         out.stats.sim_host_seconds);
@@ -117,25 +207,62 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
       Bat::New(ValueType::kInt16, input.count(), hal->bat_allocator()));
   DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(input.count()));
 
-  // Create the FPGA job through the HAL and busy-wait on the done bit.
+  if (input.count() == 0) {
+    out.stats.udf_software_seconds = udf_watch.ElapsedSeconds();
+    return out;
+  }
+
+  const RetryPolicy& policy = hal->retry_policy();
+
+  // Create the FPGA job through the HAL and busy-wait on the done bit,
+  // under the bounded-retry lifecycle.
   Stopwatch hal_watch;
-  DOPPIO_ASSIGN_OR_RETURN(FpgaJob job,
-                          hal->CreateRegexJob(input, out.result.get(),
-                                              config));
+  DOPPIO_ASSIGN_OR_RETURN(
+      JobParams params,
+      hal->BuildRegexJobParams(input, out.result.get(), config));
+  JobOutcome outcome;
+  Result<FpgaJob> job =
+      SubmitJobWithRetry(hal->device(), params, policy, &outcome);
   out.stats.hal_seconds = hal_watch.ElapsedSeconds();
 
   // The busy-wait advances the simulator's virtual clock; the host time it
   // burns doing so is a simulation artifact and is excluded from the
   // software phases. The hardware phase is virtual time.
   Stopwatch wait_watch;
-  DOPPIO_RETURN_NOT_OK(job.Wait());
+  bool fallback = false;
+  if (job.ok()) {
+    FpgaJob handle = *job;
+    Status wait_status = AwaitJobWithRecovery(hal->device(), &handle, params,
+                                              policy, &outcome);
+    if (wait_status.ok()) {
+      out.stats.hw_seconds = handle.HwSeconds();  // virtual (simulated) time
+      out.stats.rows_matched = handle.status().matches;
+      out.stats.pu_kernel = handle.status().pu_kernel;
+      out.stats.functional_bytes = handle.status().functional_bytes;
+      out.stats.functional_seconds = handle.status().functional_host_seconds;
+    } else if (IsFallbackEligible(wait_status)) {
+      fallback = true;
+    } else {
+      return wait_status;
+    }
+  } else if (IsFallbackEligible(job.status())) {
+    fallback = true;
+  } else {
+    return job.status();
+  }
+
+  if (fallback) {
+    DOPPIO_ASSIGN_OR_RETURN(
+        int64_t matches, RunSliceInSoftware(hal->device_config(), params));
+    out.stats.rows_matched = matches;
+    out.stats.fallback_rows = params.count;
+    out.stats.strategy = "fpga+sw_fallback";
+  }
+  out.stats.job_retries = outcome.retries;
+  if (outcome.ok && outcome.fault_seen) out.stats.faults_recovered = 1;
+
   const double wait_host_seconds = wait_watch.ElapsedSeconds();
   out.stats.sim_host_seconds = wait_host_seconds;
-  out.stats.hw_seconds = job.HwSeconds();  // virtual (simulated) time
-  out.stats.rows_matched = job.status().matches;
-  out.stats.pu_kernel = job.status().pu_kernel;
-  out.stats.functional_bytes = job.status().functional_bytes;
-  out.stats.functional_seconds = job.status().functional_host_seconds;
   out.stats.udf_software_seconds = udf_watch.ElapsedSeconds() -
                                    out.stats.hal_seconds -
                                    wait_host_seconds;

@@ -27,6 +27,35 @@ AstNodePtr ConcatPrefix(const AstNode& concat, size_t end) {
   return AstNode::Concat(std::move(parts));
 }
 
+// Full-pattern scan on the software matchers (the planner's software
+// strategy, and the degradation target when the hardware path fails with
+// a fallback-eligible error).
+Result<HybridResult> RunSoftwareScan(const Bat& input,
+                                     std::string_view pattern,
+                                     const CompileOptions& options) {
+  HybridResult out;
+  Stopwatch cpu_watch;
+  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
+                          DfaMatcher::Compile(pattern, options));
+  DOPPIO_ASSIGN_OR_RETURN(out.result,
+                          Bat::New(ValueType::kInt16, input.count()));
+  int64_t matched = 0;
+  for (int64_t i = 0; i < input.count(); ++i) {
+    MatchResult m = matcher->Find(input.GetString(i));
+    int16_t value =
+        m.matched ? static_cast<int16_t>(std::min<int32_t>(
+                        std::max<int32_t>(m.end, 1), 32767))
+                  : 0;
+    if (m.matched) ++matched;
+    DOPPIO_RETURN_NOT_OK(out.result->AppendInt16(value));
+  }
+  out.stats.strategy = "software";
+  out.stats.rows_scanned = input.count();
+  out.stats.rows_matched = matched;
+  out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
+  return out;
+}
+
 }  // namespace
 
 Result<HybridPlan> PlanHybrid(std::string_view pattern,
@@ -85,17 +114,39 @@ Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
   out.strategy = plan.strategy;
 
   if (plan.strategy == HybridStrategy::kFpgaOnly) {
-    DOPPIO_ASSIGN_OR_RETURN(HudfResult hw,
-                            RegexpFpga(hal, input, pattern, options));
-    out.result = std::move(hw.result);
-    out.stats = hw.stats;
+    Result<HudfResult> hw = RegexpFpga(hal, input, pattern, options);
+    if (!hw.ok()) {
+      // The HUDF degrades per-slice internally; an error surfacing here
+      // that is still fallback-eligible (e.g. the device rejects the job
+      // outright) degrades the whole operator to software.
+      if (!IsFallbackEligible(hw.status())) return hw.status();
+      DOPPIO_ASSIGN_OR_RETURN(out,
+                              RunSoftwareScan(input, pattern, options));
+      out.strategy = plan.strategy;
+      out.stats.strategy = "fpga+sw_fallback";
+      return out;
+    }
+    out.result = std::move(hw->result);
+    out.stats = hw->stats;
     return out;
   }
 
   if (plan.strategy == HybridStrategy::kHybrid) {
     // FPGA pre-filter on the prefix.
-    DOPPIO_ASSIGN_OR_RETURN(
-        HudfResult hw, RegexpFpga(hal, input, plan.fpga_pattern, options));
+    Result<HudfResult> hw_attempt =
+        RegexpFpga(hal, input, plan.fpga_pattern, options);
+    if (!hw_attempt.ok()) {
+      if (!IsFallbackEligible(hw_attempt.status())) {
+        return hw_attempt.status();
+      }
+      // Without the pre-filter the full pattern runs in software.
+      DOPPIO_ASSIGN_OR_RETURN(out,
+                              RunSoftwareScan(input, pattern, options));
+      out.strategy = plan.strategy;
+      out.stats.strategy = "fpga+sw_fallback";
+      return out;
+    }
+    HudfResult hw = std::move(*hw_attempt);
     out.stats = hw.stats;
     out.stats.strategy = "hybrid";
 
@@ -125,26 +176,10 @@ Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
   }
 
   // Pure software fallback.
-  Stopwatch cpu_watch;
-  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
-                          DfaMatcher::Compile(pattern, options));
-  DOPPIO_ASSIGN_OR_RETURN(
-      out.result, Bat::New(ValueType::kInt16, input.count()));
-  int64_t matched = 0;
-  for (int64_t i = 0; i < input.count(); ++i) {
-    MatchResult m = matcher->Find(input.GetString(i));
-    int16_t value =
-        m.matched ? static_cast<int16_t>(std::min<int32_t>(
-                        std::max<int32_t>(m.end, 1), 32767))
-                  : 0;
-    if (m.matched) ++matched;
-    DOPPIO_RETURN_NOT_OK(out.result->AppendInt16(value));
-  }
-  out.stats.strategy = "software";
-  out.stats.rows_scanned = input.count();
-  out.stats.rows_matched = matched;
-  out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
-  return out;
+  DOPPIO_ASSIGN_OR_RETURN(HybridResult sw,
+                          RunSoftwareScan(input, pattern, options));
+  sw.strategy = plan.strategy;
+  return sw;
 }
 
 }  // namespace doppio

@@ -62,8 +62,8 @@ Hal::Hal(const Options& options) : options_(options) {
 
 Hal::~Hal() = default;
 
-Result<FpgaJob> Hal::CreateRegexJob(const Bat& input, Bat* result,
-                                    const RegexConfig& config) {
+Result<JobParams> Hal::BuildRegexJobParams(const Bat& input, Bat* result,
+                                           const RegexConfig& config) const {
   if (input.type() != ValueType::kString) {
     return Status::InvalidArgument("regex job input must be a string BAT");
   }
@@ -80,7 +80,13 @@ Result<FpgaJob> Hal::CreateRegexJob(const Bat& input, Bat* result,
   params.offset_width = static_cast<int32_t>(input.offset_width());
   params.heap_bytes = input.heap()->size_bytes();
   params.config = config.vector.bytes();
+  return params;
+}
 
+Result<FpgaJob> Hal::CreateRegexJob(const Bat& input, Bat* result,
+                                    const RegexConfig& config) {
+  DOPPIO_ASSIGN_OR_RETURN(JobParams params,
+                          BuildRegexJobParams(input, result, config));
   DOPPIO_ASSIGN_OR_RETURN(JobId id, device_->Submit(std::move(params)));
   return FpgaJob(device_.get(), id);
 }

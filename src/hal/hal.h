@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "hal/aal.h"
 #include "hal/job.h"
+#include "hal/job_lifecycle.h"
 #include "hw/config_compiler.h"
 #include "hw/device_config.h"
 #include "hw/fpga_device.h"
@@ -60,6 +61,10 @@ class Hal {
     /// Host threads for the simulator's functional pass (0 = hardware
     /// concurrency).
     int functional_threads = 0;
+    /// Deadline / retry / backoff policy applied by the HUDF when waiting
+    /// on jobs. Defaults are generous enough that a fault-free device
+    /// never expires a deadline.
+    RetryPolicy retry;
   };
 
   explicit Hal(const Options& options);
@@ -77,6 +82,7 @@ class Hal {
   SharedArena* arena() { return arena_.get(); }
   FpgaDevice* device() { return device_.get(); }
   const DeviceConfig& device_config() const { return options_.device; }
+  const RetryPolicy& retry_policy() const { return options_.retry; }
 
   /// Creates and enqueues a regex job over a string BAT (steps 3-5 of
   /// Fig. 3). `result` must be a kInt16 BAT pre-sized to input.count()
@@ -84,6 +90,13 @@ class Hal {
   /// its tail). Returns a handle to monitor the job.
   Result<FpgaJob> CreateRegexJob(const Bat& input, Bat* result,
                                  const RegexConfig& config);
+
+  /// Builds the shared-memory parameter block for a regex job without
+  /// submitting it. The fault-tolerant lifecycle (hal/job_lifecycle.h)
+  /// needs the params to outlive a single Submit so an expired attempt
+  /// can be resubmitted.
+  Result<JobParams> BuildRegexJobParams(const Bat& input, Bat* result,
+                                        const RegexConfig& config) const;
 
   /// Compiles a pattern against the deployed geometry (fpga_regex_get_config).
   Result<RegexConfig> CompileConfig(std::string_view pattern,

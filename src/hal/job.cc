@@ -11,6 +11,19 @@ Status FpgaJob::Wait() {
   return Status::OK();
 }
 
+Status FpgaJob::Wait(SimTime deadline) {
+  DOPPIO_CHECK(valid());
+  DOPPIO_ASSIGN_OR_RETURN(SimTime finish,
+                          device_->WaitForJobUntil(id_, deadline));
+  (void)finish;
+  return Status::OK();
+}
+
+Status FpgaJob::Cancel() {
+  DOPPIO_CHECK(valid());
+  return device_->CancelJob(id_);
+}
+
 bool FpgaJob::Done() const {
   DOPPIO_CHECK(valid());
   return device_->status(id_)->done.load(std::memory_order_acquire) != 0;

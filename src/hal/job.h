@@ -20,6 +20,15 @@ class FpgaJob {
   /// interrupts, §4.2.2). Advances the device's virtual clock.
   Status Wait();
 
+  /// Deadline-bounded busy-wait: gives up once the virtual clock reaches
+  /// `deadline` (absolute picoseconds) or the device drains with the job
+  /// unfinished. Returns DeadlineExceeded / Unavailable respectively —
+  /// both retryable through the job lifecycle (hal/job_lifecycle.h).
+  Status Wait(SimTime deadline);
+
+  /// Abandons the job: a queued descriptor is skipped by the distributor.
+  Status Cancel();
+
   /// Non-blocking poll of the done bit.
   bool Done() const;
 

@@ -1,0 +1,131 @@
+#include "hal/job_lifecycle.h"
+
+#include <cmath>
+
+#include "hw/perf_model.h"
+
+namespace doppio {
+
+namespace {
+
+/// Backoff for the next resubmission: base × multiplier^(backoffs so far).
+SimTime NextBackoffPicos(const RetryPolicy& policy,
+                         const JobOutcome& outcome) {
+  const double seconds =
+      policy.backoff_base_sec *
+      std::pow(policy.backoff_multiplier,
+               static_cast<double>(outcome.backoffs.size()));
+  return PicosFromSeconds(seconds);
+}
+
+void BackOff(FpgaDevice* device, const RetryPolicy& policy,
+             JobOutcome* outcome) {
+  const SimTime backoff = NextBackoffPicos(policy, *outcome);
+  outcome->backoffs.push_back(backoff);
+  device->AdvanceVirtualTime(backoff);
+}
+
+bool IsTransient(const Status& status) {
+  // Unavailable: injected transient fault or a lost job. IOError: shared
+  // job-queue back-pressure — resolves as the device drains.
+  return status.IsUnavailable() || status.code() == StatusCode::kIOError;
+}
+
+}  // namespace
+
+SimTime JobDeadlineBudget(const DeviceConfig& config, int64_t count,
+                          int64_t heap_bytes, const RetryPolicy& policy,
+                          int active_engines) {
+  const PerfEstimate expected =
+      EstimateJob(config, count, heap_bytes, active_engines);
+  double budget_sec = expected.seconds * policy.deadline_slack;
+  if (budget_sec < policy.min_deadline_sec) {
+    budget_sec = policy.min_deadline_sec;
+  }
+  if (config.faults.enabled) {
+    // Headroom for injected completion/done-bit delays, so a merely
+    // delayed job completes within its deadline instead of burning a
+    // retry; only dropped or stalled jobs expire.
+    budget_sec +=
+        config.faults.delay_seconds + config.faults.done_latency_seconds;
+  }
+  return PicosFromSeconds(budget_sec);
+}
+
+Result<FpgaJob> SubmitJobWithRetry(FpgaDevice* device,
+                                   const JobParams& params,
+                                   const RetryPolicy& policy,
+                                   JobOutcome* outcome) {
+  while (true) {
+    Result<JobId> id = device->Submit(params);
+    if (id.ok()) return FpgaJob(device, *id);
+    const Status st = id.status();
+    if (!IsTransient(st)) return st;
+    outcome->fault_seen = true;
+    if (outcome->retries >= policy.max_retries) {
+      outcome->final_status = st;
+      return st;
+    }
+    BackOff(device, policy, outcome);
+    ++outcome->retries;
+  }
+}
+
+Status AwaitJobWithRecovery(FpgaDevice* device, FpgaJob* job,
+                            const JobParams& params,
+                            const RetryPolicy& policy,
+                            JobOutcome* outcome) {
+  outcome->deadline_budget =
+      JobDeadlineBudget(device->config(), params.count, params.heap_bytes,
+                        policy, device->config().num_engines);
+  while (true) {
+    Status st = job->Wait(device->now() + outcome->deadline_budget);
+    if (st.ok()) {
+      outcome->ok = true;
+      outcome->final_status = Status::OK();
+      JobStatus* status = device->status(job->id());
+      status->retries = outcome->retries;
+      if (status->fault_flags.load(std::memory_order_acquire) != 0) {
+        outcome->fault_seen = true;
+      }
+      return Status::OK();
+    }
+    const bool retryable = st.IsDeadlineExceeded() || st.IsUnavailable();
+    if (!retryable) {
+      outcome->final_status = st;
+      return st;
+    }
+    outcome->fault_seen = true;
+    (void)job->Cancel();
+    if (outcome->retries >= policy.max_retries) {
+      outcome->final_status = st;
+      return st;
+    }
+    BackOff(device, policy, outcome);
+    ++outcome->retries;
+    Result<FpgaJob> retry =
+        SubmitJobWithRetry(device, params, policy, outcome);
+    if (!retry.ok()) {
+      outcome->final_status = retry.status();
+      return retry.status();
+    }
+    *job = *retry;
+  }
+}
+
+JobOutcome RunJobWithRetry(FpgaDevice* device, const JobParams& params,
+                           const RetryPolicy& policy, FpgaJob* job_out) {
+  JobOutcome outcome;
+  Result<FpgaJob> job = SubmitJobWithRetry(device, params, policy, &outcome);
+  if (!job.ok()) {
+    outcome.ok = false;
+    outcome.final_status = job.status();
+    return outcome;
+  }
+  FpgaJob handle = *job;
+  (void)AwaitJobWithRecovery(device, &handle, params, policy, &outcome);
+  if (job_out != nullptr) *job_out = handle;
+  return outcome;
+}
+
+}  // namespace doppio

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "hw/fault_plan.h"
 
 namespace doppio {
 
@@ -49,6 +50,11 @@ struct DeviceConfig {
   double job_setup_sec = 300e-9;
   /// Job-queue poll granularity of the Job Distributor.
   double job_poll_sec = 100e-9;
+
+  // --- Fault injection (simulation-only) ------------------------------------
+  /// Deterministic fault plan exercising the HAL's deadline/retry/fallback
+  /// machinery. Off by default; all paper figures run with it disabled.
+  FaultPlan faults;
 
   // --- Derived ---------------------------------------------------------------
   /// Peak processing rate of one engine: PUs × 1 B/cycle at the PU clock.

@@ -1,0 +1,86 @@
+// Deterministic fault-injection plan for the simulated device.
+//
+// Production automata systems treat hardware-path failure as a first-class
+// planner input; to exercise the HAL's deadline/retry/degradation machinery
+// the simulator can inject faults — dropped jobs, delayed completions,
+// late done-bit writes, transient Submit rejections and permanently
+// stalled engines. Every decision is a pure hash of (seed, fault kind,
+// sequence number), so a plan replays identically across runs and thread
+// interleavings. The plan is off by default: with `enabled == false` no
+// fault code runs and all simulated-timing figures are unchanged.
+//
+// Simulation-only: none of this models the paper's hardware; it models the
+// failure environment around it.
+#pragma once
+
+#include <cstdint>
+
+namespace doppio {
+
+/// Fault-kind salts for the per-decision hash (distinct streams per kind).
+enum class FaultKind : uint64_t {
+  kSubmit = 0x51,      // transient Submit rejection
+  kDrop = 0xd7,        // job vanishes: done bit never set
+  kDelay = 0xde,       // completion delayed
+  kDoneLatency = 0xdb, // done-bit write lands late
+};
+
+struct FaultPlan {
+  /// Master switch. False = zero behavioural difference, guaranteed.
+  bool enabled = false;
+
+  /// Seed of the deterministic lottery.
+  uint64_t seed = 0x5eedf001u;
+
+  /// Probability a Submit is rejected with a transient Unavailable error
+  /// (keyed by submission sequence number).
+  double submit_failure_rate = 0;
+
+  /// Probability a dispatched job is dropped: the engine frees itself but
+  /// the done bit is never set (keyed by queue job id).
+  double drop_rate = 0;
+
+  /// Probability a job's completion event is delayed by `delay_seconds`.
+  double delay_rate = 0;
+  double delay_seconds = 200e-6;
+
+  /// Probability the done-bit write lands `done_latency_seconds` after the
+  /// job actually finished (finish_time is stamped on time; the waiting
+  /// UDF just observes it late).
+  double done_latency_rate = 0;
+  double done_latency_seconds = 50e-6;
+
+  /// Bitmask of engines that hang forever on the first job they receive
+  /// (bit i = engine i). Jobs dispatched there never complete.
+  uint32_t stalled_engine_mask = 0;
+
+  bool engine_stalled(int engine_id) const {
+    return enabled && engine_id >= 0 && engine_id < 32 &&
+           (stalled_engine_mask & (uint32_t{1} << engine_id)) != 0;
+  }
+
+  /// Deterministic lottery: true with probability `rate` for this
+  /// (kind, sequence) pair. SplitMix64 over the salted seed.
+  bool Fires(FaultKind kind, uint64_t sequence, double rate) const {
+    if (!enabled || rate <= 0) return false;
+    if (rate >= 1.0) return true;
+    uint64_t x = seed ^ (static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL) ^
+                 (sequence * 0xbf58476d1ce4e5b9ULL);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    const double u =
+        static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+    return u < rate;
+  }
+
+  /// True when any injection can fire at all (cheap guard for hot paths).
+  bool any() const {
+    return enabled &&
+           (submit_failure_rate > 0 || drop_rate > 0 || delay_rate > 0 ||
+            done_latency_rate > 0 || stalled_engine_mask != 0);
+  }
+};
+
+}  // namespace doppio

@@ -101,6 +101,13 @@ Status FpgaDevice::ValidateJob(const JobParams& params) const {
 Result<JobId> FpgaDevice::Submit(JobParams params,
                                  std::function<void()> on_done) {
   DOPPIO_RETURN_NOT_OK(ValidateJob(params));
+  if (config_.faults.enabled) {
+    const uint64_t seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.faults.Fires(FaultKind::kSubmit, seq,
+                             config_.faults.submit_failure_rate)) {
+      return Status::Unavailable("injected transient submit failure");
+    }
+  }
   std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
   auto record = std::make_unique<JobRecord>();
   record->params = std::move(params);
@@ -142,6 +149,39 @@ Result<SimTime> FpgaDevice::WaitForJob(JobId id) {
   }
   if (!st->error.ok()) return st->error;
   return st->finish_time;
+}
+
+Result<SimTime> FpgaDevice::WaitForJobUntil(JobId id, SimTime deadline) {
+  JobStatus* st = status(id);
+  if (st == nullptr) return Status::NotFound("unknown job id");
+  while (st->done.load(std::memory_order_acquire) == 0) {
+    std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
+    if (st->done.load(std::memory_order_acquire) != 0) break;
+    if (scheduler_.now() >= deadline) {
+      return Status::DeadlineExceeded("job exceeded its wait deadline");
+    }
+    if (!scheduler_.RunOne()) {
+      // No pending virtual-time work can ever finish this job: it was
+      // dropped or its engine is stalled.
+      return Status::Unavailable("device idle but job not done (job lost)");
+    }
+  }
+  if (!st->error.ok()) return st->error;
+  return st->finish_time;
+}
+
+Status FpgaDevice::CancelJob(JobId id) {
+  JobStatus* st = status(id);
+  if (st == nullptr) return Status::NotFound("unknown job id");
+  st->cancelled.store(1, std::memory_order_release);
+  return Status::OK();
+}
+
+void FpgaDevice::AdvanceVirtualTime(SimTime delay) {
+  if (delay <= 0) return;
+  std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
+  const SimTime target = scheduler_.now() + delay;
+  scheduler_.RunUntil(target);
 }
 
 }  // namespace doppio

@@ -67,6 +67,23 @@ class FpgaDevice {
   /// is set; returns the job's finish time.
   Result<SimTime> WaitForJob(JobId id);
 
+  /// Deadline-bounded busy-wait (fault-tolerant lifecycle): advances
+  /// virtual time until the done bit is set, the virtual clock reaches
+  /// `deadline` (absolute, picoseconds — returns DeadlineExceeded), or the
+  /// device goes idle with the job unfinished (a dropped/stalled job —
+  /// returns Unavailable). Both failures are fallback-eligible.
+  Result<SimTime> WaitForJobUntil(JobId id, SimTime deadline);
+
+  /// Abandons an attempt the HAL gave up on: a cancelled job still in the
+  /// shared queue is skipped by the Job Distributor (never dispatched); an
+  /// attempt already executing runs to completion harmlessly (its result
+  /// slice is bit-identical to the retry's).
+  Status CancelJob(JobId id);
+
+  /// Advances the virtual clock by `delay` picoseconds, running any due
+  /// events — models the HAL sleeping out a retry backoff in virtual time.
+  void AdvanceVirtualTime(SimTime delay);
+
   SimScheduler* scheduler() { return &scheduler_; }
   SimTime now() const { return scheduler_.now(); }
   const DeviceConfig& config() const { return config_; }
@@ -99,6 +116,9 @@ class FpgaDevice {
     JobStatus status;
   };
   std::deque<std::unique_ptr<JobRecord>> jobs_;
+
+  /// Submission sequence for the fault plan's transient-Submit lottery.
+  std::atomic<uint64_t> submit_seq_{0};
 };
 
 }  // namespace doppio

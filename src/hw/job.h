@@ -33,10 +33,32 @@ struct JobParams {
   bool timing_only = false;
 };
 
+/// Fault-observability bits in JobStatus::fault_flags (simulator-only:
+/// which injected fault, if any, hit this job attempt).
+enum JobFaultBits : uint32_t {
+  kJobFaultDropped = 1u << 0,      // done bit never set; engine freed
+  kJobFaultStalled = 1u << 1,      // landed on a permanently stalled engine
+  kJobFaultDelayed = 1u << 2,      // completion event delayed
+  kJobFaultDoneLatency = 1u << 3,  // done-bit write landed late
+};
+
 /// Status structure the engine updates while executing (read by the UDF's
 /// busy-wait loop) plus execution statistics (paper step 8).
 struct JobStatus {
   std::atomic<uint32_t> done{0};
+
+  /// Set by the HAL when it gives up on this attempt (deadline expired and
+  /// the job was requeued). The Job Distributor skips cancelled
+  /// descriptors so an abandoned attempt is never double-executed.
+  std::atomic<uint32_t> cancelled{0};
+
+  /// Injected-fault observability (JobFaultBits). Atomic so the waiting
+  /// host thread may inspect it while the virtual-time side writes it.
+  std::atomic<uint32_t> fault_flags{0};
+
+  /// Resubmissions the HAL performed before this attempt succeeded
+  /// (written by the job lifecycle once the done bit is set).
+  int32_t retries = 0;
 
   /// Set (before the done bit) if the engine rejected or aborted the job.
   Status error;

@@ -70,6 +70,14 @@ void JobDistributor::TryDispatch() {
     if (!queue_->Pop(&descriptor)) break;
     auto* params = reinterpret_cast<JobParams*>(descriptor.params_addr);
     auto* status = reinterpret_cast<JobStatus*>(descriptor.status_addr);
+
+    if (status->cancelled.load(std::memory_order_acquire) != 0) {
+      // The HAL gave up on this attempt (deadline expired, requeued): a
+      // cancelled descriptor is discarded, never dispatched, so the retry
+      // does not race a stale execution for the engine.
+      callbacks_.erase(descriptor.job_id);
+      continue;
+    }
     ++jobs_dispatched_;
 
     const uint64_t id = descriptor.job_id;
@@ -78,8 +86,11 @@ void JobDistributor::TryDispatch() {
                                 TraceEvent::Kind::kJobDispatched, id,
                                 engine->id(), 0});
     }
-    Status st = engine->Start(params, status, [this, id, engine] {
-      if (trace_ != nullptr) {
+    Status st = engine->Start(params, status, [this, id, engine, status] {
+      const bool dropped =
+          (status->fault_flags.load(std::memory_order_acquire) &
+           kJobFaultDropped) != 0;
+      if (trace_ != nullptr && !dropped) {
         trace_->Record(TraceEvent{scheduler_->now(),
                                   TraceEvent::Kind::kJobDone, id,
                                   engine->id(), 0});
@@ -90,8 +101,10 @@ void JobDistributor::TryDispatch() {
         on_done = std::move(it->second);
         callbacks_.erase(it);
       }
-      if (on_done) on_done();
-      // A job finished: an engine is idle again.
+      // A dropped job's completion callback must never fire — the caller
+      // sees it only through the missing done bit.
+      if (on_done && !dropped) on_done();
+      // A job finished (or vanished): an engine is idle again.
       TryDispatch();
     });
     if (!st.ok()) {

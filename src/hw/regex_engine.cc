@@ -37,6 +37,35 @@ Status RegexEngine::Start(JobParams* params, JobStatus* status,
   status_->engine_id = id_;
   status_->start_time = scheduler_->now();
 
+  const FaultPlan& faults = device_.faults;
+  if (faults.engine_stalled(id_)) {
+    // Permanently stalled engine: the job is accepted but never finishes
+    // and the engine never becomes idle again. The HAL's deadline wait
+    // detects this (device drains with the done bit unset) and requeues
+    // or degrades to software.
+    status_->fault_flags.fetch_or(kJobFaultStalled,
+                                  std::memory_order_release);
+    return Status::OK();
+  }
+  if (faults.enabled && faults.Fires(FaultKind::kDrop,
+                                     status_->queue_job_id,
+                                     faults.drop_rate)) {
+    // Dropped job: after the parameter fetch the job vanishes — no
+    // functional results, no done bit. The engine frees itself so queued
+    // work continues; the waiting UDF times out and retries.
+    status_->fault_flags.fetch_or(kJobFaultDropped,
+                                  std::memory_order_release);
+    scheduler_->ScheduleAfter(PicosFromSeconds(device_.job_setup_sec),
+                              [this] {
+                                auto on_drop = std::move(on_done_);
+                                busy_ = false;
+                                params_ = nullptr;
+                                status_ = nullptr;
+                                if (on_drop) on_drop();
+                              });
+    return Status::OK();
+  }
+
   Status st = RunFunctional(params_, status_, &blocks_);
   if (!st.ok()) {
     busy_ = false;
@@ -246,6 +275,14 @@ void RegexEngine::Finalize() {
   SimTime finish = std::max(pu_done_, results_done);
 
   SimTime delay = std::max<SimTime>(0, finish - scheduler_->now());
+  const FaultPlan& faults = device_.faults;
+  if (faults.enabled && faults.Fires(FaultKind::kDelay,
+                                     status_->queue_job_id,
+                                     faults.delay_rate)) {
+    status_->fault_flags.fetch_or(kJobFaultDelayed,
+                                  std::memory_order_release);
+    delay += PicosFromSeconds(faults.delay_seconds);
+  }
   scheduler_->ScheduleAfter(delay, [this] {
     JobParams* params = params_;
     JobStatus* status = status_;
@@ -267,6 +304,23 @@ void RegexEngine::Finalize() {
     busy_ = false;
     params_ = nullptr;
     status_ = nullptr;
+    const FaultPlan& faults = device_.faults;
+    if (faults.enabled && faults.Fires(FaultKind::kDoneLatency,
+                                       status->queue_job_id,
+                                       faults.done_latency_rate)) {
+      // Late done-bit write: the job finished on time (finish_time is
+      // already stamped) but the status-line store lands late — the
+      // busy-waiting UDF only observes completion after the extra latency.
+      status->fault_flags.fetch_or(kJobFaultDoneLatency,
+                                   std::memory_order_release);
+      scheduler_->ScheduleAfter(
+          PicosFromSeconds(faults.done_latency_seconds),
+          [status, on_done = std::move(on_done)] {
+            status->done.store(1, std::memory_order_release);
+            if (on_done) on_done();
+          });
+      return;
+    }
     status->done.store(1, std::memory_order_release);
     if (on_done) on_done();
   });

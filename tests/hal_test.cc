@@ -178,6 +178,40 @@ TEST(HudfTest, PartitionedHandlesTinyInputs) {
   EXPECT_EQ(result->result->GetInt16(1), 0);
 }
 
+TEST(HudfTest, ZeroRowInputYieldsEmptyResult) {
+  // Regression: an empty BAT used to produce no jobs but still derive the
+  // hardware phase from an empty min/max of enqueue/finish times.
+  Hal hal(SmallHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+
+  auto single = RegexpFpga(&hal, input, "Strasse");
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single->result->count(), 0);
+  EXPECT_EQ(single->stats.rows_matched, 0);
+  EXPECT_EQ(single->stats.hw_seconds, 0.0);
+
+  auto part =
+      RegexpFpgaPartitioned(&hal, input, "Strasse", CompileOptions{}, 4);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  EXPECT_EQ(part->result->count(), 0);
+  EXPECT_EQ(part->stats.rows_matched, 0);
+  EXPECT_EQ(part->stats.hw_seconds, 0.0);
+  EXPECT_EQ(part->stats.strategy, "fpga");
+}
+
+TEST(HudfTest, OneRowWithMorePartitionsThanRows) {
+  Hal hal(SmallHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  ASSERT_TRUE(input.AppendString("7 Berner Strasse|61234").ok());
+  auto out =
+      RegexpFpgaPartitioned(&hal, input, "Strasse", CompileOptions{}, 4);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->result->count(), 1);
+  EXPECT_NE(out->result->GetInt16(0), 0);
+  EXPECT_EQ(out->stats.rows_matched, 1);
+  EXPECT_GT(out->stats.hw_seconds, 0.0);
+}
+
 TEST(HudfTest, OverCapacityPatternFails) {
   Hal::Options options = SmallHal();
   options.device.max_chars = 8;

@@ -252,6 +252,45 @@ TEST(PuKernelTest, ProcessStringMatchesConsumeByteLoop) {
   }
 }
 
+TEST(PuKernelTest, MatchIndexSaturatesAtResultLaneBoundary) {
+  // The hardware result lane is 16 bits wide: a match whose last byte sits
+  // at 1-based position 65534 or 65535 reports that position exactly, and
+  // anything beyond reports the saturated 65535. All three compiled
+  // kernels and the cycle-level interpreter must agree at the boundary.
+  PuKernelOptions force_dfa;
+  force_dfa.force = PuKernelOptions::Force::kLazyDfa;
+  PuKernelOptions force_nfa;
+  force_nfa.force = PuKernelOptions::Force::kNfaLoop;
+
+  auto literal = CompileKernel("abc");
+  auto dfa = CompileKernel("abc", force_dfa);
+  auto nfa = CompileKernel("abc", force_nfa);
+  ASSERT_TRUE(literal.ok());
+  ASSERT_TRUE(dfa.ok());
+  ASSERT_TRUE(nfa.ok());
+  ASSERT_EQ((*literal)->kernel(), PuKernelKind::kLiteral);
+  ASSERT_EQ((*dfa)->kernel(), PuKernelKind::kLazyDfa);
+  ASSERT_EQ((*nfa)->kernel(), PuKernelKind::kNfaLoop);
+
+  for (int64_t end : {int64_t{65534}, int64_t{65535}, int64_t{65536}}) {
+    std::string input(static_cast<size_t>(end - 3), 'x');
+    input += "abc";  // first match ends exactly at byte `end` (1-based)
+    const uint16_t expected =
+        end > 65535 ? 65535 : static_cast<uint16_t>(end);
+
+    for (const auto& program : {*literal, *dfa, *nfa}) {
+      ProcessingUnit pu = MakePu(program);
+      EXPECT_EQ(pu.ProcessString(input), expected)
+          << PuKernelName(program->kernel()) << " at end " << end;
+    }
+    // Cycle-level simulation: one ConsumeByte per PU clock.
+    ProcessingUnit pu = MakePu(*nfa);
+    pu.StartString();
+    for (char c : input) pu.ConsumeByte(static_cast<uint8_t>(c));
+    EXPECT_EQ(pu.MatchIndex(), expected) << "interpreter at end " << end;
+  }
+}
+
 TEST(PuKernelTest, AnchoredPatternsNeverReachKernelSelection) {
   // The hardware engine searches unanchored only; the extractor rejects
   // anchored compiles before any kernel is selected (they route to
