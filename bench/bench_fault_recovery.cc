@@ -41,6 +41,7 @@ BenchSystem MakeFaultySystem(double rate, uint64_t seed) {
 }  // namespace
 
 int main() {
+  MaybeEnableTracing();  // DOPPIO_TRACE=file.json emits a Chrome trace
   PrintHeader(
       "Fault recovery: REGEXP_FPGA under injected device faults",
       "every query must return the fault-free match count, via retry or "
@@ -96,6 +97,7 @@ int main() {
                 sw_seconds / queries_per_rate);
   }
 
+  FinishObservability();
   if (total_failures != 0) {
     std::fprintf(stderr,
                  "\nFAULT RECOVERY FAILED: %d queries returned results "

@@ -4,12 +4,26 @@
 //
 // Paper: total ~0.2-0.3 ms; config generation < 1 us; PU parametrization
 // ~300 ns; hardware processing dominates even at 10k tuples.
+//
+// Observability hooks (all opt-in via environment; stdout is unchanged
+// when unset):
+//   DOPPIO_TRACE=file.json    emit a Chrome trace_event file of every job
+//                             and verify the traced virtual extent
+//                             reconciles with QueryStats::hw_seconds (1%)
+//   DOPPIO_FIG_JSON=file.json emit the figure's deterministic values
+//                             (virtual times + counts only) as JSON —
+//                             byte-identical across runs and independent
+//                             of whether tracing is enabled
+//   DOPPIO_METRICS=file.json  dump the metrics registry
+#include <cmath>
+
 #include "bench_util.h"
 
 using namespace doppio;
 using namespace doppio::bench;
 
 int main() {
+  MaybeEnableTracing();
   const int64_t rows = 10'000;
   PrintHeader("Figure 10: response-time breakdown at 10k tuples",
               "database + UDF(sw) + config gen (<1us) + HAL + hardware");
@@ -24,17 +38,42 @@ int main() {
     MustExecute(sys.engine.get(), QuerySql(q, QueryEngineVariant::kFpga));
   }
 
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::JsonWriter fig_json;
+  fig_json.BeginObject();
+  fig_json.Field("figure", "fig10_breakdown");
+  fig_json.Field("rows", rows);
+  fig_json.Key("queries").BeginArray();
+
   const int kReps = 10;
+  int reconcile_failures = 0;
   std::printf("%4s %12s %12s %12s %12s %12s %12s  %s\n", "qry", "db [us]",
               "udf sw [us]", "config [us]", "hal [us]", "hw [us]",
               "total [us]", "pu kernel");
   for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ2, EvalQuery::kQ3,
                       EvalQuery::kQ4}) {
     QueryStats sum;
+    QueryStats last;
     for (int rep = 0; rep < kReps; ++rep) {
       auto outcome = MustExecute(sys.engine.get(),
                                  QuerySql(q, QueryEngineVariant::kFpga));
+      // Acceptance check: the per-job spans the tracer collected for this
+      // query must cover the same virtual-time window QueryStats derived
+      // from the job stamps (max finish - min enqueue), within 1%.
+      if (tracer.enabled()) {
+        const double extent = tracer.VirtualExtent(outcome.stats.trace_id);
+        const double hw = outcome.stats.hw_seconds;
+        const double err = hw > 0 ? std::fabs(extent - hw) / hw : 0;
+        if (outcome.stats.trace_id == 0 || err > 0.01) {
+          std::fprintf(stderr,
+                       "RECONCILE FAILED %s rep %d: trace extent %.9fs vs "
+                       "hw_seconds %.9fs (err %.3f%%)\n",
+                       QueryName(q), rep, extent, hw, err * 100);
+          ++reconcile_failures;
+        }
+      }
       sum.Accumulate(outcome.stats);
+      last = outcome.stats;
     }
     auto us = [&](double seconds) { return seconds / kReps * 1e6; };
     std::printf("%4s %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f  %s\n",
@@ -42,6 +81,33 @@ int main() {
                 us(sum.udf_software_seconds), us(sum.config_gen_seconds),
                 us(sum.hal_seconds), us(sum.hw_seconds),
                 us(sum.TotalSeconds()), KernelTag(sum).c_str());
+
+    // Deterministic figure values only: virtual (simulated) time and
+    // counts. Host wall-clock phases vary run to run and are excluded so
+    // this JSON is byte-identical across runs, traced or not.
+    fig_json.BeginObject();
+    fig_json.Field("query", QueryName(q));
+    fig_json.Field("hw_us", us(sum.hw_seconds));
+    fig_json.Field("rows_scanned", last.rows_scanned);
+    fig_json.Field("rows_matched", last.rows_matched);
+    fig_json.Field("job_retries", static_cast<int64_t>(last.job_retries));
+    fig_json.Field("fallback_rows", last.fallback_rows);
+    fig_json.Field("pu_kernel", last.pu_kernel);
+    fig_json.Field("strategy", last.strategy);
+    fig_json.EndObject();
+  }
+  fig_json.EndArray().EndObject();
+
+  if (const char* path = std::getenv("DOPPIO_FIG_JSON")) {
+    MustWriteFile(path, fig_json.str());
+    std::fprintf(stderr, "figure json written to %s\n", path);
+  }
+  FinishObservability();
+  if (reconcile_failures != 0) {
+    std::fprintf(stderr,
+                 "\n%d trace/stats reconciliation failures\n",
+                 reconcile_failures);
+    return 1;
   }
   std::printf(
       "\nshape check: hardware processing dominates; configuration vector\n"

@@ -15,6 +15,7 @@ using namespace doppio;
 using namespace doppio::bench;
 
 int main() {
+  MaybeEnableTracing();  // DOPPIO_TRACE=file.json emits a Chrome trace
   PrintHeader(
       "Figure 9: response time vs number of records",
       "MonetDB Q1 ~0.4s flat then linear; Q2-Q4 ~10x slower; FPGA lines "
@@ -84,6 +85,7 @@ int main() {
                   ideal.seconds);
     }
   }
+  FinishObservability();
   std::printf(
       "\nshape check: the four 'fpga' values at each size are equal\n"
       "(complexity-independent) and linear in the input; software regex\n"

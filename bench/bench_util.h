@@ -15,6 +15,9 @@
 #include "common/stopwatch.h"
 #include "db/column_store.h"
 #include "hal/hal.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sql/executor.h"
 #include "workload/address_generator.h"
 #include "workload/queries.h"
@@ -114,6 +117,46 @@ inline std::string KernelTag(const QueryStats& stats) {
   std::snprintf(buf, sizeof(buf), "kernel=%s functional_mbps=%.0f",
                 stats.pu_kernel.c_str(), stats.FunctionalMbps());
   return buf;
+}
+
+/// Path from DOPPIO_TRACE, or null when tracing was not requested.
+inline const char* TracePath() { return std::getenv("DOPPIO_TRACE"); }
+
+/// Turns on the span tracer when DOPPIO_TRACE is set. Call once at the
+/// top of main(), before the first query. With the variable unset this is
+/// a no-op and the benchmark's stdout stays byte-identical.
+inline void MaybeEnableTracing() {
+  if (TracePath() != nullptr) obs::Tracer::Global().SetEnabled(true);
+}
+
+/// Writes a string to `path`; exits loudly on failure (bench context).
+inline void MustWriteFile(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr || std::fwrite(content.data(), 1, content.size(), f) !=
+                          content.size()) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fclose(f);
+}
+
+/// Emits the Chrome trace (DOPPIO_TRACE=file.json) and the metrics export
+/// (DOPPIO_METRICS=file.json) if requested. Call once at the end of
+/// main(). Progress notes go to stderr so figure stdout is untouched.
+inline void FinishObservability() {
+  if (const char* path = TracePath()) {
+    Status st = obs::Tracer::Global().WriteChromeTrace(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "chrome trace written to %s\n", path);
+  }
+  if (const char* path = std::getenv("DOPPIO_METRICS")) {
+    MustWriteFile(path, obs::MetricsRegistry::Global().ToJson());
+    std::fprintf(stderr, "metrics written to %s\n", path);
+  }
 }
 
 inline void PrintHeader(const char* title, const char* paper_reference) {

@@ -5,7 +5,7 @@
 namespace doppio {
 
 void SimScheduler::ScheduleAt(SimTime when, std::function<void()> fn) {
-  DOPPIO_CHECK(when >= now_);
+  DOPPIO_CHECK(when >= now());
   queue_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
@@ -14,17 +14,17 @@ SimTime SimScheduler::Run() {
     // The event callback may schedule more events, so copy out first.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.when;
+    now_.store(ev.when, std::memory_order_relaxed);
     ev.fn();
   }
-  return now_;
+  return now();
 }
 
 bool SimScheduler::RunOne() {
   if (queue_.empty()) return false;
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  now_ = ev.when;
+  now_.store(ev.when, std::memory_order_relaxed);
   ev.fn();
   return true;
 }
@@ -33,11 +33,11 @@ SimTime SimScheduler::RunUntil(SimTime deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.when;
+    now_.store(ev.when, std::memory_order_relaxed);
     ev.fn();
   }
-  if (now_ < deadline) now_ = deadline;
-  return now_;
+  if (now() < deadline) now_.store(deadline, std::memory_order_relaxed);
+  return now();
 }
 
 }  // namespace doppio

@@ -7,6 +7,7 @@
 // behaviour emerges without tying simulated rates to host wall-clock speed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -35,7 +36,11 @@ class SimScheduler {
   SimScheduler() = default;
   DOPPIO_DISALLOW_COPY_AND_ASSIGN(SimScheduler);
 
-  SimTime now() const { return now_; }
+  /// The clock is atomic so client threads may read it without the
+  /// owning device's lock (deadline computation, trace stamps) while a
+  /// waiter advances it under the lock; all queue mutation and event
+  /// execution remain externally serialized.
+  SimTime now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Schedules `fn` to run at absolute virtual time `when` (>= now()).
   /// Events at equal times run in scheduling order (stable).
@@ -43,7 +48,7 @@ class SimScheduler {
 
   /// Schedules `fn` to run `delay` picoseconds from now.
   void ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+    ScheduleAt(now() + delay, std::move(fn));
   }
 
   /// Runs events until the queue is empty. Returns the final virtual time.
@@ -54,6 +59,15 @@ class SimScheduler {
 
   /// Runs exactly one event; returns false if the queue is empty.
   bool RunOne();
+
+  /// Virtual time of the earliest pending event, or kNoEvent when the
+  /// queue is empty. Lets deadline waiters decide whether advancing the
+  /// clock can still help before the deadline (see
+  /// FpgaDevice::WaitForJobUntil).
+  static constexpr SimTime kNoEvent = -1;
+  SimTime NextEventTime() const {
+    return queue_.empty() ? kNoEvent : queue_.top().when;
+  }
 
   bool empty() const { return queue_.empty(); }
   size_t pending_events() const { return queue_.size(); }
@@ -71,7 +85,7 @@ class SimScheduler {
     }
   };
 
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
   uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };

@@ -45,6 +45,7 @@ void QueryStats::Accumulate(const QueryStats& other) {
   }
   functional_bytes += other.functional_bytes;
   functional_seconds += other.functional_seconds;
+  if (trace_id == 0) trace_id = other.trace_id;
   if (pu_kernel.empty()) {
     pu_kernel = other.pu_kernel;
   } else if (!other.pu_kernel.empty() && other.pu_kernel != pu_kernel) {

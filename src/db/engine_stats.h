@@ -6,6 +6,7 @@
 // (simulated) time.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -45,13 +46,27 @@ struct QueryStats {
   int64_t functional_bytes = 0;
   double functional_seconds = 0;
 
-  /// Functional-pass host throughput in MB/s (0 when unmeasured).
+  /// Per-query span handle into obs::Tracer (kInvalidTraceId / 0 when
+  /// tracing is off). Lets callers pull the trace's virtual extent or
+  /// job count for the query that produced these stats.
+  uint64_t trace_id = 0;
+
+  /// Functional-pass host throughput in MB/s. 0 when unmeasured, and 0
+  /// (never inf/NaN) for zero-byte or zero-duration runs — this value is
+  /// serialized into JSON, where non-finite numbers are invalid.
   double FunctionalMbps() const {
-    return functional_seconds > 0
-               ? static_cast<double>(functional_bytes) / 1e6 /
-                     functional_seconds
-               : 0;
+    if (functional_seconds <= 0) return 0;
+    const double mbps = static_cast<double>(functional_bytes) / 1e6 /
+                        functional_seconds;
+    return std::isfinite(mbps) ? mbps : 0;
   }
+
+  /// Returns every field to its just-constructed state. Call at query
+  /// start: QueryStats objects are reused across queries on a session,
+  /// and without an explicit reset the fault-tolerance counters
+  /// (job_retries, faults_recovered, fallback_rows) and kernel fields
+  /// carry over from the previous query.
+  void Reset() { *this = QueryStats(); }
 
   double TotalSeconds() const {
     return database_seconds + udf_software_seconds + config_gen_seconds +

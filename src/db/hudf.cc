@@ -9,10 +9,41 @@
 #include "hw/output_collector.h"
 #include "hw/processing_unit.h"
 #include "hw/string_reader.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace doppio {
 
 namespace {
+
+obs::Counter& FallbackRowsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.db.fallback_rows",
+      "rows re-matched in software after the hardware path gave up");
+  return *c;
+}
+
+/// Snapshot of one completed job's lifecycle stamps for the tracer.
+obs::JobTraceRecord MakeJobRecord(obs::TraceId trace,
+                                  const JobStatus& status) {
+  obs::JobTraceRecord record;
+  record.trace_id = trace;
+  record.queue_job_id = status.queue_job_id;
+  record.engine_id = status.engine_id;
+  record.enqueue_time = status.enqueue_time;
+  record.dispatch_time = status.dispatch_time;
+  record.start_time = status.start_time;
+  record.collect_start_time = status.collect_start_time;
+  record.done_bit_time = status.done_bit_time;
+  record.finish_time = status.finish_time;
+  record.retries = status.retries;
+  record.fault_flags = status.fault_flags.load(std::memory_order_acquire);
+  record.matches = status.matches;
+  record.strings_processed = status.strings_processed;
+  record.bytes_streamed = status.bytes_streamed;
+  record.pu_kernel = status.pu_kernel;
+  return record;
+}
 
 /// Software degradation path: re-executes one job slice on the host
 /// through the same compiled PU program the engines run, writing raw
@@ -53,7 +84,10 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
       std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
 
   Stopwatch udf_watch;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const obs::TraceId trace = tracer.BeginQuery("regexp_fpga_partitioned");
   HudfResult out;
+  out.stats.trace_id = trace;
   out.stats.strategy = "fpga";  // partitioning is internal to the operator
   out.stats.rows_scanned = input.count();
 
@@ -67,6 +101,7 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
     // submit loop below produces no jobs and the hardware phase would be
     // derived from an empty min/max (a bogus negative duration).
     out.stats.udf_software_seconds = udf_watch.ElapsedSeconds();
+    tracer.EndQuery(trace);
     return out;
   }
 
@@ -129,6 +164,9 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
       if (st.ok()) {
         const JobStatus& status = slice.job.status();
         any_hw = true;
+        if (trace != obs::kInvalidTraceId) {
+          tracer.RecordJob(MakeJobRecord(trace, status));
+        }
         first_enqueue = std::min(first_enqueue, status.enqueue_time);
         last_finish = std::max(last_finish, status.finish_time);
         out.stats.rows_matched += status.matches;
@@ -152,11 +190,15 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
   // (the query must not fail for a fault the CPU can absorb).
   for (Slice& slice : slices) {
     if (!slice.fallback) continue;
+    if (trace != obs::kInvalidTraceId) {
+      tracer.RecordInstant(trace, "sw_fallback", hal->device()->now());
+    }
     DOPPIO_ASSIGN_OR_RETURN(
         int64_t matches,
         RunSliceInSoftware(hal->device_config(), slice.params));
     out.stats.rows_matched += matches;
     out.stats.fallback_rows += slice.params.count;
+    FallbackRowsCounter().Add(slice.params.count);
   }
   if (out.stats.fallback_rows > 0) out.stats.strategy = "fpga+sw_fallback";
   out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
@@ -165,6 +207,7 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
   out.stats.udf_software_seconds =
       std::max(0.0, udf_watch.ElapsedSeconds() - out.stats.hal_seconds -
                         out.stats.sim_host_seconds);
+  tracer.EndQuery(trace);
   return out;
 }
 
@@ -197,7 +240,10 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
 Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
                               const RegexConfig& config) {
   Stopwatch udf_watch;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const obs::TraceId trace = tracer.BeginQuery("regexp_fpga");
   HudfResult out;
+  out.stats.trace_id = trace;
   out.stats.strategy = "fpga";
   out.stats.rows_scanned = input.count();
 
@@ -209,6 +255,7 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
 
   if (input.count() == 0) {
     out.stats.udf_software_seconds = udf_watch.ElapsedSeconds();
+    tracer.EndQuery(trace);
     return out;
   }
 
@@ -235,6 +282,9 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
     Status wait_status = AwaitJobWithRecovery(hal->device(), &handle, params,
                                               policy, &outcome);
     if (wait_status.ok()) {
+      if (trace != obs::kInvalidTraceId) {
+        tracer.RecordJob(MakeJobRecord(trace, handle.status()));
+      }
       out.stats.hw_seconds = handle.HwSeconds();  // virtual (simulated) time
       out.stats.rows_matched = handle.status().matches;
       out.stats.pu_kernel = handle.status().pu_kernel;
@@ -252,11 +302,15 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
   }
 
   if (fallback) {
+    if (trace != obs::kInvalidTraceId) {
+      tracer.RecordInstant(trace, "sw_fallback", hal->device()->now());
+    }
     DOPPIO_ASSIGN_OR_RETURN(
         int64_t matches, RunSliceInSoftware(hal->device_config(), params));
     out.stats.rows_matched = matches;
     out.stats.fallback_rows = params.count;
     out.stats.strategy = "fpga+sw_fallback";
+    FallbackRowsCounter().Add(params.count);
   }
   out.stats.job_retries = outcome.retries;
   if (outcome.ok && outcome.fault_seen) out.stats.faults_recovered = 1;
@@ -267,6 +321,7 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
                                    out.stats.hal_seconds -
                                    wait_host_seconds;
   if (out.stats.udf_software_seconds < 0) out.stats.udf_software_seconds = 0;
+  tracer.EndQuery(trace);
   return out;
 }
 

@@ -4,11 +4,29 @@
 
 #include "common/stopwatch.h"
 #include "hw/config_compiler.h"
+#include "obs/metrics.h"
 #include "regex/pattern_parser.h"
 
 namespace doppio {
 
 namespace {
+
+obs::Counter& HybridStrategyCounter(HybridStrategy strategy) {
+  static obs::Counter* fpga = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.hybrid.plans_fpga_only", "hybrid plans served fully on FPGA");
+  static obs::Counter* split = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.hybrid.plans_split",
+      "hybrid plans split FPGA prefix + CPU postprocess");
+  static obs::Counter* software = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.hybrid.plans_software_only",
+      "hybrid plans served fully in software");
+  switch (strategy) {
+    case HybridStrategy::kFpgaOnly: return *fpga;
+    case HybridStrategy::kHybrid: return *split;
+    case HybridStrategy::kSoftwareOnly: break;
+  }
+  return *software;
+}
 
 bool IsDotStarNode(const AstNode& node) {
   return node.kind == AstKind::kRepeat && node.repeat_min == 0 &&
@@ -112,6 +130,7 @@ Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
 
   HybridResult out;
   out.strategy = plan.strategy;
+  HybridStrategyCounter(plan.strategy).Add();
 
   if (plan.strategy == HybridStrategy::kFpgaOnly) {
     Result<HudfResult> hw = RegexpFpga(hal, input, pattern, options);

@@ -4,8 +4,23 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace doppio {
+
+namespace {
+obs::Counter& SharedAllocsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.hal.shared_allocs", "allocations served from the shared slab");
+  return *c;
+}
+obs::Counter& MallocAllocsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.hal.malloc_allocs",
+      "small allocations served from host malloc");
+  return *c;
+}
+}  // namespace
 
 HalAllocator::HalAllocator(SlabAllocator* slab, int64_t malloc_threshold)
     : slab_(slab), malloc_threshold_(malloc_threshold) {
@@ -20,11 +35,13 @@ Result<void*> HalAllocator::Allocate(int64_t bytes) {
     std::lock_guard<std::mutex> lock(mutex_);
     malloced_.insert(p);
     ++malloc_allocs_;
+    MallocAllocsCounter().Add();
     return p;
   }
   DOPPIO_ASSIGN_OR_RETURN(void* p, slab_->Allocate(bytes));
   std::lock_guard<std::mutex> lock(mutex_);
   ++shared_allocs_;
+  SharedAllocsCounter().Add();
   return p;
 }
 

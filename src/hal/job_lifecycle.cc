@@ -3,10 +3,35 @@
 #include <cmath>
 
 #include "hw/perf_model.h"
+#include "obs/metrics.h"
 
 namespace doppio {
 
 namespace {
+
+obs::Counter& RetriesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.lifecycle.retries", "job resubmissions (submit + await)");
+  return *c;
+}
+obs::Counter& RecoveredCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.lifecycle.jobs_recovered",
+      "jobs that saw a fault but still completed");
+  return *c;
+}
+obs::Counter& ExhaustedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.lifecycle.retries_exhausted",
+      "jobs abandoned after max_retries");
+  return *c;
+}
+obs::Histogram& BackoffHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "doppio.lifecycle.backoff_seconds", obs::LatencySecondsBuckets(),
+      "virtual-time backoff applied before each resubmission");
+  return *h;
+}
 
 /// Backoff for the next resubmission: base × multiplier^(backoffs so far).
 SimTime NextBackoffPicos(const RetryPolicy& policy,
@@ -22,6 +47,7 @@ void BackOff(FpgaDevice* device, const RetryPolicy& policy,
              JobOutcome* outcome) {
   const SimTime backoff = NextBackoffPicos(policy, *outcome);
   outcome->backoffs.push_back(backoff);
+  BackoffHistogram().Observe(SecondsFromPicos(backoff));
   device->AdvanceVirtualTime(backoff);
 }
 
@@ -63,11 +89,13 @@ Result<FpgaJob> SubmitJobWithRetry(FpgaDevice* device,
     if (!IsTransient(st)) return st;
     outcome->fault_seen = true;
     if (outcome->retries >= policy.max_retries) {
+      ExhaustedCounter().Add();
       outcome->final_status = st;
       return st;
     }
     BackOff(device, policy, outcome);
     ++outcome->retries;
+    RetriesCounter().Add();
   }
 }
 
@@ -88,6 +116,7 @@ Status AwaitJobWithRecovery(FpgaDevice* device, FpgaJob* job,
       if (status->fault_flags.load(std::memory_order_acquire) != 0) {
         outcome->fault_seen = true;
       }
+      if (outcome->fault_seen) RecoveredCounter().Add();
       return Status::OK();
     }
     const bool retryable = st.IsDeadlineExceeded() || st.IsUnavailable();
@@ -98,11 +127,13 @@ Status AwaitJobWithRecovery(FpgaDevice* device, FpgaJob* job,
     outcome->fault_seen = true;
     (void)job->Cancel();
     if (outcome->retries >= policy.max_retries) {
+      ExhaustedCounter().Add();
       outcome->final_status = st;
       return st;
     }
     BackOff(device, policy, outcome);
     ++outcome->retries;
+    RetriesCounter().Add();
     Result<FpgaJob> retry =
         SubmitJobWithRetry(device, params, policy, outcome);
     if (!retry.ok()) {

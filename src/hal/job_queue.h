@@ -44,6 +44,13 @@ class SharedJobQueue {
 
   bool Empty() const;
   bool Full() const;
+  /// Descriptors currently in flight (pushed, not yet popped). Racy by
+  /// nature across the producer/consumer, exact from either side alone;
+  /// used for queue-depth metrics.
+  int64_t Size() const {
+    return head_->load(std::memory_order_acquire) -
+           tail_->load(std::memory_order_acquire);
+  }
   int capacity() const { return capacity_; }
   int64_t total_pushed() const {
     return head_->load(std::memory_order_relaxed);

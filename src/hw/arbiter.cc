@@ -1,8 +1,18 @@
 #include "hw/arbiter.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace doppio {
+
+namespace {
+obs::Counter& LinesTransferredCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.hw.arbiter.lines_transferred",
+      "cache lines moved over the arbitrated QPI link");
+  return *c;
+}
+}  // namespace
 
 Arbiter::Arbiter(QpiLink* link, int num_engines, int batch_lines)
     : link_(link),
@@ -16,6 +26,7 @@ SimTime Arbiter::Transfer(int engine_id, SimTime now, int64_t lines) {
   DOPPIO_CHECK(engine_id >= 0 &&
                engine_id < static_cast<int>(engine_lines_.size()));
   engine_lines_[static_cast<size_t>(engine_id)] += lines;
+  LinesTransferredCounter().Add(lines);
   SimTime completion = now;
   int64_t remaining = lines;
   while (remaining > 0) {

@@ -4,8 +4,35 @@
 
 #include "common/logging.h"
 #include "hw/config_vector.h"
+#include "obs/metrics.h"
 
 namespace doppio {
+
+namespace {
+obs::Counter& JobsSubmittedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.device.jobs_submitted", "jobs accepted by Submit()");
+  return *c;
+}
+obs::Counter& SubmitFaultsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.device.submit_faults_injected",
+      "submissions refused by the injected-fault lottery");
+  return *c;
+}
+obs::Counter& WaitDeadlineCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.device.wait_deadline_exceeded",
+      "deadline waits that expired before the done bit");
+  return *c;
+}
+obs::Counter& WaitLostCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.device.wait_job_lost",
+      "waits that drained the device with the done bit unset");
+  return *c;
+}
+}  // namespace
 
 FpgaDevice::FpgaDevice(const DeviceConfig& config, SharedArena* arena,
                        ThreadPool* pool)
@@ -105,6 +132,7 @@ Result<JobId> FpgaDevice::Submit(JobParams params,
     const uint64_t seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
     if (config_.faults.Fires(FaultKind::kSubmit, seq,
                              config_.faults.submit_failure_rate)) {
+      SubmitFaultsCounter().Add();
       return Status::Unavailable("injected transient submit failure");
     }
   }
@@ -120,6 +148,7 @@ Result<JobId> FpgaDevice::Submit(JobParams params,
     jobs_.pop_back();
     return st;
   }
+  JobsSubmittedCounter().Add();
   return id;
 }
 
@@ -156,15 +185,26 @@ Result<SimTime> FpgaDevice::WaitForJobUntil(JobId id, SimTime deadline) {
   if (st == nullptr) return Status::NotFound("unknown job id");
   while (st->done.load(std::memory_order_acquire) == 0) {
     std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
+    // Re-check under the mutex: another waiter may have driven the clock
+    // (and set this job's done bit) between our lock-free peek and the
+    // re-lock. Without this, a done bit landing in that window would be
+    // misreported as DeadlineExceeded below.
     if (st->done.load(std::memory_order_acquire) != 0) break;
-    if (scheduler_.now() >= deadline) {
-      return Status::DeadlineExceeded("job exceeded its wait deadline");
-    }
-    if (!scheduler_.RunOne()) {
+    const SimTime next = scheduler_.NextEventTime();
+    if (next == SimScheduler::kNoEvent) {
       // No pending virtual-time work can ever finish this job: it was
       // dropped or its engine is stalled.
+      WaitLostCounter().Add();
       return Status::Unavailable("device idle but job not done (job lost)");
     }
+    if (next > deadline) {
+      // Peek before running: a completion scheduled exactly at the
+      // deadline must count as on time, and we must not burn virtual time
+      // past the deadline executing events that cannot help this job.
+      WaitDeadlineCounter().Add();
+      return Status::DeadlineExceeded("job exceeded its wait deadline");
+    }
+    scheduler_.RunOne();
   }
   if (!st->error.ok()) return st->error;
   return st->finish_time;

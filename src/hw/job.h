@@ -79,7 +79,10 @@ struct JobStatus {
   double functional_host_seconds = 0;
   int64_t engine_id = -1;
   SimTime enqueue_time = 0;         // virtual time entering the job queue
+  SimTime dispatch_time = 0;        // distributor picked up the descriptor
   SimTime start_time = 0;           // assigned to an engine
+  SimTime collect_start_time = 0;   // streaming finished, collecting output
+  SimTime done_bit_time = 0;        // done-bit store landed
   SimTime finish_time = 0;          // done bit set
   double ExecSeconds() const {
     return SecondsFromPicos(finish_time - start_time);

@@ -1,8 +1,44 @@
 #include "hw/job_distributor.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace doppio {
+
+namespace {
+
+// Call-site-cached instruments: registration (mutex + map) happens once;
+// steady state is one relaxed atomic RMW per event.
+obs::Counter& JobsEnqueuedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.queue.jobs_enqueued", "descriptors pushed to the shared ring");
+  return *c;
+}
+obs::Counter& QueueRejectedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.queue.rejected_full",
+      "descriptor pushes refused because the ring was full");
+  return *c;
+}
+obs::Counter& JobsDispatchedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.queue.jobs_dispatched", "descriptors handed to an engine");
+  return *c;
+}
+obs::Counter& CancelledSkippedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.queue.cancelled_skipped",
+      "cancelled descriptors discarded before dispatch");
+  return *c;
+}
+obs::Histogram& QueueDepthHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "doppio.queue.depth", obs::DepthBuckets(),
+      "ring occupancy observed after each push");
+  return *h;
+}
+
+}  // namespace
 
 JobDistributor::JobDistributor(SimScheduler* scheduler, DeviceConfig device,
                                std::vector<RegexEngine*> engines,
@@ -38,9 +74,12 @@ Status JobDistributor::Enqueue(JobParams* params, JobStatus* status,
   if (on_done) callbacks_[descriptor.job_id] = std::move(on_done);
   if (!queue_->Push(descriptor)) {
     callbacks_.erase(descriptor.job_id);
+    QueueRejectedCounter().Add();
     return Status::IOError(
         "shared job queue full: too many outstanding FPGA jobs");
   }
+  JobsEnqueuedCounter().Add();
+  QueueDepthHistogram().Observe(static_cast<double>(queue_->Size()));
   if (trace_ != nullptr) {
     trace_->Record(TraceEvent{scheduler_->now(),
                               TraceEvent::Kind::kJobEnqueued,
@@ -76,9 +115,12 @@ void JobDistributor::TryDispatch() {
       // cancelled descriptor is discarded, never dispatched, so the retry
       // does not race a stale execution for the engine.
       callbacks_.erase(descriptor.job_id);
+      CancelledSkippedCounter().Add();
       continue;
     }
     ++jobs_dispatched_;
+    JobsDispatchedCounter().Add();
+    status->dispatch_time = scheduler_->now();
 
     const uint64_t id = descriptor.job_id;
     if (trace_ != nullptr) {

@@ -2,9 +2,12 @@
 
 #include <atomic>
 
+#include <string>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "hw/fifo.h"
+#include "obs/json.h"
 #include "hw/pu_kernel.h"
 #include "hw/output_collector.h"
 #include "hw/string_reader.h"
@@ -18,6 +21,15 @@ RegexEngine::RegexEngine(int id, const DeviceConfig& device, Arbiter* arbiter,
       arbiter_(arbiter),
       scheduler_(scheduler),
       pool_(pool) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "doppio.engine." + std::to_string(id) + ".";
+  metric_jobs_ = registry.GetCounter(prefix + "jobs_executed",
+                                     "jobs this engine completed");
+  metric_bytes_ = registry.GetCounter(prefix + "bytes_streamed",
+                                      "cache-line traffic this engine drove");
+  metric_functional_mbps_ = registry.GetHistogram(
+      "doppio.engine.functional_mbps", obs::MbpsBuckets(),
+      "functional-pass host throughput per job, all engines");
   pus_.reserve(static_cast<size_t>(device_.pus_per_engine));
   for (int i = 0; i < device_.pus_per_engine; ++i) {
     pus_.emplace_back(device_);
@@ -228,6 +240,11 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
   status->functional_host_seconds = functional_clock.ElapsedSeconds();
   stats_.functional_bytes += functional_bytes;
   stats_.functional_seconds += status->functional_host_seconds;
+  if (functional_bytes > 0) {
+    metric_functional_mbps_->Observe(
+        obs::SafeRate(static_cast<double>(functional_bytes) / 1e6,
+                      status->functional_host_seconds));
+  }
 
   status->matches = collector.matches();
   status->strings_processed =
@@ -267,6 +284,9 @@ void RegexEngine::ScheduleNextChunk(size_t chunk_index) {
 }
 
 void RegexEngine::Finalize() {
+  // Streaming is done; everything from here is result collection and the
+  // status-line write.
+  status_->collect_start_time = scheduler_->now();
   // Result lines plus the status-line write.
   const int64_t result_lines =
       OutputCollector::TotalResultLines(params_->count);
@@ -300,6 +320,8 @@ void RegexEngine::Finalize() {
     stats_.strings_processed += params->count;
     stats_.bytes_streamed += status->bytes_streamed;
     stats_.busy_time += status->finish_time - status->start_time;
+    metric_jobs_->Add();
+    metric_bytes_->Add(status->bytes_streamed);
 
     busy_ = false;
     params_ = nullptr;
@@ -315,12 +337,14 @@ void RegexEngine::Finalize() {
                                    std::memory_order_release);
       scheduler_->ScheduleAfter(
           PicosFromSeconds(faults.done_latency_seconds),
-          [status, on_done = std::move(on_done)] {
+          [scheduler = scheduler_, status, on_done = std::move(on_done)] {
+            status->done_bit_time = scheduler->now();
             status->done.store(1, std::memory_order_release);
             if (on_done) on_done();
           });
       return;
     }
+    status->done_bit_time = scheduler_->now();
     status->done.store(1, std::memory_order_release);
     if (on_done) on_done();
   });

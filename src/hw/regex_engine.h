@@ -26,6 +26,7 @@
 #include "hw/job.h"
 #include "hw/processing_unit.h"
 #include "hw/trace.h"
+#include "obs/metrics.h"
 
 namespace doppio {
 
@@ -114,6 +115,12 @@ class RegexEngine {
 
   EngineStats stats_;
   TraceLog* trace_ = nullptr;
+
+  // Per-engine instruments, resolved once at construction ("doppio.engine.
+  // <id>.*"); updates are a single relaxed RMW per completed job.
+  obs::Counter* metric_jobs_ = nullptr;
+  obs::Counter* metric_bytes_ = nullptr;
+  obs::Histogram* metric_functional_mbps_ = nullptr;
 };
 
 }  // namespace doppio

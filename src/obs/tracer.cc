@@ -1,0 +1,243 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace doppio {
+namespace obs {
+
+namespace {
+
+double HostNowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MicrosFromPicos(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+uint64_t CurrentThreadLane() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id()) % 997;
+}
+
+// Emits one B/E pair on (pid, tid) if both stamps are present and ordered.
+void EmitSpan(JsonWriter& w, const char* name, int64_t pid, uint64_t tid,
+              SimTime begin, SimTime end,
+              const std::function<void(JsonWriter&)>& args = nullptr) {
+  if (begin <= 0 || end < begin) return;
+  w.BeginObject();
+  w.Field("name", name);
+  w.Field("ph", "B");
+  w.Field("ts", MicrosFromPicos(begin));
+  w.Field("pid", pid);
+  w.Field("tid", static_cast<int64_t>(tid));
+  if (args) {
+    w.Key("args").BeginObject();
+    args(w);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.BeginObject();
+  w.Field("name", name);
+  w.Field("ph", "E");
+  w.Field("ts", MicrosFromPicos(end));
+  w.Field("pid", pid);
+  w.Field("tid", static_cast<int64_t>(tid));
+  w.EndObject();
+}
+
+void EmitMetadata(JsonWriter& w, const char* what, int64_t pid,
+                  const std::string& name) {
+  w.BeginObject();
+  w.Field("name", what);
+  w.Field("ph", "M");
+  w.Field("pid", pid);
+  w.Key("args").BeginObject();
+  w.Field("name", name);
+  w.EndObject();
+  w.EndObject();
+}
+
+constexpr int64_t kVirtualPid = 1;
+constexpr int64_t kHostPid = 2;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+TraceId Tracer::BeginQuery(std::string_view label) {
+  if (!enabled()) return kInvalidTraceId;
+  QuerySpan span;
+  span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.label = std::string(label);
+  span.thread_id = CurrentThreadLane();
+  span.host_begin_us = HostNowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  queries_.push_back(std::move(span));
+  return queries_.back().id;
+}
+
+void Tracer::EndQuery(TraceId id) {
+  if (id == kInvalidTraceId || !enabled()) return;
+  const double now = HostNowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queries_.rbegin(); it != queries_.rend(); ++it) {
+    if (it->id == id) {
+      it->host_end_us = now;
+      it->closed = true;
+      return;
+    }
+  }
+}
+
+void Tracer::RecordJob(const JobTraceRecord& record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.push_back(record);
+}
+
+void Tracer::RecordInstant(TraceId id, std::string_view name, SimTime when) {
+  if (id == kInvalidTraceId || !enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  instants_.push_back(Instant{id, std::string(name), when});
+}
+
+double Tracer::VirtualExtent(TraceId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SimTime first = std::numeric_limits<SimTime>::max();
+  SimTime last = std::numeric_limits<SimTime>::min();
+  bool any = false;
+  for (const auto& job : jobs_) {
+    if (job.trace_id != id) continue;
+    any = true;
+    first = std::min(first, job.enqueue_time);
+    last = std::max(last, job.finish_time);
+  }
+  if (!any || last <= first) return 0;
+  return SecondsFromPicos(last - first);
+}
+
+int64_t Tracer::JobCount(TraceId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t n = 0;
+  for (const auto& job : jobs_) n += (job.trace_id == id) ? 1 : 0;
+  return n;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("displayTimeUnit", "ns");
+  w.Key("traceEvents").BeginArray();
+
+  EmitMetadata(w, "process_name", kVirtualPid, "virtual-time (FPGA)");
+  EmitMetadata(w, "process_name", kHostPid, "host-time (software)");
+
+  // Host-time query spans: the wall-clock window each query occupied on
+  // its submitting thread. Rebase so the trace starts near ts=0.
+  double host_base = std::numeric_limits<double>::max();
+  for (const auto& q : queries_) {
+    host_base = std::min(host_base, q.host_begin_us);
+  }
+  for (const auto& q : queries_) {
+    if (!q.closed || q.host_end_us < q.host_begin_us) continue;
+    w.BeginObject();
+    w.Field("name", q.label);
+    w.Field("ph", "B");
+    w.Field("ts", q.host_begin_us - host_base);
+    w.Field("pid", kHostPid);
+    w.Field("tid", static_cast<int64_t>(q.thread_id));
+    w.Key("args").BeginObject();
+    w.Field("trace_id", static_cast<int64_t>(q.id));
+    w.EndObject();
+    w.EndObject();
+    w.BeginObject();
+    w.Field("name", q.label);
+    w.Field("ph", "E");
+    w.Field("ts", q.host_end_us - host_base);
+    w.Field("pid", kHostPid);
+    w.Field("tid", static_cast<int64_t>(q.thread_id));
+    w.EndObject();
+  }
+
+  // Virtual-time job spans, one track per recorded job: the four
+  // lifecycle phases are sequential on the track, so B/E pairs always
+  // nest and timestamps are monotone. The track is the record's
+  // insertion index, not queue_job_id — job ids restart at 0 on every
+  // device, and a trace spanning several devices (e.g. one BenchSystem
+  // per input size) would otherwise interleave unrelated jobs with
+  // rewinding clocks on one track.
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const auto& job = jobs_[i];
+    const uint64_t tid = static_cast<uint64_t>(i) + 1;
+    EmitSpan(w, "queue", kVirtualPid, tid, job.enqueue_time,
+             job.dispatch_time);
+    EmitSpan(w, "distribute", kVirtualPid, tid, job.dispatch_time,
+             job.start_time);
+    EmitSpan(w, "execute", kVirtualPid, tid, job.start_time,
+             job.collect_start_time, [&](JsonWriter& a) {
+               a.Field("job", static_cast<int64_t>(job.queue_job_id));
+               a.Field("engine", job.engine_id);
+               a.Field("pu_kernel", job.pu_kernel);
+               a.Field("strings", job.strings_processed);
+               a.Field("matches", job.matches);
+               a.Field("bytes_streamed", job.bytes_streamed);
+             });
+    EmitSpan(w, "collect", kVirtualPid, tid, job.collect_start_time,
+             job.done_bit_time, [&](JsonWriter& a) {
+               a.Field("trace_id", static_cast<int64_t>(job.trace_id));
+               a.Field("retries", static_cast<int64_t>(job.retries));
+               a.Field("fault_flags", static_cast<int64_t>(job.fault_flags));
+             });
+  }
+
+  // Point events (faults, retries, fallbacks) on the virtual timeline.
+  for (const auto& i : instants_) {
+    w.BeginObject();
+    w.Field("name", i.name);
+    w.Field("ph", "i");
+    w.Field("ts", MicrosFromPicos(i.when));
+    w.Field("pid", kVirtualPid);
+    w.Field("tid", static_cast<int64_t>(0));
+    w.Field("s", "p");
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queries_.clear();
+  jobs_.clear();
+  instants_.clear();
+}
+
+}  // namespace obs
+}  // namespace doppio

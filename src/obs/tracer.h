@@ -1,0 +1,126 @@
+// Per-job lifecycle span tracer with a Chrome trace_event exporter.
+//
+// The simulator runs two clocks at once: FPGA-side phases advance virtual
+// time (SimTime, picoseconds) under the device scheduler, while software
+// phases burn host wall-clock. The tracer records both:
+//
+//  * one virtual-time track per recorded job (pid 1) carrying the span
+//    chain queue -> distribute -> execute -> collect; a job's spans are
+//    strictly sequential on its own track, so B/E pairs nest correctly
+//    no matter how many jobs overlap in time;
+//  * one host-time track per submitting thread (pid 2) carrying per-query
+//    spans (BeginQuery/EndQuery).
+//
+// Tracing defaults OFF. `enabled()` is a single relaxed atomic load, and
+// every instrumented site checks it before doing any work, so the disabled
+// path costs one predictable branch — figure outputs stay byte-identical.
+// Recording takes a mutex, but only once per job / per query, never per
+// string or per cache line.
+//
+// Open exported files in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sim_scheduler.h"
+#include "common/status.h"
+
+namespace doppio {
+namespace obs {
+
+using TraceId = uint64_t;
+constexpr TraceId kInvalidTraceId = 0;
+
+/// Everything the tracer keeps about one completed job attempt. Virtual
+/// times are the JobStatus stamps; zero stamps mean the phase was never
+/// reached (e.g. a dropped job) and the corresponding span is skipped.
+struct JobTraceRecord {
+  TraceId trace_id = kInvalidTraceId;
+  uint64_t queue_job_id = 0;
+  int64_t engine_id = -1;
+  SimTime enqueue_time = 0;        // descriptor entered the shared queue
+  SimTime dispatch_time = 0;       // distributor picked the descriptor up
+  SimTime start_time = 0;          // engine accepted the job
+  SimTime collect_start_time = 0;  // engine finished streaming, collecting
+  SimTime done_bit_time = 0;       // done bit store landed
+  SimTime finish_time = 0;         // job considered complete
+  int32_t retries = 0;
+  uint32_t fault_flags = 0;
+  int64_t matches = 0;
+  int64_t strings_processed = 0;
+  int64_t bytes_streamed = 0;
+  std::string pu_kernel;
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer() = default;
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(Tracer);
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts a host-time span for one query; returns its handle (to thread
+  /// through QueryStats). Returns kInvalidTraceId when tracing is off —
+  /// every other method ignores kInvalidTraceId, so callers need no guard.
+  TraceId BeginQuery(std::string_view label);
+  void EndQuery(TraceId id);
+
+  /// Records one completed job attempt (call once per job, after the done
+  /// bit / fault resolution). No-op when tracing is off.
+  void RecordJob(const JobTraceRecord& record);
+
+  /// Marks a point event (retry, fault, fallback) on the query's timeline
+  /// at virtual time `when`.
+  void RecordInstant(TraceId id, std::string_view name, SimTime when);
+
+  /// Virtual-time extent of all jobs recorded for `id`, in seconds:
+  /// max(finish) - min(enqueue) — the same definition QueryStats uses for
+  /// hw_seconds, so traced runs reconcile exactly. 0 if no jobs recorded.
+  double VirtualExtent(TraceId id) const;
+  /// Number of jobs recorded for `id`.
+  int64_t JobCount(TraceId id) const;
+
+  /// Full trace as a Chrome trace_event JSON document.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Drops all recorded data (trace ids keep advancing).
+  void Clear();
+
+ private:
+  struct QuerySpan {
+    TraceId id = kInvalidTraceId;
+    std::string label;
+    uint64_t thread_id = 0;
+    double host_begin_us = 0;
+    double host_end_us = 0;
+    bool closed = false;
+  };
+  struct Instant {
+    TraceId id = kInvalidTraceId;
+    std::string name;
+    SimTime when = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex mutex_;
+  std::vector<QuerySpan> queries_;
+  std::vector<JobTraceRecord> jobs_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace obs
+}  // namespace doppio

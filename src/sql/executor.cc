@@ -807,6 +807,11 @@ Result<std::unique_ptr<Rel>> ExecuteJoin(ColumnStoreEngine* engine,
 Result<QueryOutcome> ExecuteStmtInternal(ColumnStoreEngine* engine,
                                          const SelectStmt& stmt) {
   QueryOutcome outcome;
+  // Every query starts from zeroed stats. QueryStats instances travel
+  // through accumulating APIs (EvalStringFilter, CountWhere) that `+=`
+  // into them; without this reset a caller-reused outcome would carry the
+  // previous query's retry/fault/fallback counters and kernel fields over.
+  outcome.stats.Reset();
   Stopwatch db_watch;
 
   DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<Rel> rel,

@@ -1,0 +1,128 @@
+// QueryStats reset regression (satellite of the tracing/metrics PR).
+//
+// QueryStats objects are accumulated into by several APIs (the executor's
+// operator loop, RowStore::CountWhere, EvalStringFilter) and reused across
+// queries on a session. Without an explicit reset at query start, the
+// fault-tolerance counters (job_retries, faults_recovered, fallback_rows)
+// and kernel fields of a faulty query leak into the next, fault-free one.
+#include <gtest/gtest.h>
+
+#include "db/hudf.h"
+#include "sql/executor.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+using sql::ExecuteQuery;
+
+/// HAL whose device stalls every engine outright: each slice exhausts its
+/// retry budget and degrades to software, so a REGEXP_FPGA query
+/// deterministically reports both retries and fallback rows.
+Hal::Options FaultyHal() {
+  Hal::Options options;
+  options.shared_memory_bytes = 64 * kSharedPageBytes;  // 128 MiB
+  options.functional_threads = 2;
+  options.device.faults.enabled = true;
+  options.device.faults.stalled_engine_mask = 0xF;
+  options.retry.max_retries = 1;  // keep the virtual-time retry dance short
+  return options;
+}
+
+class StatsResetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hal_ = std::make_unique<Hal>(FaultyHal());
+    ColumnStoreEngine::Options options;
+    options.num_threads = 2;
+    options.sequential_pipe = true;
+    options.hal = hal_.get();
+    engine_ = std::make_unique<ColumnStoreEngine>(options);
+
+    AddressDataOptions data;
+    data.num_records = 4000;
+    data.selectivity = 0.2;
+    auto table =
+        GenerateAddressTable(data, "address_table", engine_->allocator());
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    ASSERT_TRUE(engine_->catalog()->AddTable(std::move(*table)).ok());
+  }
+
+  std::unique_ptr<Hal> hal_;
+  std::unique_ptr<ColumnStoreEngine> engine_;
+};
+
+TEST_F(StatsResetTest, ResetReturnsEveryFieldToDefault) {
+  QueryStats stats;
+  stats.database_seconds = 1;
+  stats.udf_software_seconds = 2;
+  stats.config_gen_seconds = 3;
+  stats.hal_seconds = 4;
+  stats.hw_seconds = 5;
+  stats.sim_host_seconds = 6;
+  stats.rows_scanned = 7;
+  stats.rows_matched = 8;
+  stats.job_retries = 9;
+  stats.faults_recovered = 10;
+  stats.fallback_rows = 11;
+  stats.strategy = "fpga";
+  stats.pu_kernel = "literal";
+  stats.functional_bytes = 12;
+  stats.functional_seconds = 13;
+  stats.trace_id = 14;
+
+  stats.Reset();
+
+  const QueryStats fresh;
+  EXPECT_EQ(stats.database_seconds, fresh.database_seconds);
+  EXPECT_EQ(stats.hw_seconds, fresh.hw_seconds);
+  EXPECT_EQ(stats.rows_scanned, fresh.rows_scanned);
+  EXPECT_EQ(stats.rows_matched, fresh.rows_matched);
+  EXPECT_EQ(stats.job_retries, 0);
+  EXPECT_EQ(stats.faults_recovered, 0);
+  EXPECT_EQ(stats.fallback_rows, 0);
+  EXPECT_EQ(stats.strategy, "");
+  EXPECT_EQ(stats.pu_kernel, "");
+  EXPECT_EQ(stats.functional_bytes, 0);
+  EXPECT_EQ(stats.functional_seconds, 0.0);
+  EXPECT_EQ(stats.trace_id, 0u);
+}
+
+TEST_F(StatsResetTest, SecondFaultFreeQueryReportsZeroedCounters) {
+  // Query 1: REGEXP_FPGA on the faulty device. The slice dispatched to the
+  // stalled engine times out, retries, and falls back to software.
+  auto faulty = ExecuteQuery(engine_.get(),
+                             QuerySql(EvalQuery::kQ2, QueryEngineVariant::kFpga));
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_GT(faulty->stats.job_retries, 0);
+  EXPECT_GT(faulty->stats.fallback_rows, 0);
+  EXPECT_EQ(faulty->stats.strategy, "fpga+sw_fallback");
+  const int64_t faulty_matches = faulty->stats.rows_matched;
+  EXPECT_GT(faulty_matches, 0);
+
+  // Query 2, back to back on the same engine/session: a pure software
+  // LIKE that never touches the device. Its stats must start from zero —
+  // none of query 1's fault counters or kernel fields may carry over.
+  auto clean = ExecuteQuery(
+      engine_.get(),
+      QuerySql(EvalQuery::kQ1, QueryEngineVariant::kMonetSoftware));
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->stats.job_retries, 0);
+  EXPECT_EQ(clean->stats.faults_recovered, 0);
+  EXPECT_EQ(clean->stats.fallback_rows, 0);
+  EXPECT_EQ(clean->stats.pu_kernel, "");
+  EXPECT_EQ(clean->stats.hw_seconds, 0.0);
+  EXPECT_EQ(clean->stats.functional_bytes, 0);
+
+  // And a third hardware query still works and reports its own counters,
+  // not an accumulation of query 1's.
+  auto again = ExecuteQuery(engine_.get(),
+                            QuerySql(EvalQuery::kQ2, QueryEngineVariant::kFpga));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->stats.rows_matched, faulty_matches);
+  EXPECT_LE(again->stats.job_retries, faulty->stats.job_retries + 2);
+}
+
+}  // namespace
+}  // namespace doppio

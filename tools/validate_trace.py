@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file emitted by the obs tracer.
+
+Checks, in order:
+  1. the file is well-formed JSON (inf/NaN literals rejected);
+  2. the top level is an object with a `traceEvents` list;
+  3. every duration/instant event carries name, ph, ts, pid, tid, and ts
+     is a finite non-negative number;
+  4. within each (pid, tid) track, timestamps are monotone in file order
+     (the exporter writes each job's phases sequentially on its own track);
+  5. B/E events are properly matched and nested per track: every E closes
+     the most recent open B with the same name, and no B is left open.
+
+Exit status 0 on success; 1 with a diagnostic otherwise. Used by the CI
+traced-benchmark step; see docs/OBSERVABILITY.md.
+"""
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def reject_constant(value):
+    fail(f"non-finite JSON constant {value!r} (invalid per RFC 8259)")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f, parse_constant=reject_constant)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: not well-formed JSON: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+
+    tracks = {}  # (pid, tid) -> {"last_ts": float, "open": [names]}
+    begins = ends = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph is None or name is None:
+            fail(f"event {i} missing ph/name")
+        if ph == "M":  # metadata carries no timestamp
+            continue
+        if ph not in ("B", "E", "i"):
+            fail(f"event {i} has unexpected ph {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            fail(f"event {i} ({name}) has bad ts {ts!r}")
+        if "pid" not in ev or "tid" not in ev:
+            fail(f"event {i} ({name}) missing pid/tid")
+
+        track = tracks.setdefault((ev["pid"], ev["tid"]),
+                                  {"last_ts": -1.0, "open": []})
+        if ts < track["last_ts"]:
+            fail(f"event {i} ({name}) ts {ts} goes backwards on track "
+                 f"(pid={ev['pid']}, tid={ev['tid']}, "
+                 f"prev={track['last_ts']})")
+        track["last_ts"] = ts
+
+        if ph == "B":
+            begins += 1
+            track["open"].append(name)
+        elif ph == "E":
+            ends += 1
+            if not track["open"]:
+                fail(f"event {i} ({name}): E with no open B on track "
+                     f"(pid={ev['pid']}, tid={ev['tid']})")
+            top = track["open"].pop()
+            if top != name:
+                fail(f"event {i}: E({name}) does not close the open "
+                     f"B({top})")
+
+    for (pid, tid), track in tracks.items():
+        if track["open"]:
+            fail(f"unclosed spans {track['open']} on track "
+                 f"(pid={pid}, tid={tid})")
+    if begins != ends:
+        fail(f"{begins} B events vs {ends} E events")
+
+    print(f"validate_trace: OK: {len(events)} events, {len(tracks)} tracks, "
+          f"{begins} span pairs")
+
+
+if __name__ == "__main__":
+    main()
