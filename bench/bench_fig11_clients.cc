@@ -1,21 +1,55 @@
 // Figure 11: aggregated throughput (queries/s) vs number of concurrent
 // clients (1..10), 2.5M records.
 //
-//  * FPGA: closed-loop clients over the simulated device (virtual time);
-//    constant throughput regardless of client count.
+//  * FPGA: closed-loop clients admitted through the multi-tenant query
+//    scheduler (src/sched) — one session per client, weighted-fair waves,
+//    cross-query batching over the simulated device (virtual time);
+//    constant aggregate throughput regardless of client count.
 //  * MonetDB stand-in: intra-operator parallelism means one query already
 //    uses all cores — throughput is ~cores/t_single, flat in clients.
 //  * DBx stand-in: strictly one thread per query — throughput grows
 //    linearly with clients until the 10 cores are busy.
+//
+// Besides throughput, each client-count step reports the p50/p95/p99 of
+// the client-observed FPGA latencies (virtual time, microseconds) — the
+// multi-tenant contention profile the paper's Fig. 11 aggregates away.
+//
+// Observability hooks (opt-in via environment):
+//   DOPPIO_FIG_JSON=file.json emit the figure's deterministic values
+//                             (virtual times + counts only) as JSON —
+//                             byte-identical across runs. The document is
+//                             syntax-checked in-process before writing.
+//   DOPPIO_TRACE / DOPPIO_METRICS as in the other benches.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "bench_util.h"
 
 #include "db/row_store.h"
 #include "hw/fpga_device.h"
+#include "sched/scheduler.h"
 
 using namespace doppio;
 using namespace doppio::bench;
 
+namespace {
+
+/// Nearest-rank percentile (q in (0,1]) — deterministic, no interpolation.
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank < 1) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+}  // namespace
+
 int main() {
+  MaybeEnableTracing();
   const int64_t rows = ScaledRows(2'500'000);
   PrintHeader("Figure 11: throughput vs number of clients",
               "FPGA and MonetDB flat; DBx linear in clients; complex "
@@ -27,9 +61,14 @@ int main() {
   RowStoreEngine dbx;
   if (!dbx.LoadTable(*table).ok()) return 1;
   const Bat* strings = table->GetColumn("address_string");
-  const int64_t heap_bytes = strings->heap()->size_bytes();
 
   std::printf("records: %lld\n", static_cast<long long>(rows));
+
+  obs::JsonWriter fig_json;
+  fig_json.BeginObject();
+  fig_json.Field("figure", "fig11_clients");
+  fig_json.Field("rows", rows);
+  fig_json.Key("queries").BeginArray();
 
   for (EvalQuery q : {EvalQuery::kQ1, EvalQuery::kQ2, EvalQuery::kQ3,
                       EvalQuery::kQ4}) {
@@ -53,15 +92,16 @@ int main() {
     }
     double dbx_single = dbx_stats.database_seconds;
 
-    auto config =
-        CompileRegexConfig(QueryPattern(q), sys.hal->device_config());
-    if (!config.ok()) return 1;
-
     std::printf("\n%s  (software cost: monetdb %.3fs single-thread, dbx "
                 "%.3fs per query)\n",
                 QueryName(q), monet_single, dbx_single);
-    std::printf("%8s %14s %14s %14s\n", "clients", "monetdb [q/s]",
-                "dbx [q/s]", "fpga [q/s]");
+    std::printf("%8s %14s %14s %14s %11s %11s %11s\n", "clients",
+                "monetdb [q/s]", "dbx [q/s]", "fpga [q/s]", "p50 [us]",
+                "p95 [us]", "p99 [us]");
+
+    fig_json.BeginObject();
+    fig_json.Field("query", QueryName(q));
+    fig_json.Key("clients").BeginArray();
 
     for (int clients = 1; clients <= 10; ++clients) {
       // MonetDB: one query saturates the machine; adding clients does not
@@ -70,38 +110,93 @@ int main() {
       // DBx: one core per client, up to the core count.
       double dbx_qps = std::min(clients, kPaperCores) / dbx_single;
 
-      // FPGA: closed-loop clients in virtual time.
-      DeviceConfig device = sys.hal->device_config();
-      FpgaDevice fpga(device);
-      Bat scratch(ValueType::kInt16);
-      if (!scratch.AppendZeros(strings->count()).ok()) return 1;
-      int64_t completed = 0;
-      const int per_client = 3;
-      std::function<void(int)> submit = [&](int remaining) {
-        if (remaining == 0) return;
-        JobParams params;
-        params.offsets = strings->tail_data();
-        params.heap = strings->heap()->data();
-        params.result = scratch.mutable_tail_data();
-        params.count = strings->count();
-        params.heap_bytes = heap_bytes;
-        params.config = config->vector.bytes();
-        params.timing_only = true;
-        auto job = fpga.Submit(std::move(params), [&, remaining] {
-          ++completed;
-          submit(remaining - 1);
-        });
-        if (!job.ok()) std::exit(1);
-      };
-      for (int c = 0; c < clients; ++c) submit(per_client);
-      SimTime end = fpga.RunToIdle();
-      double fpga_qps =
-          static_cast<double>(completed) / SecondsFromPicos(end);
+      // FPGA: closed-loop clients in virtual time, admitted through the
+      // multi-tenant scheduler. Each client is its own session; every
+      // round submits one query per client and the scheduler coalesces
+      // them into shared fair-share waves across the engines. timing_only
+      // derives the exact traffic and timing while skipping the
+      // functional pass (this is a throughput figure).
+      sched::QueryScheduler::Options sched_options;
+      sched_options.cost_routing = false;
+      sched_options.timing_only = true;
+      sched_options.max_batch_width = sys.hal->device_config().num_engines;
+      sched::QueryScheduler scheduler(sys.hal.get(), sched_options);
+      std::vector<sched::Session*> sessions;
+      sessions.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        sched::SessionOptions session_options;
+        session_options.tenant = "client" + std::to_string(c);
+        sessions.push_back(scheduler.CreateSession(session_options));
+      }
 
-      std::printf("%8d %14.2f %14.2f %14.2f\n", clients, monet_qps,
-                  dbx_qps, fpga_qps);
+      const int per_client = 3;
+      std::vector<double> latencies;  // virtual seconds, client-observed
+      int64_t completed = 0;
+      const SimTime start = sys.hal->device()->now();
+      for (int round = 0; round < per_client; ++round) {
+        std::vector<sched::QueryTicket> tickets;
+        tickets.reserve(sessions.size());
+        for (sched::Session* session : sessions) {
+          auto ticket =
+              scheduler.Submit(session, *strings, QueryPattern(q));
+          if (!ticket.ok()) {
+            std::fprintf(stderr, "submit failed: %s\n",
+                         ticket.status().ToString().c_str());
+            return 1;
+          }
+          tickets.push_back(std::move(*ticket));
+        }
+        for (const auto& ticket : tickets) {
+          auto result = scheduler.Wait(ticket);
+          if (!result.ok()) {
+            std::fprintf(stderr, "wait failed: %s\n",
+                         result.status().ToString().c_str());
+            return 1;
+          }
+          latencies.push_back(result->hudf.stats.hw_seconds);
+          ++completed;
+        }
+      }
+      const SimTime end = sys.hal->device()->now();
+      const double fpga_qps = obs::SafeRate(
+          static_cast<double>(completed), SecondsFromPicos(end - start));
+      const double p50_us = Percentile(latencies, 0.50) * 1e6;
+      const double p95_us = Percentile(latencies, 0.95) * 1e6;
+      const double p99_us = Percentile(latencies, 0.99) * 1e6;
+
+      std::printf("%8d %14.2f %14.2f %14.2f %11.1f %11.1f %11.1f\n",
+                  clients, monet_qps, dbx_qps, fpga_qps, p50_us, p95_us,
+                  p99_us);
+
+      // Deterministic figure values only: virtual time and counts. The
+      // host-measured monetdb/dbx columns stay on stdout; everything in
+      // this JSON is byte-identical across runs.
+      fig_json.BeginObject();
+      fig_json.Field("clients", static_cast<int64_t>(clients));
+      fig_json.Field("completed", completed);
+      fig_json.Field("fpga_qps", fpga_qps);
+      fig_json.Field("latency_p50_us", p50_us);
+      fig_json.Field("latency_p95_us", p95_us);
+      fig_json.Field("latency_p99_us", p99_us);
+      fig_json.EndObject();
     }
+    fig_json.EndArray().EndObject();
   }
+  fig_json.EndArray().EndObject();
+
+  // The figure document must parse before anything consumes it — the same
+  // strict checker CI runs.
+  if (Status st = obs::CheckJsonSyntax(fig_json.str()); !st.ok()) {
+    std::fprintf(stderr, "figure json is malformed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  if (const char* path = std::getenv("DOPPIO_FIG_JSON")) {
+    MustWriteFile(path, fig_json.str());
+    std::fprintf(stderr, "figure json written to %s\n", path);
+  }
+  FinishObservability();
+
   std::printf(
       "\nshape check: FPGA throughput is flat and identical across Q1-Q4;\n"
       "MonetDB is flat (intra-operator parallelism); DBx grows linearly\n"

@@ -30,6 +30,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

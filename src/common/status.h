@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kParseError = 10,
   kUnavailable = 11,       // transient device fault; retrying may succeed
   kDeadlineExceeded = 12,  // job missed its wait deadline
+  kResourceExhausted = 13,  // a bounded queue/pool is full; drain and retry
+  kOverloaded = 14,  // admission control rejected the request; back off
 };
 
 /// \brief Outcome of a fallible operation.
@@ -74,6 +76,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -100,6 +108,10 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -174,14 +186,18 @@ const char* StatusCodeName(StatusCode code);
 /// REGEXP_AUTO to distinguish "use software" from "fail the query".
 inline bool IsFallbackEligible(const Status& status) {
   switch (status.code()) {
-    case StatusCode::kUnavailable:        // transient device fault
-    case StatusCode::kDeadlineExceeded:   // stuck/lost job
-    case StatusCode::kIOError:            // job-queue back-pressure
-    case StatusCode::kCapacityExceeded:   // pattern exceeds PU geometry
-    case StatusCode::kNotImplemented:     // e.g. unsupported offset width
-    case StatusCode::kTimingViolation:    // config fails timing closure
+    case StatusCode::kUnavailable:         // transient device fault
+    case StatusCode::kDeadlineExceeded:    // stuck/lost job
+    case StatusCode::kIOError:             // legacy queue back-pressure
+    case StatusCode::kResourceExhausted:   // job ring full; drains over time
+    case StatusCode::kCapacityExceeded:    // pattern exceeds PU geometry
+    case StatusCode::kNotImplemented:      // e.g. unsupported offset width
+    case StatusCode::kTimingViolation:     // config fails timing closure
       return true;
     default:
+      // Note kOverloaded is deliberately NOT fallback-eligible: it is an
+      // admission-control verdict, not a device fault — the client must
+      // back off rather than burn CPU re-running the query in software.
       return false;
   }
 }

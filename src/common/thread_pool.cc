@@ -14,12 +14,19 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;
     shutdown_ = true;
+    joined_ = true;
   }
   cv_.notify_all();
+  // Workers exit only once the queue is empty (WorkerLoop), so every task
+  // queued before this point runs to completion — futures handed out by
+  // Submit() are all ready when the joins return.
   for (auto& w : workers_) w.join();
 }
 
@@ -27,7 +34,15 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // The workers are gone (or going): queueing now could strand the
+      // task forever. Run it inline so the future still completes and no
+      // submission is lost — late stragglers degrade to caller-pays.
+      lock.unlock();
+      task();
+      return future;
+    }
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

@@ -23,8 +23,17 @@ class ThreadPool {
 
   DOPPIO_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
 
-  /// Enqueues `fn`; returns a future completing when it has run.
+  /// Enqueues `fn`; returns a future completing when it has run. After
+  /// Shutdown() the task runs inline on the calling thread instead (the
+  /// future still completes) — no submission is ever silently dropped.
   std::future<void> Submit(std::function<void()> fn);
+
+  /// Drains every queued task and joins the workers. Deterministic: all
+  /// futures handed out by Submit() before this call are completed when it
+  /// returns — queued work is executed, never discarded. Idempotent; also
+  /// run by the destructor. The scheduler relies on this to guarantee that
+  /// CPU-routed slices are never lost on teardown.
+  void Shutdown();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
   /// invocations finish. The calling thread also participates.
@@ -40,6 +49,7 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   std::vector<std::thread> workers_;
   bool shutdown_ = false;
+  bool joined_ = false;
 };
 
 }  // namespace doppio

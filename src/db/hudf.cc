@@ -45,19 +45,32 @@ obs::JobTraceRecord MakeJobRecord(obs::TraceId trace,
   return record;
 }
 
-/// Software degradation path: re-executes one job slice on the host
-/// through the same compiled PU program the engines run, writing raw
-/// 16-bit match indexes into the slice's result range. Bit-identical to
-/// the hardware functional pass by construction — same ConfigVector
-/// decode, same kernel, same saturation — so a degraded query returns
-/// exactly the BAT a healthy device would have produced. Returns the
-/// slice's match count.
-Result<int64_t> RunSliceInSoftware(const DeviceConfig& device,
-                                   const JobParams& params) {
-  DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
-                          ConfigVector::FromBytes(params.config));
-  DOPPIO_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPuProgram> program,
-                          CompiledPuProgram::Compile(cv, device));
+/// One submitted (or degraded) slice of a batched query.
+struct Slice {
+  JobParams params;  // kept alive across resubmissions
+  FpgaJob job;       // invalid when the submit itself degraded
+  JobOutcome outcome;
+  bool fallback = false;
+};
+
+/// Per-query bookkeeping across the batch's submit/await phases.
+struct QueryRun {
+  FpgaBatchQuery* query = nullptr;
+  Stopwatch udf_watch;  // started when the query enters the batch
+  obs::TraceId trace = obs::kInvalidTraceId;
+  std::vector<Slice> slices;
+};
+
+}  // namespace
+
+Result<int64_t> RunRegexSliceInSoftware(
+    const DeviceConfig& device, const JobParams& params,
+    std::shared_ptr<const CompiledPuProgram> program) {
+  if (program == nullptr) {
+    DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
+                            ConfigVector::FromBytes(params.config));
+    DOPPIO_ASSIGN_OR_RETURN(program, CompiledPuProgram::Compile(cv, device));
+  }
   ProcessingUnit pu(device);
   pu.Configure(std::move(program));
   StringReader reader(params);
@@ -71,144 +84,188 @@ Result<int64_t> RunSliceInSoftware(const DeviceConfig& device,
   return collector.matches();
 }
 
-}  // namespace
+Status RegexpFpgaBatch(Hal* hal,
+                       const std::vector<FpgaBatchQuery*>& queries) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const RetryPolicy& policy = hal->retry_policy();
+  const int num_engines = hal->device_config().num_engines;
+
+  std::vector<QueryRun> runs;
+  runs.reserve(queries.size());
+
+  // On any fatal (non-fallback) error, close the spans already opened so
+  // the tracer's per-query bookkeeping stays balanced.
+  auto fail = [&](Status st) {
+    for (QueryRun& run : runs) tracer.EndQuery(run.trace);
+    return st;
+  };
+
+  // Phase 0: validate every query, open its span, allocate its result BAT.
+  for (FpgaBatchQuery* q : queries) {
+    if (q == nullptr || q->input == nullptr || q->config == nullptr) {
+      return fail(Status::InvalidArgument("null batch query"));
+    }
+    if (q->input->type() != ValueType::kString) {
+      return fail(
+          Status::InvalidArgument("regex job input must be a string BAT"));
+    }
+    runs.emplace_back();
+    QueryRun& run = runs.back();
+    run.query = q;
+    run.trace = tracer.BeginQuery(q->span_name);
+    HudfResult& out = q->out;
+    out.stats.trace_id = run.trace;
+    out.stats.strategy = "fpga";  // partitioning is internal to the operator
+    out.stats.rows_scanned = q->input->count();
+
+    auto result = Bat::New(ValueType::kInt16, q->input->count(),
+                           hal->bat_allocator());
+    if (!result.ok()) return fail(result.status());
+    out.result = std::move(*result);
+    Status st = out.result->AppendZeros(q->input->count());
+    if (!st.ok()) return fail(st);
+  }
+
+  // Phase 1: slice and submit every query before any is waited on, so all
+  // queries of the wave overlap in virtual time across the engines.
+  for (QueryRun& run : runs) {
+    FpgaBatchQuery& q = *run.query;
+    const Bat& input = *q.input;
+    if (input.count() == 0) continue;  // degenerate: no rows, no slices
+
+    int partitions = q.partitions;
+    if (partitions <= 0) partitions = num_engines;
+    partitions = static_cast<int>(
+        std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
+
+    Stopwatch hal_watch;
+    const int64_t chunk = (input.count() + partitions - 1) / partitions;
+    const uint32_t* all_offsets =
+        reinterpret_cast<const uint32_t*>(input.tail_data());
+    for (int p = 0; p < partitions; ++p) {
+      const int64_t first = p * chunk;
+      if (first >= input.count()) break;
+      const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
+      if (rows <= 0) continue;
+      run.slices.emplace_back();
+      Slice& slice = run.slices.back();
+      JobParams& params = slice.params;
+      params.offsets = input.tail_data() + first * input.offset_width();
+      params.heap = input.heap()->data();
+      params.result = q.out.result->mutable_tail_data() + first * 2;
+      params.count = rows;
+      params.offset_width = static_cast<int32_t>(input.offset_width());
+      // Heap extent of this slice: up to the next slice's first string
+      // (the heap is written in row order), or the heap end for the last
+      // slice.
+      params.heap_bytes =
+          first + rows < input.count()
+              ? static_cast<int64_t>(all_offsets[first + rows])
+              : input.heap()->size_bytes();
+      params.config = q.config->vector.bytes();
+      params.timing_only = q.timing_only;
+      Result<FpgaJob> job =
+          SubmitJobWithRetry(hal->device(), params, policy, &slice.outcome);
+      if (job.ok()) {
+        slice.job = *job;
+      } else if (IsFallbackEligible(job.status())) {
+        slice.fallback = true;
+      } else {
+        return fail(job.status());
+      }
+    }
+    q.out.stats.hal_seconds = hal_watch.ElapsedSeconds();
+  }
+
+  // Phase 2: await each query's slices in submission order, degrade the
+  // slices the device could not complete, finalize per-query stats.
+  for (QueryRun& run : runs) {
+    FpgaBatchQuery& q = *run.query;
+    HudfResult& out = q.out;
+
+    if (q.input->count() == 0) {
+      out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();
+      tracer.EndQuery(run.trace);
+      continue;
+    }
+
+    Stopwatch wait_watch;
+    SimTime first_enqueue = std::numeric_limits<SimTime>::max();
+    SimTime last_finish = 0;
+    bool any_hw = false;
+    for (Slice& slice : run.slices) {
+      if (!slice.fallback) {
+        Status st = AwaitJobWithRecovery(hal->device(), &slice.job,
+                                         slice.params, policy,
+                                         &slice.outcome);
+        if (st.ok()) {
+          const JobStatus& status = slice.job.status();
+          any_hw = true;
+          if (run.trace != obs::kInvalidTraceId) {
+            tracer.RecordJob(MakeJobRecord(run.trace, status));
+          }
+          first_enqueue = std::min(first_enqueue, status.enqueue_time);
+          last_finish = std::max(last_finish, status.finish_time);
+          out.stats.rows_matched += status.matches;
+          if (out.stats.pu_kernel.empty()) {
+            out.stats.pu_kernel = status.pu_kernel;
+          }
+          out.stats.functional_bytes += status.functional_bytes;
+          out.stats.functional_seconds += status.functional_host_seconds;
+        } else if (IsFallbackEligible(st)) {
+          slice.fallback = true;
+        } else {
+          return fail(st);
+        }
+      }
+      out.stats.job_retries += slice.outcome.retries;
+      if (slice.outcome.ok && slice.outcome.fault_seen) {
+        out.stats.faults_recovered += 1;
+      }
+    }
+    // Slices the device could not complete degrade to the software
+    // matchers (the query must not fail for a fault the CPU can absorb).
+    for (Slice& slice : run.slices) {
+      if (!slice.fallback) continue;
+      if (run.trace != obs::kInvalidTraceId) {
+        tracer.RecordInstant(run.trace, "sw_fallback",
+                             hal->device()->now());
+      }
+      auto matches =
+          RunRegexSliceInSoftware(hal->device_config(), slice.params);
+      if (!matches.ok()) return fail(matches.status());
+      out.stats.rows_matched += *matches;
+      out.stats.fallback_rows += slice.params.count;
+      FallbackRowsCounter().Add(slice.params.count);
+    }
+    if (out.stats.fallback_rows > 0) {
+      out.stats.strategy = "fpga+sw_fallback";
+    }
+    out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
+    out.stats.hw_seconds =
+        any_hw ? SecondsFromPicos(last_finish - first_enqueue) : 0;
+    out.stats.udf_software_seconds =
+        std::max(0.0, run.udf_watch.ElapsedSeconds() -
+                          out.stats.hal_seconds -
+                          out.stats.sim_host_seconds);
+    tracer.EndQuery(run.trace);
+  }
+  return Status::OK();
+}
 
 Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
                                          const RegexConfig& config,
                                          int partitions) {
-  if (input.type() != ValueType::kString) {
-    return Status::InvalidArgument("regex job input must be a string BAT");
-  }
-  if (partitions <= 0) partitions = hal->device_config().num_engines;
-  partitions = static_cast<int>(
-      std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
-
-  Stopwatch udf_watch;
-  obs::Tracer& tracer = obs::Tracer::Global();
-  const obs::TraceId trace = tracer.BeginQuery("regexp_fpga_partitioned");
-  HudfResult out;
-  out.stats.trace_id = trace;
-  out.stats.strategy = "fpga";  // partitioning is internal to the operator
-  out.stats.rows_scanned = input.count();
-
-  DOPPIO_ASSIGN_OR_RETURN(
-      out.result,
-      Bat::New(ValueType::kInt16, input.count(), hal->bat_allocator()));
-  DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(input.count()));
-
-  if (input.count() == 0) {
-    // Degenerate job: no rows means no slices. Without this guard the
-    // submit loop below produces no jobs and the hardware phase would be
-    // derived from an empty min/max (a bogus negative duration).
-    out.stats.udf_software_seconds = udf_watch.ElapsedSeconds();
-    tracer.EndQuery(trace);
-    return out;
-  }
-
-  const RetryPolicy& policy = hal->retry_policy();
-
-  // One job per slice; all slices share the heap and the result BAT.
-  // Every slice is submitted before any is waited on, so slices overlap
-  // in virtual time across engines.
-  Stopwatch hal_watch;
-  const int64_t chunk = (input.count() + partitions - 1) / partitions;
-  const uint32_t* all_offsets =
-      reinterpret_cast<const uint32_t*>(input.tail_data());
-  struct Slice {
-    JobParams params;     // kept alive across resubmissions
-    FpgaJob job;          // invalid when the submit itself degraded
-    JobOutcome outcome;
-    bool fallback = false;
-  };
-  std::vector<Slice> slices;
-  for (int p = 0; p < partitions; ++p) {
-    const int64_t first = p * chunk;
-    if (first >= input.count()) break;
-    const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
-    if (rows <= 0) continue;
-    slices.emplace_back();
-    Slice& slice = slices.back();
-    JobParams& params = slice.params;
-    params.offsets = input.tail_data() + first * input.offset_width();
-    params.heap = input.heap()->data();
-    params.result = out.result->mutable_tail_data() + first * 2;
-    params.count = rows;
-    params.offset_width = static_cast<int32_t>(input.offset_width());
-    // Heap extent of this slice: up to the next slice's first string (the
-    // heap is written in row order), or the heap end for the last slice.
-    params.heap_bytes =
-        first + rows < input.count()
-            ? static_cast<int64_t>(all_offsets[first + rows])
-            : input.heap()->size_bytes();
-    params.config = config.vector.bytes();
-    Result<FpgaJob> job =
-        SubmitJobWithRetry(hal->device(), params, policy, &slice.outcome);
-    if (job.ok()) {
-      slice.job = *job;
-    } else if (IsFallbackEligible(job.status())) {
-      slice.fallback = true;
-    } else {
-      return job.status();
-    }
-  }
-  out.stats.hal_seconds = hal_watch.ElapsedSeconds();
-
-  Stopwatch wait_watch;
-  SimTime first_enqueue = std::numeric_limits<SimTime>::max();
-  SimTime last_finish = 0;
-  bool any_hw = false;
-  for (Slice& slice : slices) {
-    if (!slice.fallback) {
-      Status st = AwaitJobWithRecovery(hal->device(), &slice.job,
-                                       slice.params, policy, &slice.outcome);
-      if (st.ok()) {
-        const JobStatus& status = slice.job.status();
-        any_hw = true;
-        if (trace != obs::kInvalidTraceId) {
-          tracer.RecordJob(MakeJobRecord(trace, status));
-        }
-        first_enqueue = std::min(first_enqueue, status.enqueue_time);
-        last_finish = std::max(last_finish, status.finish_time);
-        out.stats.rows_matched += status.matches;
-        if (out.stats.pu_kernel.empty()) {
-          out.stats.pu_kernel = status.pu_kernel;
-        }
-        out.stats.functional_bytes += status.functional_bytes;
-        out.stats.functional_seconds += status.functional_host_seconds;
-      } else if (IsFallbackEligible(st)) {
-        slice.fallback = true;
-      } else {
-        return st;
-      }
-    }
-    out.stats.job_retries += slice.outcome.retries;
-    if (slice.outcome.ok && slice.outcome.fault_seen) {
-      out.stats.faults_recovered += 1;
-    }
-  }
-  // Slices the device could not complete degrade to the software matchers
-  // (the query must not fail for a fault the CPU can absorb).
-  for (Slice& slice : slices) {
-    if (!slice.fallback) continue;
-    if (trace != obs::kInvalidTraceId) {
-      tracer.RecordInstant(trace, "sw_fallback", hal->device()->now());
-    }
-    DOPPIO_ASSIGN_OR_RETURN(
-        int64_t matches,
-        RunSliceInSoftware(hal->device_config(), slice.params));
-    out.stats.rows_matched += matches;
-    out.stats.fallback_rows += slice.params.count;
-    FallbackRowsCounter().Add(slice.params.count);
-  }
-  if (out.stats.fallback_rows > 0) out.stats.strategy = "fpga+sw_fallback";
-  out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
-  out.stats.hw_seconds =
-      any_hw ? SecondsFromPicos(last_finish - first_enqueue) : 0;
-  out.stats.udf_software_seconds =
-      std::max(0.0, udf_watch.ElapsedSeconds() - out.stats.hal_seconds -
-                        out.stats.sim_host_seconds);
-  tracer.EndQuery(trace);
-  return out;
+  // A batch of one: identical slicing, submission order and virtual-time
+  // behaviour to the historical single-query partitioned path.
+  FpgaBatchQuery query;
+  query.input = &input;
+  query.config = &config;
+  query.partitions = partitions;
+  query.span_name = "regexp_fpga_partitioned";
+  std::vector<FpgaBatchQuery*> batch{&query};
+  DOPPIO_RETURN_NOT_OK(RegexpFpgaBatch(hal, batch));
+  return std::move(query.out);
 }
 
 Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
@@ -306,7 +363,8 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
       tracer.RecordInstant(trace, "sw_fallback", hal->device()->now());
     }
     DOPPIO_ASSIGN_OR_RETURN(
-        int64_t matches, RunSliceInSoftware(hal->device_config(), params));
+        int64_t matches,
+        RunRegexSliceInSoftware(hal->device_config(), params));
     out.stats.rows_matched = matches;
     out.stats.fallback_rows = params.count;
     out.stats.strategy = "fpga+sw_fallback";

@@ -9,11 +9,13 @@
 
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "bat/bat.h"
 #include "common/status.h"
 #include "db/engine_stats.h"
 #include "hal/hal.h"
+#include "hw/pu_kernel.h"
 #include "regex/matcher.h"
 
 namespace doppio {
@@ -50,5 +52,56 @@ Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,
                                          std::string_view pattern,
                                          const CompileOptions& options = {},
                                          int partitions = 0);
+
+/// One query of a cross-query batched submission (the multi-tenant
+/// scheduler's coalescing unit, src/sched). Each query keeps its own input
+/// BAT, result BAT and QueryStats — results are demultiplexed per query by
+/// construction because every job slice writes a disjoint result range.
+struct FpgaBatchQuery {
+  const Bat* input = nullptr;
+  const RegexConfig* config = nullptr;
+  /// Slices for this query (0 = one per deployed engine). Batched callers
+  /// typically spread the engines across the batch instead.
+  int partitions = 0;
+  /// Tracer span name for this query's lifecycle.
+  const char* span_name = "regexp_fpga_batch";
+  /// Simulator-only throughput knob (see JobParams::timing_only): derive
+  /// exact traffic/timing but skip the functional pass (results zeroed).
+  bool timing_only = false;
+  HudfResult out;  // populated by RegexpFpgaBatch
+};
+
+/// Shared partitioned submission across queries: every slice of every
+/// query is submitted before any is waited on, so the queries overlap
+/// across the engines in virtual time (the paper's Fig. 11 multi-client
+/// scenario, but coalesced into one wave instead of raced). Each query
+/// degrades per-slice to the software matchers exactly like the
+/// single-query path; a batch of one is behaviour- and timing-identical
+/// to RegexpFpgaPartitioned.
+Status RegexpFpgaBatch(Hal* hal, const std::vector<FpgaBatchQuery*>& queries);
+
+/// Software degradation/routing path: executes one job slice on the host
+/// through the same compiled PU program the engines run, writing raw
+/// 16-bit match indexes into the slice's result range — bit-identical to
+/// the hardware functional pass by construction. `program` reuses an
+/// already-compiled program (the scheduler's LRU cache); when null the
+/// slice's config bytes are compiled on the spot. Returns the slice's
+/// match count.
+Result<int64_t> RunRegexSliceInSoftware(
+    const DeviceConfig& device, const JobParams& params,
+    std::shared_ptr<const CompiledPuProgram> program = nullptr);
+
+/// Admission gate the multi-tenant scheduler (src/sched) implements. When
+/// one is supplied to a db-layer executor, regex offload goes through the
+/// scheduler — session quotas, fair sharing, cross-query batching —
+/// instead of submitting straight at the device. Null gate = the paper's
+/// direct-submit path, byte-identical to before the scheduler existed.
+class RegexAdmissionGate {
+ public:
+  virtual ~RegexAdmissionGate() = default;
+  virtual Result<HudfResult> ExecuteRegex(const Bat& input,
+                                          std::string_view pattern,
+                                          const CompileOptions& options) = 0;
+};
 
 }  // namespace doppio

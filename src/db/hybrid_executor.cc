@@ -123,7 +123,8 @@ Result<HybridPlan> PlanHybrid(std::string_view pattern,
 
 Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
                                    std::string_view pattern,
-                                   const CompileOptions& options) {
+                                   const CompileOptions& options,
+                                   RegexAdmissionGate* gate) {
   Stopwatch total_watch;
   DOPPIO_ASSIGN_OR_RETURN(HybridPlan plan,
                           PlanHybrid(pattern, hal->device_config(), options));
@@ -132,8 +133,16 @@ Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
   out.strategy = plan.strategy;
   HybridStrategyCounter(plan.strategy).Add();
 
+  // FPGA offloads go through the admission gate when one is installed;
+  // Overloaded rejects are surfaced to the caller (back off, don't
+  // degrade), everything else behaves exactly like direct submission.
+  auto offload = [&](std::string_view fpga_pattern) {
+    return gate != nullptr ? gate->ExecuteRegex(input, fpga_pattern, options)
+                           : RegexpFpga(hal, input, fpga_pattern, options);
+  };
+
   if (plan.strategy == HybridStrategy::kFpgaOnly) {
-    Result<HudfResult> hw = RegexpFpga(hal, input, pattern, options);
+    Result<HudfResult> hw = offload(pattern);
     if (!hw.ok()) {
       // The HUDF degrades per-slice internally; an error surfacing here
       // that is still fallback-eligible (e.g. the device rejects the job
@@ -152,8 +161,7 @@ Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
 
   if (plan.strategy == HybridStrategy::kHybrid) {
     // FPGA pre-filter on the prefix.
-    Result<HudfResult> hw_attempt =
-        RegexpFpga(hal, input, plan.fpga_pattern, options);
+    Result<HudfResult> hw_attempt = offload(plan.fpga_pattern);
     if (!hw_attempt.ok()) {
       if (!IsFallbackEligible(hw_attempt.status())) {
         return hw_attempt.status();

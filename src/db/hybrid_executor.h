@@ -46,8 +46,15 @@ struct HybridResult {
 };
 
 /// Executes a pattern with automatic FPGA/hybrid/software selection.
+///
+/// When `gate` is non-null, every FPGA offload (the kFpgaOnly pattern and
+/// the kHybrid pre-filter prefix) is admitted through it instead of being
+/// submitted straight at the device — the multi-tenant scheduler
+/// (src/sched) implements the gate with session quotas, fair sharing and
+/// cross-query batching. A null gate is the paper's direct-submit path.
 Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
                                    std::string_view pattern,
-                                   const CompileOptions& options = {});
+                                   const CompileOptions& options = {},
+                                   RegexAdmissionGate* gate = nullptr);
 
 }  // namespace doppio

@@ -52,9 +52,11 @@ void BackOff(FpgaDevice* device, const RetryPolicy& policy,
 }
 
 bool IsTransient(const Status& status) {
-  // Unavailable: injected transient fault or a lost job. IOError: shared
-  // job-queue back-pressure — resolves as the device drains.
-  return status.IsUnavailable() || status.code() == StatusCode::kIOError;
+  // Unavailable: injected transient fault or a lost job.
+  // ResourceExhausted (and the legacy IOError spelling): shared job-queue
+  // back-pressure — resolves as the device drains.
+  return status.IsUnavailable() || status.IsResourceExhausted() ||
+         status.code() == StatusCode::kIOError;
 }
 
 }  // namespace

@@ -75,7 +75,9 @@ Status JobDistributor::Enqueue(JobParams* params, JobStatus* status,
   if (!queue_->Push(descriptor)) {
     callbacks_.erase(descriptor.job_id);
     QueueRejectedCounter().Add();
-    return Status::IOError(
+    // Typed back-pressure: the ring is bounded by design and never grows;
+    // callers (the retry lifecycle, the scheduler) wait out the drain.
+    return Status::ResourceExhausted(
         "shared job queue full: too many outstanding FPGA jobs");
   }
   JobsEnqueuedCounter().Add();

@@ -30,8 +30,9 @@ class JobDistributor {
 
   /// Enqueues a job descriptor at the scheduler's current virtual time.
   /// `on_done` fires (in virtual time) when the engine sets the done bit.
-  /// Fails with IOError when the shared ring is full (back-pressure the
-  /// HAL surfaces to the caller).
+  /// Fails with ResourceExhausted when the shared ring is full — the ring
+  /// never grows past its capacity; the HAL surfaces the back-pressure to
+  /// the caller (retry lifecycle / scheduler), which waits out the drain.
   Status Enqueue(JobParams* params, JobStatus* status,
                  std::function<void()> on_done);
 

@@ -1,0 +1,127 @@
+#include "sched/program_cache.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace doppio {
+namespace sched {
+
+namespace {
+
+obs::Counter& HitsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.program_cache.hits",
+      "compiled-program cache lookups served from cache");
+  return *c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.program_cache.misses",
+      "compiled-program cache lookups that compiled cold");
+  return *c;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.program_cache.evictions",
+      "compiled programs evicted by LRU capacity pressure");
+  return *c;
+}
+
+}  // namespace
+
+ProgramCache::ProgramCache(const DeviceConfig& device, int capacity)
+    : device_(device), capacity_(capacity) {
+  DOPPIO_CHECK(capacity_ >= 1);
+}
+
+std::string ProgramCache::MakeKey(std::string_view pattern,
+                                  const CompileOptions& options) {
+  // '\x1f' (unit separator) cannot appear in a well-formed pattern flagged
+  // field, so the key is injective over (pattern, options).
+  std::string key(pattern);
+  key += '\x1f';
+  key += options.case_insensitive ? 'i' : '-';
+  key += options.anchor_start ? '^' : '-';
+  key += options.anchor_end ? '$' : '-';
+  for (const auto& [a, b] : options.collation_equivalents) {
+    key += static_cast<char>(a);
+    key += static_cast<char>(b);
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const CachedProgram>> ProgramCache::GetOrCompile(
+    std::string_view pattern, const CompileOptions& options) {
+  std::string key = MakeKey(pattern, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+      ++hits_;
+      HitsCounter().Add();
+      return it->second->second;
+    }
+  }
+
+  // Compile outside the lock: concurrent misses on the same key may race
+  // to compile, but programs are immutable and the insert below re-checks,
+  // so the worst case is one redundant compilation, never two entries.
+  auto entry = std::make_shared<CachedProgram>();
+  DOPPIO_ASSIGN_OR_RETURN(entry->config,
+                          CompileRegexConfig(pattern, device_, options));
+  DOPPIO_ASSIGN_OR_RETURN(
+      entry->program,
+      CompiledPuProgram::Compile(entry->config.vector, device_));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  MissesCounter().Add();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(std::move(key), std::move(entry));
+  index_.emplace(lru_.front().first, lru_.begin());
+  if (static_cast<int>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    EvictionsCounter().Add();
+  }
+  return lru_.front().second;
+}
+
+int64_t ProgramCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t ProgramCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+int64_t ProgramCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+int ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(lru_.size());
+}
+
+std::vector<std::string> ProgramCache::KeysMruFirst() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const auto& [key, value] : lru_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace sched
+}  // namespace doppio

@@ -1,0 +1,90 @@
+// LRU cache of compiled regex programs, shared across queries and tenants.
+//
+// The paper's config-vector compile is cheap (< 1 µs), but the simulator's
+// functional path also compiles a PU kernel program per configuration
+// (hw/pu_kernel) — decode, byte-class partition, possibly literal-stage
+// extraction — and concurrent clients overwhelmingly re-issue the same
+// handful of patterns (the Fig. 11 workload). The cache keys on
+// (pattern, CompileOptions) and hands out one immutable RegexConfig plus
+// one shared CompiledPuProgram per distinct query, so same-pattern queries
+// admitted by the scheduler share a single compilation regardless of
+// session. Results are unaffected: a cache hit executes the exact same
+// immutable program a cold compile would have produced.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "hw/config_compiler.h"
+#include "hw/device_config.h"
+#include "hw/pu_kernel.h"
+#include "regex/matcher.h"
+
+namespace doppio {
+namespace sched {
+
+/// One cached compilation: the configuration vector (what the device
+/// loads) and the compiled PU program (what the functional pass and the
+/// CPU route execute). Immutable once inserted; shared by reference.
+struct CachedProgram {
+  RegexConfig config;
+  std::shared_ptr<const CompiledPuProgram> program;
+};
+
+class ProgramCache {
+ public:
+  /// `capacity` >= 1: the maximum number of distinct (pattern, options)
+  /// entries kept; the least-recently-used entry is evicted beyond that.
+  ProgramCache(const DeviceConfig& device, int capacity);
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(ProgramCache);
+
+  /// Returns the cached compilation for (pattern, options), compiling and
+  /// inserting it on a miss. Compile failures (e.g. CapacityExceeded when
+  /// the pattern does not fit the deployed geometry) are returned and NOT
+  /// cached — a failed pattern never occupies a slot. Thread-safe.
+  Result<std::shared_ptr<const CachedProgram>> GetOrCompile(
+      std::string_view pattern, const CompileOptions& options = {});
+
+  /// Canonical cache key for (pattern, options) — exposed so tests and the
+  /// scheduler's coalescing pass can compare compatibility without holding
+  /// a CachedProgram.
+  static std::string MakeKey(std::string_view pattern,
+                             const CompileOptions& options);
+
+  // Lifetime counters (also mirrored in the metrics registry under
+  // doppio.sched.program_cache.{hits,misses,evictions}).
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+  int size() const;
+  int capacity() const { return capacity_; }
+
+  /// Keys most-recently-used first — the exact eviction order, for tests.
+  std::vector<std::string> KeysMruFirst() const;
+
+ private:
+  const DeviceConfig device_;
+  const int capacity_;
+
+  mutable std::mutex mutex_;
+  /// Front = most recently used; back = next eviction victim.
+  std::list<std::pair<std::string, std::shared_ptr<const CachedProgram>>>
+      lru_;
+  std::unordered_map<std::string_view, decltype(lru_)::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace sched
+}  // namespace doppio

@@ -1,0 +1,526 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "regex/dfa_matcher.h"
+
+namespace doppio {
+namespace sched {
+
+namespace {
+
+obs::Counter& AdmittedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.admitted", "queries accepted by scheduler admission");
+  return *c;
+}
+
+obs::Counter& OverloadedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.rejected_overloaded",
+      "queries rejected with Overloaded at admission");
+  return *c;
+}
+
+obs::Counter& WavesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.waves", "dispatch waves executed");
+  return *c;
+}
+
+obs::Counter& CoalescedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.coalesced",
+      "queries pulled into a wave by same-pattern coalescing");
+  return *c;
+}
+
+obs::Counter& RouteFpgaCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.route_fpga", "queries dispatched to the device");
+  return *c;
+}
+
+obs::Counter& RouteCpuCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.route_cpu", "queries routed to the host pool");
+  return *c;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge(
+      "doppio.sched.queue_depth",
+      "queries admitted and not yet dispatched, all sessions");
+  return *g;
+}
+
+obs::Histogram& QueueDepthHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "doppio.sched.queue_depth_at_admission", obs::DepthBuckets(),
+      "global queue depth observed by each successful admission");
+  return *h;
+}
+
+obs::Histogram& BatchWidthHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "doppio.sched.batch_width", obs::DepthBuckets(),
+      "queries per FPGA wave");
+  return *h;
+}
+
+}  // namespace
+
+namespace internal {
+
+/// One admitted query, shared between the submitting thread, the
+/// dispatcher that executes it, and the waiter that collects it. The
+/// routing fields are immutable after Submit; the completion fields are
+/// written by the dispatcher (CPU requests: before the pool future is
+/// waited) and read by waiters only after `done` flips under the
+/// scheduler mutex.
+struct Request {
+  Session* session = nullptr;
+  const Bat* input = nullptr;
+  std::string pattern;
+  CompileOptions options;
+  std::shared_ptr<const CachedProgram> program;  // null for kCpuDfa
+  std::string key;  // ProgramCache::MakeKey — wave-coalescing identity
+  Route route = Route::kFpga;
+  int64_t cost_rows = 1;  // DRR charge
+  bool timing_only = false;
+  Stopwatch latency_watch;  // admission -> completion, host wall clock
+
+  // --- Completion state ---------------------------------------------------
+  bool done = false;
+  bool waited = false;
+  Status status;
+  HudfResult hudf;
+  uint64_t completion_seq = 0;
+  int batch_width = 1;
+};
+
+}  // namespace internal
+
+using internal::Request;
+
+QueryTicket::QueryTicket(std::shared_ptr<Request> request)
+    : request_(std::move(request)) {}
+
+QueryScheduler::QueryScheduler(Hal* hal)
+    : QueryScheduler(hal, Options()) {}
+
+QueryScheduler::QueryScheduler(Hal* hal, Options options)
+    : hal_(hal),
+      options_(options),
+      cache_(hal->device_config(), options.program_cache_capacity),
+      pool_(std::max(1, options.cpu_threads)) {
+  DOPPIO_CHECK(hal_ != nullptr);
+  DOPPIO_CHECK(options_.global_queue_limit >= 1);
+  DOPPIO_CHECK(options_.quantum_rows >= 1);
+  DOPPIO_CHECK(options_.max_batch_width >= 1);
+  if (options_.cost_routing) {
+    cost_model_ = std::make_unique<OperatorCostModel>(
+        hal_->device_config(), OperatorCostModel::Measure());
+  }
+}
+
+QueryScheduler::~QueryScheduler() { Shutdown(); }
+
+void QueryScheduler::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!shutting_down_) {
+      shutting_down_ = true;
+      // Fail everything still queued: nobody will dispatch it anymore.
+      for (auto& [session, queue] : queues_) {
+        for (auto& request : queue) {
+          request->done = true;
+          request->status =
+              Status::Unavailable("scheduler shut down with query queued");
+          request->session->completed_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+        session->queued_ = 0;
+        queue.clear();
+      }
+      global_queued_ = 0;
+      QueueDepthGauge().Set(0);
+    }
+    cv_.notify_all();
+    // An in-flight wave finishes normally; wait it out so the device and
+    // the pool see no new work after this point.
+    cv_.wait(lock, [this] { return !dispatch_active_; });
+  }
+  // Deterministic teardown: every CPU-routed slice already handed to the
+  // pool runs to completion before the workers join.
+  pool_.Shutdown();
+}
+
+Session* QueryScheduler::CreateSession(SessionOptions options) {
+  std::string metric_name =
+      "doppio.sched.tenant." + options.tenant + ".latency_seconds";
+  obs::Histogram* latency = obs::MetricsRegistry::Global().GetHistogram(
+      metric_name, obs::LatencySecondsBuckets(),
+      "admission-to-completion latency for this tenant's queries");
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.emplace_back(new Session(std::move(options), latency));
+  Session* session = sessions_.back().get();
+  queues_[session];  // materialize the queue slot
+  return session;
+}
+
+Result<QueryTicket> QueryScheduler::Submit(Session* session, const Bat& input,
+                                           std::string_view pattern,
+                                           const CompileOptions& options) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("null session");
+  }
+  if (input.type() != ValueType::kString) {
+    return Status::InvalidArgument("regex job input must be a string BAT");
+  }
+
+  auto request = std::make_shared<Request>();
+  request->session = session;
+  request->input = &input;
+  request->pattern = std::string(pattern);
+  request->options = options;
+  request->key = ProgramCache::MakeKey(pattern, options);
+  request->cost_rows = std::max<int64_t>(input.count(), 1);
+  request->timing_only = options_.timing_only;
+
+  // Route at admission: compile (or hit the cache), overflow to the CPU
+  // DFA when the pattern exceeds the geometry, and consult the cost model
+  // for inputs the host serves faster than a device round-trip.
+  auto compiled = cache_.GetOrCompile(pattern, options);
+  if (compiled.ok()) {
+    request->program = *compiled;
+    request->route = Route::kFpga;
+  } else if (compiled.status().IsCapacityExceeded()) {
+    request->route = Route::kCpuDfa;
+  } else {
+    return compiled.status();
+  }
+  if (request->route == Route::kFpga && options_.cost_routing &&
+      !options_.timing_only) {
+    if (input.count() <= options_.cpu_route_max_rows) {
+      request->route = Route::kCpuProgram;
+    } else if (cost_model_ != nullptr) {
+      TableStats stats;
+      stats.rows = input.count();
+      stats.heap_bytes = input.heap()->size_bytes();
+      auto fpga_seconds = cost_model_->PredictFpga(request->pattern, stats);
+      const double dfa_bps = cost_model_->calibration().dfa_bytes_per_sec;
+      if (fpga_seconds.ok() && dfa_bps > 0) {
+        // The CPU route runs one automaton pass on one pool worker.
+        const double cpu_seconds =
+            static_cast<double>(stats.heap_bytes) / dfa_bps;
+        if (cpu_seconds < *fpga_seconds) request->route = Route::kCpuProgram;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::Unavailable("scheduler is shut down");
+    }
+    if (global_queued_ >= options_.global_queue_limit) {
+      session->rejected_.fetch_add(1, std::memory_order_relaxed);
+      OverloadedCounter().Add();
+      return Status::Overloaded("scheduler global queue full (" +
+                                std::to_string(global_queued_) +
+                                " queries queued)");
+    }
+    if (session->queued_ >= session->options().max_queued) {
+      session->rejected_.fetch_add(1, std::memory_order_relaxed);
+      OverloadedCounter().Add();
+      return Status::Overloaded("session queue full for tenant '" +
+                                session->tenant() + "' (" +
+                                std::to_string(session->queued_) +
+                                " queries queued)");
+    }
+    queues_[session].push_back(request);
+    ++session->queued_;
+    ++global_queued_;
+    session->admitted_.fetch_add(1, std::memory_order_relaxed);
+    AdmittedCounter().Add();
+    QueueDepthGauge().Set(global_queued_);
+    QueueDepthHistogram().Observe(static_cast<double>(global_queued_));
+  }
+  cv_.notify_all();
+  return QueryTicket(std::move(request));
+}
+
+Result<ScheduledResult> QueryScheduler::Wait(const QueryTicket& ticket) {
+  if (!ticket.valid()) {
+    return Status::InvalidArgument("invalid (default) query ticket");
+  }
+  std::shared_ptr<Request> request = ticket.request_;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!request->done) {
+    if (!dispatch_active_ && !shutting_down_ && global_queued_ > 0) {
+      // This waiter becomes the dispatcher for one wave: assemble under
+      // the lock, execute outside it (the device serializes internally),
+      // finalize back under the lock. Other waiters sleep meanwhile.
+      dispatch_active_ = true;
+      Wave wave = PickWaveLocked();
+      lock.unlock();
+      ExecuteWave(&wave);
+      lock.lock();
+      dispatch_active_ = false;
+      FinalizeWaveLocked(&wave);
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  if (request->waited) {
+    return Status::InvalidArgument("query ticket already waited on");
+  }
+  request->waited = true;
+  if (!request->status.ok()) return request->status;
+
+  ScheduledResult out;
+  out.hudf = std::move(request->hudf);
+  out.route = request->route;
+  out.completion_seq = request->completion_seq;
+  out.batch_width = request->batch_width;
+  return out;
+}
+
+Result<ScheduledResult> QueryScheduler::Execute(Session* session,
+                                                const Bat& input,
+                                                std::string_view pattern,
+                                                const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(QueryTicket ticket,
+                          Submit(session, input, pattern, options));
+  return Wait(ticket);
+}
+
+Result<HudfResult> QueryScheduler::Gate::ExecuteRegex(
+    const Bat& input, std::string_view pattern,
+    const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(
+      ScheduledResult scheduled,
+      scheduler_->Execute(session_, input, pattern, options));
+  return std::move(scheduled.hudf);
+}
+
+int QueryScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return global_queued_;
+}
+
+QueryScheduler::Wave QueryScheduler::PickWaveLocked() {
+  Wave wave;
+  const int width = options_.max_batch_width;
+  const size_t n = sessions_.size();
+
+  // Deficit round-robin. The outer loop makes progress inevitable: every
+  // pass refills each non-empty session's deficit by quantum x weight, so
+  // any head-of-line request is eventually affordable no matter how large
+  // its row count is relative to the quantum.
+  while (wave.empty() && global_queued_ > 0) {
+    for (size_t step = 0; step < n; ++step) {
+      Session* session = sessions_[(rr_cursor_ + step) % n].get();
+      auto& queue = queues_[session];
+      if (queue.empty()) {
+        session->deficit_rows_ = 0;  // classic DRR: idle queues hold no credit
+        continue;
+      }
+      session->deficit_rows_ +=
+          options_.quantum_rows * session->options().weight;
+      while (!queue.empty() &&
+             static_cast<int>(wave.fpga.size()) < width &&
+             static_cast<int>(wave.cpu.size()) < width) {
+        std::shared_ptr<Request>& head = queue.front();
+        if (head->cost_rows > session->deficit_rows_) break;
+        session->deficit_rows_ -= head->cost_rows;
+        (head->route == Route::kFpga ? wave.fpga : wave.cpu)
+            .push_back(std::move(head));
+        queue.pop_front();
+        --session->queued_;
+        --global_queued_;
+      }
+      if (static_cast<int>(wave.fpga.size()) >= width &&
+          static_cast<int>(wave.cpu.size()) >= width) {
+        break;
+      }
+    }
+    rr_cursor_ = n == 0 ? 0 : (rr_cursor_ + 1) % n;
+  }
+
+  // Same-pattern coalescing: pull head-of-line queries that share a wave
+  // member's compiled program into this wave (across sessions), charging
+  // their sessions' deficits. Head-of-line only, so per-session FIFO
+  // order is preserved.
+  bool changed = true;
+  while (changed && static_cast<int>(wave.fpga.size()) < width) {
+    changed = false;
+    for (const auto& owned : sessions_) {
+      Session* session = owned.get();
+      auto& queue = queues_[session];
+      if (queue.empty()) continue;
+      std::shared_ptr<Request>& head = queue.front();
+      if (head->route != Route::kFpga) continue;
+      bool compatible = false;
+      for (const auto& member : wave.fpga) {
+        if (member->key == head->key) {
+          compatible = true;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      session->deficit_rows_ -= head->cost_rows;  // may go negative: a loan
+      wave.fpga.push_back(std::move(head));
+      queue.pop_front();
+      --session->queued_;
+      --global_queued_;
+      CoalescedCounter().Add();
+      changed = true;
+      if (static_cast<int>(wave.fpga.size()) >= width) break;
+    }
+  }
+
+  QueueDepthGauge().Set(global_queued_);
+  WavesCounter().Add();
+  return wave;
+}
+
+void QueryScheduler::ExecuteWave(Wave* wave) {
+  // CPU-routed queries overlap with the device wave on the pool.
+  std::vector<std::future<void>> futures;
+  futures.reserve(wave->cpu.size());
+  for (auto& request : wave->cpu) {
+    Request* raw = request.get();
+    futures.push_back(pool_.Submit([this, raw] { RunCpuRequest(raw); }));
+  }
+
+  if (!wave->fpga.empty()) {
+    const int batch_width = static_cast<int>(wave->fpga.size());
+    // Split the engines across the wave: a full-width wave gives each
+    // query one engine; a singleton keeps the paper's all-engines
+    // partitioning.
+    const int partitions = std::max(
+        1, hal_->device_config().num_engines / batch_width);
+    std::vector<FpgaBatchQuery> queries(wave->fpga.size());
+    std::vector<FpgaBatchQuery*> pointers;
+    pointers.reserve(queries.size());
+    for (size_t i = 0; i < wave->fpga.size(); ++i) {
+      Request& request = *wave->fpga[i];
+      queries[i].input = request.input;
+      queries[i].config = &request.program->config;
+      queries[i].partitions = partitions;
+      queries[i].span_name = "sched_fpga";
+      queries[i].timing_only = request.timing_only;
+      pointers.push_back(&queries[i]);
+    }
+    Status status = RegexpFpgaBatch(hal_, pointers);
+    for (size_t i = 0; i < wave->fpga.size(); ++i) {
+      Request& request = *wave->fpga[i];
+      if (status.ok()) {
+        request.hudf = std::move(queries[i].out);
+        request.batch_width = batch_width;
+      } else {
+        request.status = status;
+      }
+    }
+    RouteFpgaCounter().Add(batch_width);
+    BatchWidthHistogram().Observe(static_cast<double>(batch_width));
+  }
+
+  for (auto& future : futures) future.wait();
+  RouteCpuCounter().Add(static_cast<int64_t>(wave->cpu.size()));
+}
+
+void QueryScheduler::RunCpuRequest(Request* request) {
+  const Bat& input = *request->input;
+  HudfResult out;
+  out.stats.rows_scanned = input.count();
+  Stopwatch cpu_watch;
+  Status status;
+
+  if (request->route == Route::kCpuProgram) {
+    // Same compiled program the engines execute — results bit-identical
+    // to the hardware functional pass by construction.
+    out.stats.strategy = "sched_cpu";
+    auto result = Bat::New(ValueType::kInt16, input.count());
+    if (result.ok()) {
+      out.result = std::move(*result);
+      status = out.result->AppendZeros(input.count());
+      if (status.ok() && input.count() > 0) {
+        JobParams params;
+        params.offsets = input.tail_data();
+        params.heap = input.heap()->data();
+        params.result = out.result->mutable_tail_data();
+        params.count = input.count();
+        params.offset_width = static_cast<int32_t>(input.offset_width());
+        params.heap_bytes = input.heap()->size_bytes();
+        params.config = request->program->config.vector.bytes();
+        auto matches = RunRegexSliceInSoftware(hal_->device_config(), params,
+                                               request->program->program);
+        if (matches.ok()) {
+          out.stats.rows_matched = *matches;
+        } else {
+          status = matches.status();
+        }
+      }
+    } else {
+      status = result.status();
+    }
+  } else {
+    // The pattern exceeds the deployed geometry: full software scan on
+    // the lazy DFA (the planner's software strategy).
+    out.stats.strategy = "software";
+    auto matcher = DfaMatcher::Compile(request->pattern, request->options);
+    if (matcher.ok()) {
+      auto result = Bat::New(ValueType::kInt16, input.count());
+      if (result.ok()) {
+        out.result = std::move(*result);
+        int64_t matched = 0;
+        for (int64_t i = 0; i < input.count() && status.ok(); ++i) {
+          MatchResult m = (*matcher)->Find(input.GetString(i));
+          int16_t value =
+              m.matched ? static_cast<int16_t>(std::min<int32_t>(
+                              std::max<int32_t>(m.end, 1), 32767))
+                        : 0;
+          if (m.matched) ++matched;
+          status = out.result->AppendInt16(value);
+        }
+        out.stats.rows_matched = matched;
+      } else {
+        status = result.status();
+      }
+    } else {
+      status = matcher.status();
+    }
+  }
+
+  out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
+  if (status.ok()) {
+    request->hudf = std::move(out);
+  } else {
+    request->status = status;
+  }
+}
+
+void QueryScheduler::FinalizeWaveLocked(Wave* wave) {
+  auto finalize = [this](std::shared_ptr<Request>& request) {
+    request->done = true;
+    request->completion_seq = ++completion_counter_;
+    request->session->completed_.fetch_add(1, std::memory_order_relaxed);
+    request->session->latency_->Observe(
+        request->latency_watch.ElapsedSeconds());
+  };
+  for (auto& request : wave->fpga) finalize(request);
+  for (auto& request : wave->cpu) finalize(request);
+}
+
+}  // namespace sched
+}  // namespace doppio

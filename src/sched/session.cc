@@ -1,0 +1,17 @@
+#include "sched/session.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace doppio {
+namespace sched {
+
+Session::Session(SessionOptions options, obs::Histogram* latency)
+    : options_(std::move(options)), latency_(latency) {
+  DOPPIO_CHECK(latency_ != nullptr);
+  DOPPIO_CHECK(options_.weight >= 1);
+  DOPPIO_CHECK(options_.max_queued >= 1);
+}
+
+}  // namespace sched
+}  // namespace doppio

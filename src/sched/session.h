@@ -1,0 +1,77 @@
+// Multi-tenant sessions for the query scheduler (src/sched).
+//
+// A Session is one client's handle into the scheduler: it carries the
+// tenant identity, the fairness weight, and the per-tenant admission
+// bound. Sessions are created by (and owned by) a QueryScheduler; every
+// Submit names the session it runs under, and the scheduler's deficit
+// round-robin drains the sessions' queues proportionally to their
+// weights.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace doppio {
+namespace obs {
+class Histogram;
+}  // namespace obs
+namespace sched {
+
+class QueryScheduler;
+
+/// Per-session admission and fairness knobs.
+struct SessionOptions {
+  /// Tenant identity. Sessions with the same tenant share one latency
+  /// series (doppio.sched.tenant.<tenant>.latency_seconds).
+  std::string tenant = "default";
+  /// Weighted-fair share: under contention a weight-2 session drains rows
+  /// twice as fast as a weight-1 session (deficit round-robin refills the
+  /// session's deficit with quantum x weight each round).
+  int weight = 1;
+  /// Per-session admission bound: Submit rejects with Overloaded once this
+  /// many queries are queued and not yet dispatched.
+  int max_queued = 16;
+};
+
+/// One client's scheduling context. Thread-compatible: a session may be
+/// used from any thread, but the scheduler serializes all mutation of its
+/// queue state under the scheduler mutex. The lifetime counters are
+/// atomics and readable from anywhere.
+class Session {
+ public:
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(Session);
+
+  const SessionOptions& options() const { return options_; }
+  const std::string& tenant() const { return options_.tenant; }
+
+  /// Queries accepted by Submit over the session's lifetime.
+  int64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  /// Queries rejected with Overloaded (session or global bound).
+  int64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  /// Queries whose Wait completed (successfully or not).
+  int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class QueryScheduler;
+
+  Session(SessionOptions options, obs::Histogram* latency);
+
+  const SessionOptions options_;
+  obs::Histogram* const latency_;  // per-tenant latency series (never null)
+
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+
+  // --- Guarded by the owning scheduler's mutex ---------------------------
+  int queued_ = 0;           // requests admitted but not yet dispatched
+  int64_t deficit_rows_ = 0; // DRR deficit (rows this session may drain)
+};
+
+}  // namespace sched
+}  // namespace doppio

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <vector>
 
@@ -134,6 +135,30 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
 TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [&](int) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  // Teardown under load: every task queued before Shutdown() must run —
+  // the scheduler routes CPU slices here and a lost completion would hang
+  // a query. Two workers against 256 tasks guarantees a deep backlog.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 256; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 256);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  // Idempotent, and late submissions still complete (inline).
+  pool.Shutdown();
+  std::future<void> late = pool.Submit([&] { counter.fetch_add(1); });
+  EXPECT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(counter.load(), 257);
 }
 
 // --- SimScheduler ------------------------------------------------------------

@@ -154,8 +154,11 @@ TEST(HalTest2, QueueBackpressureSurfacesAsError) {
       break;
     }
   }
-  EXPECT_EQ(accepted, 64);  // ring capacity
-  EXPECT_EQ(last.code(), StatusCode::kIOError);
+  EXPECT_EQ(accepted, 64);  // ring capacity: submissions never queue
+                            // beyond it, they are refused with a typed
+                            // status instead
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsFallbackEligible(last));
 
   // Draining the device frees the ring again.
   device.RunToIdle();
@@ -343,12 +346,27 @@ TEST(StatusClassificationTest, FallbackEligibleVsFatal) {
   EXPECT_TRUE(IsFallbackEligible(Status::Unavailable("x")));
   EXPECT_TRUE(IsFallbackEligible(Status::DeadlineExceeded("x")));
   EXPECT_TRUE(IsFallbackEligible(Status::IOError("x")));
+  EXPECT_TRUE(IsFallbackEligible(Status::ResourceExhausted("x")));
   EXPECT_TRUE(IsFallbackEligible(Status::NotImplemented("x")));
   EXPECT_TRUE(IsFallbackEligible(Status::CapacityExceeded("x")));
   EXPECT_FALSE(IsFallbackEligible(Status::OK()));
   EXPECT_FALSE(IsFallbackEligible(Status::InvalidArgument("x")));
   EXPECT_FALSE(IsFallbackEligible(Status::Internal("x")));
   EXPECT_FALSE(IsFallbackEligible(Status::OutOfMemory("x")));
+  // An admission reject is a scheduling verdict, not a device fault: the
+  // client backs off instead of degrading to software.
+  EXPECT_FALSE(IsFallbackEligible(Status::Overloaded("x")));
+}
+
+TEST(StatusClassificationTest, NewCodesRoundTrip) {
+  Status re = Status::ResourceExhausted("ring full");
+  EXPECT_TRUE(re.IsResourceExhausted());
+  EXPECT_EQ(re.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(re.ToString(), "ResourceExhausted: ring full");
+  Status ov = Status::Overloaded("tenant queue full");
+  EXPECT_TRUE(ov.IsOverloaded());
+  EXPECT_EQ(ov.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(ov.ToString(), "Overloaded: tenant queue full");
 }
 
 }  // namespace
