@@ -7,7 +7,9 @@
 #include "db/hybrid_executor.h"
 #include "hw/config_compiler.h"
 #include "hw/perf_model.h"
+#include "hw/pu_kernel.h"
 #include "regex/backtrack_matcher.h"
+#include "regex/bitparallel.h"
 #include "regex/dfa_matcher.h"
 #include "regex/like_translator.h"
 #include "regex/pattern_parser.h"
@@ -44,6 +46,27 @@ OperatorCostModel::Calibration OperatorCostModel::Measure(int cpu_cores) {
     size_t sink = 0;
     for (const auto& s : corpus) sink += (*dfa)->Matches(s);
     cal.dfa_bytes_per_sec =
+        static_cast<double>(bytes) / std::max(1e-9, watch.ElapsedSeconds());
+    (void)sink;
+  }
+  {
+    // Bit-parallel SIMD backend over a word-sized automaton stage
+    // ("s[0-9]e"-shaped: rare anchor byte + mask verification).
+    TokenNfa nfa;
+    HwToken token;
+    token.chain.push_back(CharSpec{false, {{'s', 's'}}});
+    token.chain.push_back(CharSpec{false, {{'0', '9'}}});
+    token.chain.push_back(CharSpec{false, {{'e', 'e'}}});
+    nfa.tokens.push_back(std::move(token));
+    HwState state;
+    state.trigger_tokens = {0};
+    state.accept = true;
+    nfa.states.push_back(std::move(state));
+    std::optional<BitParallelProgram> bp = BitParallelProgram::Compile(nfa);
+    Stopwatch watch;
+    size_t sink = 0;
+    for (const auto& s : corpus) sink += bp->Find(s) != 0;
+    cal.simd_bytes_per_sec =
         static_cast<double>(bytes) / std::max(1e-9, watch.ElapsedSeconds());
     (void)sink;
   }
@@ -107,6 +130,32 @@ Result<double> OperatorCostModel::PredictHybrid(
       (calibration_.dfa_bytes_per_sec *
        static_cast<double>(calibration_.cpu_cores));
   return est.seconds + postprocess;
+}
+
+Result<OperatorCostModel::HostPrediction> OperatorCostModel::PredictHostProgram(
+    const std::string& pattern, const TableStats& stats) const {
+  DOPPIO_ASSIGN_OR_RETURN(RegexConfig config,
+                          CompileRegexConfig(pattern, device_));
+  DOPPIO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledPuProgram> program,
+      CompiledPuProgram::Compile(config.vector, device_));
+
+  HostPrediction out;
+  out.backend = BackendRegistry::Global().ChooseHost(*program).id();
+  double bytes_per_sec = calibration_.dfa_bytes_per_sec;
+  if (out.backend == BackendId::kCpuSimd &&
+      calibration_.simd_bytes_per_sec > 0) {
+    bytes_per_sec = calibration_.simd_bytes_per_sec;
+  } else if (program->kernel() == PuKernelKind::kLiteral &&
+             calibration_.like_bytes_per_sec > 0) {
+    bytes_per_sec = calibration_.like_bytes_per_sec;
+  }
+  if (bytes_per_sec <= 0) {
+    return Status::Internal("cost model is not calibrated");
+  }
+  // One pool worker runs the slice: no core scaling here.
+  out.seconds = static_cast<double>(stats.heap_bytes) / bytes_per_sec;
+  return out;
 }
 
 namespace {

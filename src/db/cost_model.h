@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "db/column_store.h"
 #include "hw/device_config.h"
+#include "hw/kernel_backend.h"
 
 namespace doppio {
 
@@ -37,6 +38,7 @@ class OperatorCostModel {
   struct Calibration {
     double like_bytes_per_sec = 0;   // substring fast-path scan (one core)
     double dfa_bytes_per_sec = 0;    // automaton scan (one core)
+    double simd_bytes_per_sec = 0;   // bit-parallel SIMD backend (one core)
     double regexp_tuple_seconds = 0; // scalar regex invocation per tuple
     int cpu_cores = 10;              // the machine model (paper: 10)
   };
@@ -57,6 +59,19 @@ class OperatorCostModel {
   Result<double> PredictHybrid(const std::string& pattern,
                                const TableStats& stats,
                                double prefix_selectivity = 0.2) const;
+
+  struct HostPrediction {
+    double seconds = 0;
+    /// Which host backend the registry would run (drives the throughput
+    /// the prediction used).
+    BackendId backend = BackendId::kCpuScalar;
+  };
+  /// Predicted one-core host execution of the compiled PU program
+  /// through the kernel-backend registry (the scheduler's kCpuProgram
+  /// route). Fails with CapacityExceeded when the pattern cannot be
+  /// mapped onto the deployed geometry.
+  Result<HostPrediction> PredictHostProgram(const std::string& pattern,
+                                            const TableStats& stats) const;
 
   struct Choice {
     StringFilterSpec::Op op = StringFilterSpec::Op::kRegexpLike;

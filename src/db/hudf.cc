@@ -6,11 +6,10 @@
 #include <vector>
 
 #include "common/stopwatch.h"
-#include "hw/output_collector.h"
-#include "hw/processing_unit.h"
-#include "hw/string_reader.h"
+#include "hw/config_compiler.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "regex/dfa_matcher.h"
 
 namespace doppio {
 
@@ -63,25 +62,75 @@ struct QueryRun {
 
 }  // namespace
 
-Result<int64_t> RunRegexSliceInSoftware(
-    const DeviceConfig& device, const JobParams& params,
-    std::shared_ptr<const CompiledPuProgram> program) {
-  if (program == nullptr) {
-    DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
-                            ConfigVector::FromBytes(params.config));
-    DOPPIO_ASSIGN_OR_RETURN(program, CompiledPuProgram::Compile(cv, device));
+Result<HudfResult> RunDfaScanInSoftware(const Bat& input,
+                                        std::string_view pattern,
+                                        const CompileOptions& options) {
+  HudfResult out;
+  Stopwatch cpu_watch;
+  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
+                          DfaMatcher::Compile(pattern, options));
+  DOPPIO_ASSIGN_OR_RETURN(out.result,
+                          Bat::New(ValueType::kInt16, input.count()));
+  int64_t matched = 0;
+  for (int64_t i = 0; i < input.count(); ++i) {
+    MatchResult m = matcher->Find(input.GetString(i));
+    int16_t value =
+        m.matched ? static_cast<int16_t>(std::min<int32_t>(
+                        std::max<int32_t>(m.end, 1), 32767))
+                  : 0;
+    if (m.matched) ++matched;
+    DOPPIO_RETURN_NOT_OK(out.result->AppendInt16(value));
   }
-  ProcessingUnit pu(device);
-  pu.Configure(std::move(program));
-  StringReader reader(params);
-  OutputCollector collector(params);
-  while (reader.HasMore()) {
-    DOPPIO_ASSIGN_OR_RETURN(StringReader::Block block, reader.ReadBlock());
-    for (std::string_view s : block.strings) {
-      DOPPIO_RETURN_NOT_OK(collector.Append(pu.ProcessString(s)));
-    }
+  out.stats.strategy = "software";
+  out.stats.rows_scanned = input.count();
+  out.stats.rows_matched = matched;
+  out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
+  return out;
+}
+
+Result<HudfResult> RegexpHost(const DeviceConfig& device, const Bat& input,
+                              std::string_view pattern,
+                              const CompileOptions& options) {
+  if (input.type() != ValueType::kString) {
+    return Status::InvalidArgument("regex job input must be a string BAT");
   }
-  return collector.matches();
+  Stopwatch udf_watch;
+  HudfResult out;
+  out.stats.rows_scanned = input.count();
+
+  DOPPIO_ASSIGN_OR_RETURN(RegexConfig config,
+                          CompileRegexConfig(pattern, device, options));
+  out.stats.config_gen_seconds = config.compile_seconds;
+  DOPPIO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledPuProgram> program,
+      CompiledPuProgram::Compile(config.vector, device));
+
+  DOPPIO_ASSIGN_OR_RETURN(out.result,
+                          Bat::New(ValueType::kInt16, input.count()));
+  DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(input.count()));
+
+  HostSliceInfo info;
+  if (input.count() > 0) {
+    JobParams params;
+    params.offsets = input.tail_data();
+    params.heap = input.heap()->data();
+    params.result = out.result->mutable_tail_data();
+    params.count = input.count();
+    params.offset_width = static_cast<int32_t>(input.offset_width());
+    params.heap_bytes = input.heap()->size_bytes();
+    params.config = config.vector.bytes();
+    DOPPIO_ASSIGN_OR_RETURN(
+        int64_t matches,
+        RunHostSlice(device, params, std::move(program), &info));
+    out.stats.rows_matched = matches;
+  } else {
+    info.backend = BackendRegistry::Global().ChooseHost(*program).id();
+  }
+  out.stats.strategy = std::string("host-") + BackendName(info.backend);
+  out.stats.pu_kernel = info.kernel;
+  out.stats.udf_software_seconds =
+      std::max(0.0, udf_watch.ElapsedSeconds() - config.compile_seconds);
+  return out;
 }
 
 Status RegexpFpgaBatch(Hal* hal,
@@ -231,8 +280,7 @@ Status RegexpFpgaBatch(Hal* hal,
         tracer.RecordInstant(run.trace, "sw_fallback",
                              hal->device()->now());
       }
-      auto matches =
-          RunRegexSliceInSoftware(hal->device_config(), slice.params);
+      auto matches = RunHostSlice(hal->device_config(), slice.params);
       if (!matches.ok()) return fail(matches.status());
       out.stats.rows_matched += *matches;
       out.stats.fallback_rows += slice.params.count;
@@ -362,9 +410,8 @@ Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
     if (trace != obs::kInvalidTraceId) {
       tracer.RecordInstant(trace, "sw_fallback", hal->device()->now());
     }
-    DOPPIO_ASSIGN_OR_RETURN(
-        int64_t matches,
-        RunRegexSliceInSoftware(hal->device_config(), params));
+    DOPPIO_ASSIGN_OR_RETURN(int64_t matches,
+                            RunHostSlice(hal->device_config(), params));
     out.stats.rows_matched = matches;
     out.stats.fallback_rows = params.count;
     out.stats.strategy = "fpga+sw_fallback";

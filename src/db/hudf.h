@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "db/engine_stats.h"
 #include "hal/hal.h"
+#include "hw/kernel_backend.h"
 #include "hw/pu_kernel.h"
 #include "regex/matcher.h"
 
@@ -80,16 +81,24 @@ struct FpgaBatchQuery {
 /// to RegexpFpgaPartitioned.
 Status RegexpFpgaBatch(Hal* hal, const std::vector<FpgaBatchQuery*>& queries);
 
-/// Software degradation/routing path: executes one job slice on the host
-/// through the same compiled PU program the engines run, writing raw
-/// 16-bit match indexes into the slice's result range — bit-identical to
-/// the hardware functional pass by construction. `program` reuses an
-/// already-compiled program (the scheduler's LRU cache); when null the
-/// slice's config bytes are compiled on the spot. Returns the slice's
-/// match count.
-Result<int64_t> RunRegexSliceInSoftware(
-    const DeviceConfig& device, const JobParams& params,
-    std::shared_ptr<const CompiledPuProgram> program = nullptr);
+/// Full-pattern software scan over a string BAT on the lazy-DFA matcher:
+/// the hybrid planner's software strategy and the scheduler's CPU route
+/// for patterns that exceed the deployed geometry. Fills result (int16,
+/// values capped at 32767), strategy ("software"), row counts and the
+/// software phase time.
+Result<HudfResult> RunDfaScanInSoftware(const Bat& input,
+                                        std::string_view pattern,
+                                        const CompileOptions& options = {});
+
+/// Runs a geometry-eligible pattern entirely on the host through the
+/// kernel-backend registry (hw/kernel_backend.h) — the execution path of
+/// DOPPIO_FORCE_BACKEND=scalar|simd, and a device-free way to run the
+/// compiled-program matchers. Results are bit-identical to the hardware
+/// functional pass; stats.strategy records "host-<backend>" and
+/// stats.pu_kernel the kernel that executed.
+Result<HudfResult> RegexpHost(const DeviceConfig& device, const Bat& input,
+                              std::string_view pattern,
+                              const CompileOptions& options = {});
 
 /// Admission gate the multi-tenant scheduler (src/sched) implements. When
 /// one is supplied to a db-layer executor, regex offload goes through the

@@ -47,30 +47,16 @@ AstNodePtr ConcatPrefix(const AstNode& concat, size_t end) {
 
 // Full-pattern scan on the software matchers (the planner's software
 // strategy, and the degradation target when the hardware path fails with
-// a fallback-eligible error).
+// a fallback-eligible error). Shares the implementation with the
+// scheduler's over-capacity CPU route (db/hudf.h).
 Result<HybridResult> RunSoftwareScan(const Bat& input,
                                      std::string_view pattern,
                                      const CompileOptions& options) {
+  DOPPIO_ASSIGN_OR_RETURN(HudfResult scan,
+                          RunDfaScanInSoftware(input, pattern, options));
   HybridResult out;
-  Stopwatch cpu_watch;
-  DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
-                          DfaMatcher::Compile(pattern, options));
-  DOPPIO_ASSIGN_OR_RETURN(out.result,
-                          Bat::New(ValueType::kInt16, input.count()));
-  int64_t matched = 0;
-  for (int64_t i = 0; i < input.count(); ++i) {
-    MatchResult m = matcher->Find(input.GetString(i));
-    int16_t value =
-        m.matched ? static_cast<int16_t>(std::min<int32_t>(
-                        std::max<int32_t>(m.end, 1), 32767))
-                  : 0;
-    if (m.matched) ++matched;
-    DOPPIO_RETURN_NOT_OK(out.result->AppendInt16(value));
-  }
-  out.stats.strategy = "software";
-  out.stats.rows_scanned = input.count();
-  out.stats.rows_matched = matched;
-  out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
+  out.result = std::move(scan.result);
+  out.stats = std::move(scan.stats);
   return out;
 }
 
@@ -142,6 +128,18 @@ Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
   };
 
   if (plan.strategy == HybridStrategy::kFpgaOnly) {
+    // A pinned host backend (DOPPIO_FORCE_BACKEND=scalar|simd) runs the
+    // compiled program through the kernel-backend registry instead of
+    // offloading — same program, bit-identical results.
+    const std::optional<BackendId> forced = ForcedBackend();
+    if (forced == BackendId::kCpuScalar || forced == BackendId::kCpuSimd) {
+      DOPPIO_ASSIGN_OR_RETURN(
+          HudfResult host,
+          RegexpHost(hal->device_config(), input, pattern, options));
+      out.result = std::move(host.result);
+      out.stats = std::move(host.stats);
+      return out;
+    }
     Result<HudfResult> hw = offload(pattern);
     if (!hw.ok()) {
       // The HUDF degrades per-slice internally; an error surfacing here

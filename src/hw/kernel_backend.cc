@@ -1,0 +1,227 @@
+#include "hw/kernel_backend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/output_collector.h"
+#include "hw/processing_unit.h"
+#include "hw/string_reader.h"
+#include "regex/bitparallel.h"
+#include "regex/simd_scan.h"
+
+namespace doppio {
+
+const char* BackendName(BackendId id) {
+  switch (id) {
+    case BackendId::kCpuScalar:
+      return "cpu-scalar";
+    case BackendId::kCpuSimd:
+      return "cpu-simd";
+    case BackendId::kFpgaSim:
+      return "fpga-sim";
+  }
+  return "?";
+}
+
+std::optional<BackendId> ForcedBackend() {
+  const char* env = std::getenv("DOPPIO_FORCE_BACKEND");
+  if (env == nullptr || env[0] == '\0') return std::nullopt;
+  if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "cpu-scalar") == 0) {
+    return BackendId::kCpuScalar;
+  }
+  if (std::strcmp(env, "simd") == 0 || std::strcmp(env, "cpu-simd") == 0) {
+    return BackendId::kCpuSimd;
+  }
+  if (std::strcmp(env, "fpga") == 0 || std::strcmp(env, "fpga-sim") == 0) {
+    return BackendId::kFpgaSim;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// ProcessingUnit's compiled kernels (literal / lazy-dfa / nfa-loop) —
+/// the reference host execution every other backend is compared against.
+class ScalarExecution : public HostExecution {
+ public:
+  explicit ScalarExecution(std::shared_ptr<const CompiledPuProgram> program)
+      : pu_(DeviceConfig{}) {
+    pu_.Configure(std::move(program));
+  }
+
+  uint16_t Match(std::string_view input) override {
+    return pu_.ProcessString(input);
+  }
+
+  const char* kernel_name() const override {
+    return PuKernelName(pu_.kernel());
+  }
+
+ private:
+  ProcessingUnit pu_;
+};
+
+/// The SIMD backend's execution: bit-parallel Shift-And for chain-shaped
+/// programs, start-byte-prefiltered lazy DFA when the escape-byte set is
+/// small, scalar otherwise (forcing this backend never fails).
+class SimdExecution : public HostExecution {
+ public:
+  explicit SimdExecution(std::shared_ptr<const CompiledPuProgram> program)
+      : program_(std::move(program)), level_(simd::ActiveSimdLevel()) {
+    prefilter_.level = level_;
+    if (program_->kernel() != PuKernelKind::kNfaLoop) {
+      bitparallel_ = BitParallelProgram::Compile(program_->nfa());
+    }
+    if (!bitparallel_.has_value()) {
+      const std::vector<uint8_t>& sb = program_->start_bytes();
+      if (program_->kernel() == PuKernelKind::kLazyDfa && !sb.empty() &&
+          static_cast<int>(sb.size()) <= simd::kMaxScanBytes) {
+        for (size_t i = 0; i < sb.size(); ++i) {
+          prefilter_.bytes[i] = sb[i];
+        }
+        prefilter_.count = static_cast<int>(sb.size());
+        dfa_ = std::make_unique<LazyDfaCache>(program_.get());
+      }
+    }
+    if (!bitparallel_.has_value()) {
+      // Overflow fallback for the prefiltered DFA, or the whole
+      // execution when the program has no SIMD-accelerable shape.
+      scalar_ = std::make_unique<ScalarExecution>(program_);
+    }
+  }
+
+  uint16_t Match(std::string_view input) override {
+    if (bitparallel_.has_value()) return bitparallel_->Find(input, level_);
+    if (dfa_ != nullptr) {
+      uint16_t index = 0;
+      if (dfa_->Run(input, &index, &prefilter_)) return index;
+      // Bounded cache overflowed mid-string: identical semantics through
+      // the scalar kernels.
+    }
+    return scalar_->Match(input);
+  }
+
+  const char* kernel_name() const override {
+    if (bitparallel_.has_value()) return "bit-parallel";
+    if (dfa_ != nullptr) return "dfa+prefilter";
+    return scalar_->kernel_name();
+  }
+
+ private:
+  std::shared_ptr<const CompiledPuProgram> program_;
+  /// Resolved once: DOPPIO_SIMD_LEVEL capping is per-execution, and the
+  /// env lookup is far too slow for the per-string Match loop.
+  simd::SimdLevel level_;
+  std::optional<BitParallelProgram> bitparallel_;
+  StartBytePrefilter prefilter_;
+  std::unique_ptr<LazyDfaCache> dfa_;
+  std::unique_ptr<ScalarExecution> scalar_;
+};
+
+class CpuScalarBackend : public KernelBackend {
+ public:
+  BackendId id() const override { return BackendId::kCpuScalar; }
+  bool CanExecuteOnHost() const override { return true; }
+  bool Supports(const CompiledPuProgram&) const override { return true; }
+  std::unique_ptr<HostExecution> NewExecution(
+      std::shared_ptr<const CompiledPuProgram> program) const override {
+    return std::make_unique<ScalarExecution>(std::move(program));
+  }
+};
+
+class CpuSimdBackend : public KernelBackend {
+ public:
+  BackendId id() const override { return BackendId::kCpuSimd; }
+  bool CanExecuteOnHost() const override { return true; }
+  bool Supports(const CompiledPuProgram& program) const override {
+    if (program.kernel() == PuKernelKind::kNfaLoop) {
+      return false;  // forced interpreter: honor it
+    }
+    // Chain-shaped programs compile to the bit-parallel engine (stage
+    // chains are <= 64 matchers by TokenNfa::Validate, so they always
+    // fit one word).
+    if (!program.chain_state_order().empty()) return true;
+    // Otherwise the lazy DFA accelerates via the start-byte prefilter
+    // when the escape-byte set is small enough for the SIMD scan.
+    const size_t sb = program.start_bytes().size();
+    return program.kernel() == PuKernelKind::kLazyDfa && sb >= 1 &&
+           sb <= static_cast<size_t>(simd::kMaxScanBytes);
+  }
+  std::unique_ptr<HostExecution> NewExecution(
+      std::shared_ptr<const CompiledPuProgram> program) const override {
+    return std::make_unique<SimdExecution>(std::move(program));
+  }
+};
+
+class FpgaSimBackend : public KernelBackend {
+ public:
+  BackendId id() const override { return BackendId::kFpgaSim; }
+  bool CanExecuteOnHost() const override { return false; }
+  bool Supports(const CompiledPuProgram&) const override { return true; }
+  std::unique_ptr<HostExecution> NewExecution(
+      std::shared_ptr<const CompiledPuProgram>) const override {
+    return nullptr;  // executes through the device, not host slices
+  }
+};
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  owned_.push_back(std::make_unique<CpuScalarBackend>());
+  owned_.push_back(std::make_unique<CpuSimdBackend>());
+  owned_.push_back(std::make_unique<FpgaSimBackend>());
+  for (const auto& backend : owned_) list_.push_back(backend.get());
+}
+
+const BackendRegistry& BackendRegistry::Global() {
+  static const BackendRegistry* registry = new BackendRegistry();
+  return *registry;
+}
+
+const KernelBackend& BackendRegistry::Get(BackendId id) const {
+  for (const KernelBackend* backend : list_) {
+    if (backend->id() == id) return *backend;
+  }
+  return *list_.front();  // unreachable: every id is registered
+}
+
+const KernelBackend& BackendRegistry::ChooseHost(
+    const CompiledPuProgram& program) const {
+  const std::optional<BackendId> forced = ForcedBackend();
+  if (forced.has_value() && Get(*forced).CanExecuteOnHost()) {
+    return Get(*forced);
+  }
+  // Forced fpga constrains routing (sched/db layers), not the degrade
+  // path: a host slice still needs a host backend.
+  const KernelBackend& simd = Get(BackendId::kCpuSimd);
+  return simd.Supports(program) ? simd : Get(BackendId::kCpuScalar);
+}
+
+Result<int64_t> RunHostSlice(const DeviceConfig& device,
+                             const JobParams& params,
+                             std::shared_ptr<const CompiledPuProgram> program,
+                             HostSliceInfo* info) {
+  if (program == nullptr) {
+    DOPPIO_ASSIGN_OR_RETURN(ConfigVector cv,
+                            ConfigVector::FromBytes(params.config));
+    DOPPIO_ASSIGN_OR_RETURN(program, CompiledPuProgram::Compile(cv, device));
+  }
+  const KernelBackend& backend =
+      BackendRegistry::Global().ChooseHost(*program);
+  std::unique_ptr<HostExecution> exec = backend.NewExecution(program);
+  if (info != nullptr) {
+    info->backend = backend.id();
+    info->kernel = exec->kernel_name();
+  }
+  StringReader reader(params);
+  OutputCollector collector(params);
+  while (reader.HasMore()) {
+    DOPPIO_ASSIGN_OR_RETURN(StringReader::Block block, reader.ReadBlock());
+    for (std::string_view s : block.strings) {
+      DOPPIO_RETURN_NOT_OK(collector.Append(exec->Match(s)));
+    }
+  }
+  return collector.matches();
+}
+
+}  // namespace doppio

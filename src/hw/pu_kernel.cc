@@ -21,60 +21,19 @@ const char* PuKernelName(PuKernelKind kind) {
 
 namespace {
 
-// Recognizes the substring-search shape: a single chain of states
-// s_0 -> s_1 -> ... -> s_{k-1} where s_0 is start-gated, every non-final
-// state latches (the '.*' glue) and only the final state accepts, each
-// state has exactly one trigger token, and every token chain reduces to a
-// plain needle. Such a program is exactly LIKE '%n_0%n_1%...%': ordered,
-// non-overlapping occurrences, and greedy earliest matching yields the
-// same first-accept position as the NFA semantics.
+// The substring-search shape: a chain-shaped state graph (shared analysis
+// in regex/token_nfa.h AnalyzeChainShape) whose every token chain further
+// reduces to a plain needle. Such a program is exactly
+// LIKE '%n_0%n_1%...%': ordered, non-overlapping occurrences, and greedy
+// earliest matching yields the same first-accept position as the NFA
+// semantics.
 bool AnalyzeLiteralStages(const TokenNfa& nfa,
+                          const std::vector<int>& chain_order,
                           std::vector<CompiledPuProgram::LiteralStage>* out) {
-  const int n = nfa.NumStates();
-  int start = -1;
-  for (int s = 0; s < n; ++s) {
-    if (nfa.states[static_cast<size_t>(s)].pred_states.empty()) {
-      if (start != -1) return false;  // two chain heads
-      start = s;
-    }
-  }
-  if (start < 0) return false;
-
-  // Walk the chain; reject any fan-out, fan-in, or self-loop.
-  std::vector<int> order = {start};
-  std::vector<char> visited(static_cast<size_t>(n), 0);
-  visited[static_cast<size_t>(start)] = 1;
-  int current = start;
-  while (static_cast<int>(order.size()) < n) {
-    int next = -1;
-    for (int s = 0; s < n; ++s) {
-      if (visited[static_cast<size_t>(s)] != 0) continue;
-      const auto& preds = nfa.states[static_cast<size_t>(s)].pred_states;
-      if (preds.size() == 1 && preds[0] == current) {
-        if (next != -1) return false;  // fan-out from `current`
-        next = s;
-      } else {
-        for (int p : preds) {
-          if (p == current) return false;  // `current` feeds a join state
-        }
-      }
-    }
-    if (next == -1) return false;  // chain broken before covering all states
-    visited[static_cast<size_t>(next)] = 1;
-    order.push_back(next);
-    current = next;
-  }
-
+  if (chain_order.empty()) return false;
   std::vector<CompiledPuProgram::LiteralStage> stages;
-  for (size_t i = 0; i < order.size(); ++i) {
-    const HwState& state = nfa.states[static_cast<size_t>(order[i])];
-    const bool last = i + 1 == order.size();
-    if (state.trigger_tokens.size() != 1) return false;
-    if (last ? !state.accept : (!state.latch || state.accept)) return false;
-    if (i > 0 && (state.pred_states.size() != 1 ||
-                  state.pred_states[0] != order[i - 1])) {
-      return false;
-    }
+  for (int state_index : chain_order) {
+    const HwState& state = nfa.states[static_cast<size_t>(state_index)];
     std::optional<TokenLiteral> literal = TokenToLiteral(
         nfa.tokens[static_cast<size_t>(state.trigger_tokens[0])]);
     if (!literal.has_value()) return false;
@@ -153,6 +112,31 @@ Result<std::shared_ptr<const CompiledPuProgram>> CompiledPuProgram::Compile(
 
   program->max_dfa_states_ = std::max(1, options.max_dfa_states);
 
+  program->chain_states_ =
+      AnalyzeChainShape(prog_nfa).value_or(std::vector<int>{});
+
+  // Escape-byte set of the reset state: with no state active, only a
+  // start-gated edge whose first chain position matches the byte can set
+  // any register bit (`regs' = gate & mask_bit0`). The reset state never
+  // accepts (Validate guarantees a non-empty chain before any accept), so
+  // host backends may skip bytes outside this set while reset.
+  {
+    std::array<char, 256> escapes{};
+    for (const Edge& edge : program->edges_) {
+      if (!edge.start_gated) continue;
+      for (int b = 0; b < 256; ++b) {
+        if ((edge.byte_mask[static_cast<size_t>(b)] & 1) != 0) {
+          escapes[static_cast<size_t>(b)] = 1;
+        }
+      }
+    }
+    for (int b = 0; b < 256; ++b) {
+      if (escapes[static_cast<size_t>(b)] != 0) {
+        program->start_bytes_.push_back(static_cast<uint8_t>(b));
+      }
+    }
+  }
+
   switch (options.force) {
     case PuKernelOptions::Force::kNfaLoop:
       program->kernel_ = PuKernelKind::kNfaLoop;
@@ -161,10 +145,10 @@ Result<std::shared_ptr<const CompiledPuProgram>> CompiledPuProgram::Compile(
       program->kernel_ = PuKernelKind::kLazyDfa;
       break;
     case PuKernelOptions::Force::kAuto:
-      program->kernel_ =
-          AnalyzeLiteralStages(prog_nfa, &program->literal_stages_)
-              ? PuKernelKind::kLiteral
-              : PuKernelKind::kLazyDfa;
+      program->kernel_ = AnalyzeLiteralStages(prog_nfa, program->chain_states_,
+                                              &program->literal_stages_)
+                             ? PuKernelKind::kLiteral
+                             : PuKernelKind::kLazyDfa;
       break;
   }
   return std::shared_ptr<const CompiledPuProgram>(std::move(program));
@@ -211,13 +195,22 @@ int32_t LazyDfaCache::Step(int32_t from, int byte_class) {
   return Intern(std::move(regs));
 }
 
-bool LazyDfaCache::Run(std::string_view input, uint16_t* match_index) {
+bool LazyDfaCache::Run(std::string_view input, uint16_t* match_index,
+                       const StartBytePrefilter* prefilter) {
   const uint16_t* classes = program_->byte_classes().data();
   const int32_t* trans = trans_.data();
   const uint8_t* accept = accept_.data();
   const int32_t num_classes = program_->num_byte_classes();
   int32_t sid = 0;
   for (size_t i = 0; i < input.size(); ++i) {
+    if (sid == 0 && prefilter != nullptr) {
+      // Reset state: SIMD-skip to the next byte that can activate any
+      // edge. Skipped bytes provably self-loop on state 0, which never
+      // accepts, so the result is identical to stepping them.
+      i = simd::FindByteSetAtLevel(input, i, prefilter->bytes.data(),
+                                   prefilter->count, prefilter->level);
+      if (i == std::string_view::npos) break;
+    }
     const int32_t cls = classes[static_cast<uint8_t>(input[i])];
     int32_t next = trans[sid * num_classes + cls];
     if (next < 0) {

@@ -36,6 +36,7 @@
 #include "common/status.h"
 #include "hw/config_vector.h"
 #include "hw/device_config.h"
+#include "regex/simd_scan.h"
 #include "regex/substring_search.h"
 #include "regex/token_nfa.h"
 
@@ -112,6 +113,17 @@ class CompiledPuProgram {
 
   int max_dfa_states() const { return max_dfa_states_; }
 
+  /// State indices in chain order when the graph is chain-shaped
+  /// (regex/token_nfa.h AnalyzeChainShape); empty otherwise. The literal
+  /// kernel and the bit-parallel host backend both key off this.
+  const std::vector<int>& chain_state_order() const { return chain_states_; }
+
+  /// Bytes that can move the machine out of the empty (reset) state: the
+  /// first-position bytes of every start-gated edge. While no state is
+  /// active, any byte outside this set provably leaves the machine in the
+  /// reset state, so host backends may skip-scan to the next occurrence.
+  const std::vector<uint8_t>& start_bytes() const { return start_bytes_; }
+
  private:
   CompiledPuProgram() = default;
 
@@ -125,6 +137,22 @@ class CompiledPuProgram {
   int num_byte_classes_ = 0;
   std::vector<std::vector<uint64_t>> class_edge_masks_;
   int max_dfa_states_ = 0;
+  std::vector<int> chain_states_;
+  std::vector<uint8_t> start_bytes_;
+};
+
+/// Candidate scan installed in front of a lazy-DFA run: while the DFA
+/// sits in the reset state, skip to the next byte in this (small) set —
+/// any byte outside it provably keeps the machine reset. Built from
+/// CompiledPuProgram::start_bytes() when that set is small enough for
+/// simd::FindByteSet.
+struct StartBytePrefilter {
+  std::array<uint8_t, simd::kMaxScanBytes> bytes{};
+  int count = 0;
+  /// Vector width for the scan; resolved once by the owner (the level
+  /// lookup reads the environment — too slow for per-string loops).
+  /// FindByteSetAtLevel clamps to the host's detected capability.
+  simd::SimdLevel level = simd::SimdLevel::kAvx2;
 };
 
 /// Lazy-DFA transition memo over a compiled program. The DFA state is the
@@ -141,8 +169,10 @@ class LazyDfaCache {
   /// bounded state cache overflowed before the string finished (the
   /// caller falls back to the NFA loop); true otherwise, with
   /// *match_index set to the PU result (0 = no match, 1-based end
-  /// position saturated at 65535).
-  bool Run(std::string_view input, uint16_t* match_index);
+  /// position saturated at 65535). A non-null `prefilter` skip-scans the
+  /// reset state with SIMD; results are identical with or without it.
+  bool Run(std::string_view input, uint16_t* match_index,
+           const StartBytePrefilter* prefilter = nullptr);
 
   /// Subset states materialized so far (observability for tests).
   size_t num_states() const { return regs_.size(); }

@@ -1,5 +1,6 @@
 #include "regex/substring_search.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstring>
 
@@ -13,6 +14,14 @@ size_t FindLiteralScan(std::string_view haystack, std::string_view needle,
     return std::string_view::npos;
   }
   const char first = needle[0];
+  // Distance from the needle's first byte to its next occurrence inside
+  // the needle (m when it never recurs). After a candidate verified j
+  // bytes, the window text *is* the needle's j-byte prefix, so the next
+  // possible candidate starts at pos + min(restart, j) — never just
+  // pos + 1, and never past a start the prefix could still contain
+  // (needle "aab" on "aaab" must retry at pos + 1).
+  size_t restart = 1;
+  while (restart < m && needle[restart] != first) ++restart;
   const char* base = haystack.data();
   size_t pos = from;
   const size_t last_start = haystack.size() - m;
@@ -20,10 +29,10 @@ size_t FindLiteralScan(std::string_view haystack, std::string_view needle,
     const void* hit = std::memchr(base + pos, first, last_start - pos + 1);
     if (hit == nullptr) return std::string_view::npos;
     pos = static_cast<size_t>(static_cast<const char*>(hit) - base);
-    if (m == 1 || std::memcmp(base + pos + 1, needle.data() + 1, m - 1) == 0) {
-      return pos;
-    }
-    ++pos;
+    size_t j = 1;
+    while (j < m && base[pos + j] == needle[j]) ++j;
+    if (j == m) return pos;
+    pos += std::min(restart, j);
   }
   return std::string_view::npos;
 }

@@ -82,6 +82,57 @@ Status TokenNfa::Validate() const {
   return Status::OK();
 }
 
+std::optional<std::vector<int>> AnalyzeChainShape(const TokenNfa& nfa) {
+  const int n = nfa.NumStates();
+  int start = -1;
+  for (int s = 0; s < n; ++s) {
+    if (nfa.states[static_cast<size_t>(s)].pred_states.empty()) {
+      if (start != -1) return std::nullopt;  // two chain heads
+      start = s;
+    }
+  }
+  if (start < 0) return std::nullopt;
+
+  // Walk the chain; reject any fan-out, fan-in, or self-loop.
+  std::vector<int> order = {start};
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  visited[static_cast<size_t>(start)] = 1;
+  int current = start;
+  while (static_cast<int>(order.size()) < n) {
+    int next = -1;
+    for (int s = 0; s < n; ++s) {
+      if (visited[static_cast<size_t>(s)] != 0) continue;
+      const auto& preds = nfa.states[static_cast<size_t>(s)].pred_states;
+      if (preds.size() == 1 && preds[0] == current) {
+        if (next != -1) return std::nullopt;  // fan-out from `current`
+        next = s;
+      } else {
+        for (int p : preds) {
+          if (p == current) return std::nullopt;  // feeds a join state
+        }
+      }
+    }
+    if (next == -1) return std::nullopt;  // chain broken before covering all
+    visited[static_cast<size_t>(next)] = 1;
+    order.push_back(next);
+    current = next;
+  }
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    const HwState& state = nfa.states[static_cast<size_t>(order[i])];
+    const bool last = i + 1 == order.size();
+    if (state.trigger_tokens.size() != 1) return std::nullopt;
+    if (last ? !state.accept : (!state.latch || state.accept)) {
+      return std::nullopt;
+    }
+    if (i > 0 && (state.pred_states.size() != 1 ||
+                  state.pred_states[0] != order[i - 1])) {
+      return std::nullopt;
+    }
+  }
+  return order;
+}
+
 TokenNfaMatcher::TokenNfaMatcher(TokenNfa nfa) : nfa_(std::move(nfa)) {
   // One edge instance per (trigger token, state) pair. Each edge carries
   // its own chain progress, which models the per-state gating of the chain

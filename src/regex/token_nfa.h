@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,19 @@ struct TokenNfa {
   /// Structural sanity checks (indices in range, accept reachable, ...).
   Status Validate() const;
 };
+
+/// If the state graph is a single chain s_0 -> s_1 -> ... -> s_{k-1}
+/// where s_0 is start-gated, every non-final state latches (the '.*'
+/// glue) and only the final state accepts, each state has exactly one
+/// trigger token, and there is no fan-in, fan-out or self-loop, returns
+/// the state indices in chain order; nullopt otherwise.
+///
+/// Such a program is exactly LIKE '%t_0%t_1%...%' over fixed-length
+/// token chains: ordered, non-overlapping occurrences, and greedy
+/// earliest matching per stage yields the same first-accept position as
+/// the NFA semantics. This one analysis backs both the literal PU kernel
+/// (hw/pu_kernel) and the bit-parallel host backend (regex/bitparallel).
+std::optional<std::vector<int>> AnalyzeChainShape(const TokenNfa& nfa);
 
 /// Software execution of the PU semantics (the reference model).
 class TokenNfaMatcher : public StringMatcher {

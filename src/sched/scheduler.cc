@@ -7,7 +7,6 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
-#include "regex/dfa_matcher.h"
 
 namespace doppio {
 namespace sched {
@@ -205,8 +204,12 @@ Result<QueryTicket> QueryScheduler::Submit(Session* session, const Bat& input,
   } else {
     return compiled.status();
   }
+  // DOPPIO_FORCE_BACKEND=fpga pins eligible work on the device: no
+  // cost-model CPU routing (over-capacity patterns still go kCpuDfa —
+  // the device cannot hold them at all).
+  const bool force_fpga = ForcedBackend() == BackendId::kFpgaSim;
   if (request->route == Route::kFpga && options_.cost_routing &&
-      !options_.timing_only) {
+      !options_.timing_only && !force_fpga) {
     if (input.count() <= options_.cpu_route_max_rows) {
       request->route = Route::kCpuProgram;
     } else if (cost_model_ != nullptr) {
@@ -214,12 +217,12 @@ Result<QueryTicket> QueryScheduler::Submit(Session* session, const Bat& input,
       stats.rows = input.count();
       stats.heap_bytes = input.heap()->size_bytes();
       auto fpga_seconds = cost_model_->PredictFpga(request->pattern, stats);
-      const double dfa_bps = cost_model_->calibration().dfa_bytes_per_sec;
-      if (fpga_seconds.ok() && dfa_bps > 0) {
-        // The CPU route runs one automaton pass on one pool worker.
-        const double cpu_seconds =
-            static_cast<double>(stats.heap_bytes) / dfa_bps;
-        if (cpu_seconds < *fpga_seconds) request->route = Route::kCpuProgram;
+      // The CPU route runs the registry-chosen host backend on one pool
+      // worker; the prediction knows which backend that is.
+      auto host = cost_model_->PredictHostProgram(request->pattern, stats);
+      if (fpga_seconds.ok() && host.ok() &&
+          host->seconds < *fpga_seconds) {
+        request->route = Route::kCpuProgram;
       }
     }
   }
@@ -447,8 +450,9 @@ void QueryScheduler::RunCpuRequest(Request* request) {
   Status status;
 
   if (request->route == Route::kCpuProgram) {
-    // Same compiled program the engines execute — results bit-identical
-    // to the hardware functional pass by construction.
+    // Same compiled program the engines execute, through the registry-
+    // chosen host backend — results bit-identical to the hardware
+    // functional pass by construction.
     out.stats.strategy = "sched_cpu";
     auto result = Bat::New(ValueType::kInt16, input.count());
     if (result.ok()) {
@@ -463,10 +467,12 @@ void QueryScheduler::RunCpuRequest(Request* request) {
         params.offset_width = static_cast<int32_t>(input.offset_width());
         params.heap_bytes = input.heap()->size_bytes();
         params.config = request->program->config.vector.bytes();
-        auto matches = RunRegexSliceInSoftware(hal_->device_config(), params,
-                                               request->program->program);
+        HostSliceInfo info;
+        auto matches = RunHostSlice(hal_->device_config(), params,
+                                    request->program->program, &info);
         if (matches.ok()) {
           out.stats.rows_matched = *matches;
+          out.stats.pu_kernel = info.kernel;
         } else {
           status = matches.status();
         }
@@ -476,29 +482,14 @@ void QueryScheduler::RunCpuRequest(Request* request) {
     }
   } else {
     // The pattern exceeds the deployed geometry: full software scan on
-    // the lazy DFA (the planner's software strategy).
-    out.stats.strategy = "software";
-    auto matcher = DfaMatcher::Compile(request->pattern, request->options);
-    if (matcher.ok()) {
-      auto result = Bat::New(ValueType::kInt16, input.count());
-      if (result.ok()) {
-        out.result = std::move(*result);
-        int64_t matched = 0;
-        for (int64_t i = 0; i < input.count() && status.ok(); ++i) {
-          MatchResult m = (*matcher)->Find(input.GetString(i));
-          int16_t value =
-              m.matched ? static_cast<int16_t>(std::min<int32_t>(
-                              std::max<int32_t>(m.end, 1), 32767))
-                        : 0;
-          if (m.matched) ++matched;
-          status = out.result->AppendInt16(value);
-        }
-        out.stats.rows_matched = matched;
-      } else {
-        status = result.status();
-      }
+    // the lazy DFA (the planner's software strategy, shared with the
+    // hybrid executor via db/hudf.h).
+    auto scan =
+        RunDfaScanInSoftware(input, request->pattern, request->options);
+    if (scan.ok()) {
+      out = std::move(*scan);
     } else {
-      status = matcher.status();
+      status = scan.status();
     }
   }
 

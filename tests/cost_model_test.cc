@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "db/cost_model.h"
 #include "sql/executor.h"
 #include "workload/address_generator.h"
@@ -15,6 +17,7 @@ OperatorCostModel::Calibration FixedCalibration() {
   OperatorCostModel::Calibration cal;
   cal.like_bytes_per_sec = 2e9;
   cal.dfa_bytes_per_sec = 5e8;
+  cal.simd_bytes_per_sec = 4e9;
   cal.regexp_tuple_seconds = 2e-6;
   cal.cpu_cores = 10;
   return cal;
@@ -38,8 +41,52 @@ TEST(CostModelTest, MeasureProducesSaneNumbers) {
   auto cal = OperatorCostModel::Measure();
   EXPECT_GT(cal.like_bytes_per_sec, 1e7);
   EXPECT_GT(cal.dfa_bytes_per_sec, 1e6);
+  EXPECT_GT(cal.simd_bytes_per_sec, 1e6);
   EXPECT_GT(cal.regexp_tuple_seconds, 1e-9);
   EXPECT_LT(cal.regexp_tuple_seconds, 1e-3);
+}
+
+TEST(CostModelTest, HostProgramPredictionTracksRegistryChoice) {
+  unsetenv("DOPPIO_FORCE_BACKEND");
+  OperatorCostModel model(DeviceConfig{}, FixedCalibration());
+
+  // Word-sized automaton chain and a literal: both SIMD-served, costed
+  // at the SIMD throughput.
+  auto word = model.PredictHostProgram("8[0-9][0-9][0-9][0-9]", BigTable());
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word->backend, BackendId::kCpuSimd);
+  auto literal = model.PredictHostProgram("Strasse", BigTable());
+  ASSERT_TRUE(literal.ok());
+  EXPECT_EQ(literal->backend, BackendId::kCpuSimd);
+  const double simd_expect = static_cast<double>(BigTable().heap_bytes) /
+                             FixedCalibration().simd_bytes_per_sec;
+  EXPECT_DOUBLE_EQ(word->seconds, simd_expect);
+
+  // Broad-start fan-out: scalar backend, automaton throughput.
+  auto broad = model.PredictHostProgram("([a-z]a|[0-9]b)", BigTable());
+  ASSERT_TRUE(broad.ok());
+  EXPECT_EQ(broad->backend, BackendId::kCpuScalar);
+  EXPECT_GT(broad->seconds, word->seconds);
+
+  // Over-capacity patterns cannot run as a compiled program at all.
+  auto oversized =
+      model.PredictHostProgram(QueryPattern(EvalQuery::kQH), BigTable());
+  EXPECT_TRUE(oversized.status().IsCapacityExceeded());
+}
+
+TEST(CostModelTest, ForcedBackendOverridesHostPrediction) {
+  OperatorCostModel model(DeviceConfig{}, FixedCalibration());
+  setenv("DOPPIO_FORCE_BACKEND", "scalar", 1);
+  auto forced_scalar = model.PredictHostProgram("Strasse", BigTable());
+  ASSERT_TRUE(forced_scalar.ok());
+  EXPECT_EQ(forced_scalar->backend, BackendId::kCpuScalar);
+
+  setenv("DOPPIO_FORCE_BACKEND", "simd", 1);
+  auto forced_simd =
+      model.PredictHostProgram("([a-z]a|[0-9]b)", BigTable());
+  ASSERT_TRUE(forced_simd.ok());
+  EXPECT_EQ(forced_simd->backend, BackendId::kCpuSimd);
+  unsetenv("DOPPIO_FORCE_BACKEND");
 }
 
 TEST(CostModelTest, PredictionsScaleWithData) {

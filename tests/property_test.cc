@@ -4,11 +4,13 @@
 // matchers).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
 #include "common/random.h"
 #include "hw/config_compiler.h"
+#include "hw/kernel_backend.h"
 #include "hw/processing_unit.h"
 #include "mem/arena.h"
 #include "mem/slab_allocator.h"
@@ -108,6 +110,46 @@ TEST(PropertyTest, HardwareAgreesWithSoftwareOnRandomPatterns) {
     }
   }
   EXPECT_GT(mapped, 30);
+}
+
+TEST(PropertyTest, SimdBackendAgreesWithScalarOnRandomPatterns) {
+  // The simd_served assertion below reads the registry's *unforced*
+  // choice; CI runs this suite with DOPPIO_FORCE_BACKEND set.
+  unsetenv("DOPPIO_FORCE_BACKEND");
+  Rng rng(4096);
+  DeviceConfig device;
+  device.max_chars = 64;
+  device.max_states = 32;
+  const BackendRegistry& registry = BackendRegistry::Global();
+  const std::string alphabet = "abcxyz019 ";
+  int mapped = 0;
+  int simd_served = 0;
+  for (int p = 0; p < 60; ++p) {
+    std::string pattern = RandomHwPattern(&rng);
+    auto config = CompileRegexConfig(pattern, device);
+    if (!config.ok()) continue;
+    auto program = CompiledPuProgram::Compile(config->vector, device);
+    ASSERT_TRUE(program.ok()) << pattern;
+    ++mapped;
+    if (registry.ChooseHost(**program).id() == BackendId::kCpuSimd) {
+      ++simd_served;
+    }
+    auto scalar =
+        registry.Get(BackendId::kCpuScalar).NewExecution(*program);
+    auto simd = registry.Get(BackendId::kCpuSimd).NewExecution(*program);
+    for (int i = 0; i < 60; ++i) {
+      std::string input = rng.FromAlphabet(alphabet, rng.NextBounded(48));
+      const uint16_t expect = scalar->Match(input);
+      ASSERT_EQ(simd->Match(input), expect)
+          << pattern << " on '" << input << "' kernel "
+          << simd->kernel_name();
+    }
+  }
+  EXPECT_GT(mapped, 30);
+  // The random grammar is dominated by chain/small-escape shapes; the
+  // sweep must actually exercise the accelerated paths, not just the
+  // internal fallback.
+  EXPECT_GT(simd_served, 10);
 }
 
 TEST(PropertyTest, ConfigVectorRoundTripsRandomPatterns) {

@@ -4,7 +4,10 @@
 // patterns) the token-NFA reference and the cycle-level PU.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "hw/config_compiler.h"
+#include "hw/kernel_backend.h"
 #include "hw/processing_unit.h"
 #include "hw/pu_kernel.h"
 #include "regex/backtrack_matcher.h"
@@ -178,6 +181,41 @@ TEST_P(ConformanceTest, AllCompiledKernelsAgreeWhenMappable) {
           << PuKernelName((*program)->kernel());
     }
   }
+}
+
+TEST_P(ConformanceTest, SimdBackendAgreesWhenMappable) {
+  // The SIMD host backend (bit-parallel / prefiltered DFA / internal
+  // scalar fallback) must return the scalar backend's exact 16-bit match
+  // index — both with the host's widest vector path and with the
+  // primitives capped to their scalar fallbacks.
+  const Conformance& c = GetParam();
+  DeviceConfig device;
+  device.max_chars = 64;
+  device.max_states = 32;
+  auto config = CompileRegexConfig(c.pattern, device);
+  if (!config.ok()) {
+    GTEST_SKIP() << "not hardware-mappable: "
+                 << config.status().ToString();
+  }
+  auto program = CompiledPuProgram::Compile(config->vector, device);
+  ASSERT_TRUE(program.ok()) << c.pattern;
+
+  const BackendRegistry& registry = BackendRegistry::Global();
+  auto scalar = registry.Get(BackendId::kCpuScalar).NewExecution(*program);
+  const uint16_t reference = scalar->Match(c.input);
+  EXPECT_EQ(reference != 0, c.matched)
+      << c.pattern << " on '" << c.input << "'";
+
+  auto simd = registry.Get(BackendId::kCpuSimd).NewExecution(*program);
+  EXPECT_EQ(simd->Match(c.input), reference)
+      << c.pattern << " on '" << c.input << "' kernel "
+      << simd->kernel_name();
+
+  setenv("DOPPIO_SIMD_LEVEL", "scalar", 1);
+  auto capped = registry.Get(BackendId::kCpuSimd).NewExecution(*program);
+  EXPECT_EQ(capped->Match(c.input), reference)
+      << c.pattern << " on '" << c.input << "' (scalar-capped)";
+  unsetenv("DOPPIO_SIMD_LEVEL");
 }
 
 INSTANTIATE_TEST_SUITE_P(Dialect, ConformanceTest,

@@ -248,6 +248,38 @@ TEST(BoyerMooreTest, CaseInsensitive) {
   EXPECT_EQ(bm.Find("koblenzer strasse"), 10u);
 }
 
+TEST(LiteralScanTest, FindsOverlappingCandidates) {
+  // Regression: after a partial match the scan may only skip to the next
+  // possible needle start *inside* the verified prefix, not past it.
+  EXPECT_EQ(FindLiteralScan("aaab", "aab"), 1u);
+  EXPECT_EQ(FindLiteralScan("aaaa", "aaa"), 0u);
+  EXPECT_EQ(FindLiteralScan("aaaa", "aaa", 1), 1u);
+  EXPECT_EQ(FindLiteralScan("ababaab", "abaa"), 2u);
+  EXPECT_EQ(FindLiteralScan("aabaabaab", "aabaab"), 0u);
+  EXPECT_EQ(FindLiteralScan("xaabaabaab", "aabaab", 2), 4u);
+  EXPECT_EQ(FindLiteralScan("aaab", "aaab"), 0u);
+  EXPECT_EQ(FindLiteralScan("aaab", "ab"), 2u);
+  EXPECT_EQ(FindLiteralScan("abc", "abd"), std::string_view::npos);
+  // Empty needle and from-past-the-end edge cases.
+  EXPECT_EQ(FindLiteralScan("abc", "", 3), 3u);
+  EXPECT_EQ(FindLiteralScan("abc", "", 4), std::string_view::npos);
+  EXPECT_EQ(FindLiteralScan("abc", "bc", 2), std::string_view::npos);
+}
+
+TEST(LiteralScanTest, AgreesWithKmpOnPeriodicNeedles) {
+  for (const char* needle : {"aab", "aaa", "aba", "abab", "aabaa", "xy"}) {
+    KmpMatcher kmp(needle);
+    for (const char* hay :
+         {"aaaab", "aabaabaab", "abababab", "xxyxy", "", "a",
+          "aabaaabaaaab", "abaabaaba"}) {
+      for (size_t from = 0; from < 4; ++from) {
+        EXPECT_EQ(FindLiteralScan(hay, needle, from), kmp.Find(hay, from))
+            << needle << " in '" << hay << "' from " << from;
+      }
+    }
+  }
+}
+
 TEST(KmpTest, AgreesWithBoyerMoore) {
   for (const char* needle : {"ab", "aba", "xyz", "aaa"}) {
     BoyerMooreMatcher bm(needle);
