@@ -55,11 +55,20 @@ struct BenchSystem {
 /// MonetDB-sim + HAL, in the paper's HUDF configuration: sequential_pipe,
 /// BATs in shared memory. `num_threads=1` because CPU times are measured
 /// single-threaded and projected (see ModelParallel).
+/// DOPPIO_NUM_DEVICES sizes the simulated device pool (default 1 — the
+/// paper's deployment; every figure number is defined at 1).
+inline int NumDevices() {
+  const char* env = std::getenv("DOPPIO_NUM_DEVICES");
+  const int n = env != nullptr ? std::atoi(env) : 1;
+  return n >= 1 ? n : 1;
+}
+
 inline BenchSystem MakeSystem(int64_t shared_bytes = int64_t{4} << 30) {
   BenchSystem sys;
   Hal::Options hal_options;
   hal_options.shared_memory_bytes = shared_bytes;
   hal_options.functional_threads = 1;
+  hal_options.num_devices = NumDevices();
   sys.hal = std::make_unique<Hal>(hal_options);
   ColumnStoreEngine::Options options;
   options.num_threads = 1;

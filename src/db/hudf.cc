@@ -1,10 +1,12 @@
 #include "db/hudf.h"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <string_view>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "hw/config_compiler.h"
 #include "obs/metrics.h"
@@ -29,6 +31,7 @@ obs::JobTraceRecord MakeJobRecord(obs::TraceId trace,
   record.trace_id = trace;
   record.queue_job_id = status.queue_job_id;
   record.engine_id = status.engine_id;
+  record.device_id = status.device_id;
   record.enqueue_time = status.enqueue_time;
   record.dispatch_time = status.dispatch_time;
   record.start_time = status.start_time;
@@ -299,6 +302,348 @@ Status RegexpFpgaBatch(Hal* hal,
     tracer.EndQuery(run.trace);
   }
   return Status::OK();
+}
+
+namespace {
+
+/// One slice of a pooled batch: a Slice plus its placement state.
+struct PoolSlice {
+  JobParams params;
+  FpgaJob job;
+  JobOutcome outcome;
+  bool fallback = false;
+  bool resolved = false;
+  int device = -1;    // pool member currently owning this slice
+  int query = -1;     // index into the runs vector
+};
+
+/// Per-(query, device) virtual-time extent. Device clocks are independent
+/// domains, so a query's hardware phase is the MAX of its per-device
+/// extents, never a difference of stamps from two different clocks.
+struct ClockExtent {
+  SimTime first_enqueue = std::numeric_limits<SimTime>::max();
+  SimTime last_finish = 0;
+  bool any = false;
+};
+
+}  // namespace
+
+Status RegexpFpgaBatchPooled(Hal* hal,
+                             const std::vector<FpgaBatchQuery*>& queries) {
+  DevicePool* pool = hal->pool();
+  // A pool of one IS the paper's single-device deployment: take the exact
+  // historical path so results, stats and virtual timing stay bit- and
+  // byte-identical (the N=1 invariant device_pool_test pins).
+  if (pool->size() == 1) return RegexpFpgaBatch(hal, queries);
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const RetryPolicy& policy = hal->retry_policy();
+  const int num_devices = pool->size();
+
+  std::vector<QueryRun> runs;
+  runs.reserve(queries.size());
+  auto fail = [&](Status st) {
+    for (QueryRun& run : runs) tracer.EndQuery(run.trace);
+    return st;
+  };
+
+  // Phase 0: validate every query, open its span, allocate its result BAT
+  // (identical to the single-device batch).
+  for (FpgaBatchQuery* q : queries) {
+    if (q == nullptr || q->input == nullptr || q->config == nullptr) {
+      return fail(Status::InvalidArgument("null batch query"));
+    }
+    if (q->input->type() != ValueType::kString) {
+      return fail(
+          Status::InvalidArgument("regex job input must be a string BAT"));
+    }
+    runs.emplace_back();
+    QueryRun& run = runs.back();
+    run.query = q;
+    run.trace = tracer.BeginQuery(q->span_name);
+    HudfResult& out = q->out;
+    out.stats.trace_id = run.trace;
+    out.stats.strategy = "fpga";
+    out.stats.rows_scanned = q->input->count();
+    auto result = Bat::New(ValueType::kInt16, q->input->count(),
+                           hal->bat_allocator());
+    if (!result.ok()) return fail(result.status());
+    out.result = std::move(*result);
+    Status st = out.result->AppendZeros(q->input->count());
+    if (!st.ok()) return fail(st);
+  }
+
+  // Phase 1: slice every query. The default partition count spans the
+  // whole pool (one slice per engine across every member) so a query can
+  // use all devices at once. Nothing is submitted yet — placement decides
+  // where each slice goes.
+  std::vector<PoolSlice> slices;
+  for (size_t qi = 0; qi < runs.size(); ++qi) {
+    QueryRun& run = runs[qi];
+    FpgaBatchQuery& q = *run.query;
+    const Bat& input = *q.input;
+    if (input.count() == 0) continue;
+
+    int partitions = q.partitions;
+    if (partitions <= 0) partitions = pool->total_engines();
+    partitions = static_cast<int>(
+        std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
+
+    Stopwatch hal_watch;
+    const int64_t chunk = (input.count() + partitions - 1) / partitions;
+    const uint32_t* all_offsets =
+        reinterpret_cast<const uint32_t*>(input.tail_data());
+    for (int p = 0; p < partitions; ++p) {
+      const int64_t first = p * chunk;
+      if (first >= input.count()) break;
+      const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
+      if (rows <= 0) continue;
+      slices.emplace_back();
+      PoolSlice& slice = slices.back();
+      slice.query = static_cast<int>(qi);
+      JobParams& params = slice.params;
+      params.offsets = input.tail_data() + first * input.offset_width();
+      params.heap = input.heap()->data();
+      params.result = q.out.result->mutable_tail_data() + first * 2;
+      params.count = rows;
+      params.offset_width = static_cast<int32_t>(input.offset_width());
+      params.heap_bytes =
+          first + rows < input.count()
+              ? static_cast<int64_t>(all_offsets[first + rows])
+              : input.heap()->size_bytes();
+      params.config = q.config->vector.bytes();
+      params.timing_only = q.timing_only;
+    }
+    // Slicing cost is the pooled path's HAL phase; submission cost is
+    // folded into the drain below (it interleaves queries).
+    q.out.stats.hal_seconds = hal_watch.ElapsedSeconds();
+  }
+
+  // Placement: apportion the wave across the pool proportional to each
+  // member's free engines (largest-remainder, deterministic), then deal
+  // slices to their device round-robin so every device sees a mix of
+  // queries rather than one query's whole tail.
+  std::vector<std::deque<PoolSlice*>> pending(
+      static_cast<size_t>(num_devices));
+  {
+    std::vector<int> quota = pool->ShardCounts(static_cast<int>(slices.size()));
+    int d = 0;
+    for (PoolSlice& slice : slices) {
+      while (quota[static_cast<size_t>(d)] == 0) d = (d + 1) % num_devices;
+      pending[static_cast<size_t>(d)].push_back(&slice);
+      --quota[static_cast<size_t>(d)];
+      d = (d + 1) % num_devices;
+    }
+  }
+
+  int64_t remaining = static_cast<int64_t>(slices.size());
+  std::vector<std::deque<PoolSlice*>> inflight(
+      static_cast<size_t>(num_devices));
+  // Per-(query, device) clock extents for the hardware phase.
+  std::vector<std::vector<ClockExtent>> extents(
+      runs.size(),
+      std::vector<ClockExtent>(static_cast<size_t>(num_devices)));
+
+  Status fatal = Status::OK();
+  // A device whose last resolution degraded to software is *suspect*: it
+  // keeps draining work already queued to it but does not steal more
+  // until it completes a slice in hardware again. Keeps a stalled member
+  // from stealing back the backlog that was just rebalanced away from it.
+  std::vector<char> suspect(static_cast<size_t>(num_devices), 0);
+  // Submit `slice` on device `d`. A submit that degrades resolves the
+  // slice immediately (it runs in software after the drain).
+  auto submit_one = [&](PoolSlice* slice, int d) {
+    slice->device = d;
+    Result<FpgaJob> job = SubmitJobWithRetry(pool->device(d), slice->params,
+                                             policy, &slice->outcome);
+    if (job.ok()) {
+      slice->job = *job;
+      inflight[static_cast<size_t>(d)].push_back(slice);
+      pool->NoteInflight(d, +1);
+      return true;
+    }
+    if (IsFallbackEligible(job.status())) {
+      slice->fallback = true;
+      slice->resolved = true;
+      suspect[static_cast<size_t>(d)] = 1;
+      --remaining;
+      return true;
+    }
+    fatal = job.status();
+    return false;
+  };
+  // Keep device `d` loaded up to its engine count. A device whose own
+  // backlog ran dry steals queued slices from the most backlogged member
+  // (ties to the lowest index) — this is what drains a healthy pool
+  // around a fault-stalled device.
+  auto top_up = [&](int d) {
+    const int cap = pool->device(d)->config().num_engines;
+    while (static_cast<int>(inflight[static_cast<size_t>(d)].size()) < cap) {
+      if (pending[static_cast<size_t>(d)].empty()) {
+        if (suspect[static_cast<size_t>(d)]) return true;  // no stealing
+        int victim = -1;
+        size_t victim_backlog = 0;
+        for (int v = 0; v < num_devices; ++v) {
+          if (v == d) continue;
+          const size_t backlog = pending[static_cast<size_t>(v)].size();
+          if (backlog > victim_backlog) {
+            victim = v;
+            victim_backlog = backlog;
+          }
+        }
+        if (victim < 0) return true;  // nothing left anywhere
+        // Steal from the BACK of the victim's queue: the victim keeps its
+        // next-up work, the thief takes the tail it would reach last.
+        PoolSlice* stolen = pending[static_cast<size_t>(victim)].back();
+        pending[static_cast<size_t>(victim)].pop_back();
+        pending[static_cast<size_t>(d)].push_back(stolen);
+        pool->NoteSteal(victim, d);
+      }
+      PoolSlice* slice = pending[static_cast<size_t>(d)].front();
+      pending[static_cast<size_t>(d)].pop_front();
+      if (!submit_one(slice, d)) return false;
+    }
+    return true;
+  };
+
+  // Drain: visit devices round-robin, await one in-flight slice per visit
+  // (a device's clock advances only while the host waits on it), then
+  // top the device back up. Deterministic: placement, visit order and
+  // steal choice depend only on queue sizes, never host timing.
+  Stopwatch wait_watch;
+  for (int d = 0; d < num_devices; ++d) {
+    if (!top_up(d)) return fail(fatal);
+  }
+  while (remaining > 0) {
+    bool progress = false;
+    for (int d = 0; d < num_devices && remaining > 0; ++d) {
+      if (inflight[static_cast<size_t>(d)].empty() && !top_up(d)) {
+        return fail(fatal);
+      }
+      if (inflight[static_cast<size_t>(d)].empty()) continue;
+      PoolSlice* slice = inflight[static_cast<size_t>(d)].front();
+      inflight[static_cast<size_t>(d)].pop_front();
+      pool->NoteInflight(d, -1);
+      QueryRun& run = runs[static_cast<size_t>(slice->query)];
+      HudfResult& out = run.query->out;
+      Status st = AwaitJobWithRecovery(pool->device(d), &slice->job,
+                                       slice->params, policy,
+                                       &slice->outcome);
+      if (st.ok()) {
+        const JobStatus& status = slice->job.status();
+        if (run.trace != obs::kInvalidTraceId) {
+          tracer.RecordJob(MakeJobRecord(run.trace, status));
+        }
+        ClockExtent& extent =
+            extents[static_cast<size_t>(slice->query)][static_cast<size_t>(d)];
+        extent.any = true;
+        extent.first_enqueue =
+            std::min(extent.first_enqueue, status.enqueue_time);
+        extent.last_finish = std::max(extent.last_finish, status.finish_time);
+        out.stats.rows_matched += status.matches;
+        if (out.stats.pu_kernel.empty()) {
+          out.stats.pu_kernel = status.pu_kernel;
+        }
+        out.stats.functional_bytes += status.functional_bytes;
+        out.stats.functional_seconds += status.functional_host_seconds;
+        suspect[static_cast<size_t>(d)] = 0;
+      } else if (IsFallbackEligible(st)) {
+        slice->fallback = true;
+        suspect[static_cast<size_t>(d)] = 1;
+        // Fault feedback: this device just burned its whole retry budget
+        // on a slice. Hand its queued backlog to the other members (each
+        // takes a share, round-robin) instead of feeding more work into a
+        // device that is demonstrably failing — this is what drains a
+        // pool around a stalled member.
+        if (num_devices > 1) {
+          int thief = (d + 1) % num_devices;
+          while (!pending[static_cast<size_t>(d)].empty()) {
+            PoolSlice* moved = pending[static_cast<size_t>(d)].front();
+            pending[static_cast<size_t>(d)].pop_front();
+            if (thief == d) thief = (thief + 1) % num_devices;
+            pending[static_cast<size_t>(thief)].push_back(moved);
+            pool->NoteSteal(d, thief);
+            thief = (thief + 1) % num_devices;
+          }
+        }
+      } else {
+        return fail(st);
+      }
+      slice->resolved = true;
+      --remaining;
+      progress = true;
+      pool->NoteSlice(d, slice->params.count);
+      if (!top_up(d)) return fail(fatal);
+    }
+    // Every device idle with slices unresolved would be a livelock; the
+    // loop structure above always resolves at least one slice per pass.
+    DOPPIO_CHECK(progress);
+  }
+  const double drain_seconds = wait_watch.ElapsedSeconds();
+
+  // Degrade the slices no device could complete, then finalize per-query
+  // stats. hw_seconds is the max per-clock-domain extent.
+  for (size_t qi = 0; qi < runs.size(); ++qi) {
+    QueryRun& run = runs[qi];
+    FpgaBatchQuery& q = *run.query;
+    HudfResult& out = q.out;
+    if (q.input->count() == 0) {
+      out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();
+      tracer.EndQuery(run.trace);
+      continue;
+    }
+    for (PoolSlice& slice : slices) {
+      if (slice.query != static_cast<int>(qi)) continue;
+      if (slice.fallback) {
+        if (run.trace != obs::kInvalidTraceId) {
+          tracer.RecordInstant(run.trace, "sw_fallback",
+                               pool->device(slice.device)->now());
+        }
+        auto matches = RunHostSlice(hal->device_config(), slice.params);
+        if (!matches.ok()) return fail(matches.status());
+        out.stats.rows_matched += *matches;
+        out.stats.fallback_rows += slice.params.count;
+        FallbackRowsCounter().Add(slice.params.count);
+      }
+      out.stats.job_retries += slice.outcome.retries;
+      if (slice.outcome.ok && slice.outcome.fault_seen) {
+        out.stats.faults_recovered += 1;
+      }
+    }
+    if (out.stats.fallback_rows > 0) {
+      out.stats.strategy = "fpga+sw_fallback";
+    }
+    double hw_seconds = 0;
+    for (const ClockExtent& extent : extents[qi]) {
+      if (!extent.any) continue;
+      hw_seconds = std::max(
+          hw_seconds,
+          SecondsFromPicos(extent.last_finish - extent.first_enqueue));
+    }
+    out.stats.hw_seconds = hw_seconds;
+    // The drain interleaves every query; its host cost is attributed to
+    // each (it is a simulation artifact either way).
+    out.stats.sim_host_seconds = drain_seconds;
+    out.stats.udf_software_seconds =
+        std::max(0.0, run.udf_watch.ElapsedSeconds() -
+                          out.stats.hal_seconds -
+                          out.stats.sim_host_seconds);
+    tracer.EndQuery(run.trace);
+  }
+  return Status::OK();
+}
+
+Result<HudfResult> RegexpFpgaPartitionedPooled(Hal* hal, const Bat& input,
+                                               const RegexConfig& config,
+                                               int partitions) {
+  FpgaBatchQuery query;
+  query.input = &input;
+  query.config = &config;
+  query.partitions = partitions;
+  query.span_name = "regexp_fpga_pooled";
+  std::vector<FpgaBatchQuery*> batch{&query};
+  DOPPIO_RETURN_NOT_OK(RegexpFpgaBatchPooled(hal, batch));
+  return std::move(query.out);
 }
 
 Result<HudfResult> RegexpFpgaPartitioned(Hal* hal, const Bat& input,

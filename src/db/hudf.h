@@ -30,6 +30,9 @@ struct HudfResult {
 /// dialect (LIKE patterns are translated before reaching this layer).
 /// Fails with CapacityExceeded when the pattern does not fit the deployed
 /// geometry — callers fall back to hybrid or software execution.
+/// Deliberately pinned to pool device 0: this is the paper's single-job
+/// fast path; multi-device spreading happens in the partitioned/batched
+/// executors below.
 Result<HudfResult> RegexpFpga(Hal* hal, const Bat& input,
                               std::string_view pattern,
                               const CompileOptions& options = {});
@@ -78,8 +81,30 @@ struct FpgaBatchQuery {
 /// scenario, but coalesced into one wave instead of raced). Each query
 /// degrades per-slice to the software matchers exactly like the
 /// single-query path; a batch of one is behaviour- and timing-identical
-/// to RegexpFpgaPartitioned.
+/// to RegexpFpgaPartitioned. Targets device 0 only — the paper's
+/// single-device path.
 Status RegexpFpgaBatch(Hal* hal, const std::vector<FpgaBatchQuery*>& queries);
+
+/// Device-aware variant over the HAL's whole DevicePool. With a pool of
+/// one this IS RegexpFpgaBatch (same code path, bit- and byte-identical
+/// results, stats and virtual timing). With N devices it shards every
+/// query's slices across the pool proportional to each device's free
+/// engines, caps in-flight slices per device at its engine count so a
+/// backlog stays stealable, and lets a device that runs dry steal queued
+/// slices from the most backlogged member — so one fault-stalled device
+/// degrades its own in-flight slices to software while the healthy
+/// devices absorb its backlog. Per-query `hw_seconds` is the maximum
+/// per-clock-domain extent (device clocks are independent; cross-device
+/// time differences are meaningless). Placement, stealing and results
+/// are fully deterministic for a given pool state.
+Status RegexpFpgaBatchPooled(Hal* hal,
+                             const std::vector<FpgaBatchQuery*>& queries);
+
+/// Single-query convenience over the pooled path. `partitions` 0 = one
+/// slice per engine across the whole pool.
+Result<HudfResult> RegexpFpgaPartitionedPooled(Hal* hal, const Bat& input,
+                                               const RegexConfig& config,
+                                               int partitions = 0);
 
 /// Full-pattern software scan over a string BAT on the lazy-DFA matcher:
 /// the hybrid planner's software strategy and the scheduler's CPU route

@@ -68,13 +68,21 @@ Hal::Hal(const Options& options) : options_(options) {
   if (threads <= 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  pool_ = std::make_unique<ThreadPool>(threads);
-  device_ =
-      std::make_unique<FpgaDevice>(options_.device, arena_.get(), pool_.get());
-  // AAL bootstrap: verify the regex AFU and establish the DSM page.
-  auto session = AalSession::Bootstrap(arena_.get(), device_.get());
-  DOPPIO_CHECK(session.ok());
-  aal_ = std::move(*session);
+  thread_pool_ = std::make_unique<ThreadPool>(threads);
+  DevicePoolOptions pool_options;
+  pool_options.num_devices = options_.num_devices;
+  pool_options.device = options_.device;
+  pool_options.device_faults = options_.device_faults;
+  pool_ = std::make_unique<DevicePool>(pool_options, arena_.get(),
+                                       thread_pool_.get());
+  // AAL bootstrap, one session per pool member: verify each device's
+  // regex AFU and establish its DSM page. Device 0 first, so a pool of
+  // one performs exactly the single-device handshake.
+  for (int i = 0; i < pool_->size(); ++i) {
+    auto session = AalSession::Bootstrap(arena_.get(), pool_->device(i));
+    DOPPIO_CHECK(session.ok());
+    aal_sessions_.push_back(std::move(*session));
+  }
 }
 
 Hal::~Hal() = default;
@@ -104,8 +112,9 @@ Result<FpgaJob> Hal::CreateRegexJob(const Bat& input, Bat* result,
                                     const RegexConfig& config) {
   DOPPIO_ASSIGN_OR_RETURN(JobParams params,
                           BuildRegexJobParams(input, result, config));
-  DOPPIO_ASSIGN_OR_RETURN(JobId id, device_->Submit(std::move(params)));
-  return FpgaJob(device_.get(), id);
+  FpgaDevice* device = pool_->device(0);
+  DOPPIO_ASSIGN_OR_RETURN(JobId id, device->Submit(std::move(params)));
+  return FpgaJob(device, id);
 }
 
 }  // namespace doppio

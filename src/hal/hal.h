@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <vector>
 
 #include "bat/bat.h"
 #include "bat/buffer.h"
@@ -21,6 +22,7 @@
 #include "hal/job_lifecycle.h"
 #include "hw/config_compiler.h"
 #include "hw/device_config.h"
+#include "hw/device_pool.h"
 #include "hw/fpga_device.h"
 #include "mem/arena.h"
 #include "mem/slab_allocator.h"
@@ -58,6 +60,15 @@ class Hal {
     /// after the paper's kernel-module change.
     int64_t shared_memory_bytes = int64_t{512} << 20;
     DeviceConfig device;
+    /// Simulated devices behind this HAL. 1 (the default) is the paper's
+    /// deployment and keeps every direct-submit path byte-identical;
+    /// larger pools shard partitioned submissions across devices (see
+    /// hw/device_pool.h and RegexpFpgaBatchPooled).
+    int num_devices = 1;
+    /// Per-device fault-plan overrides (index i replaces `device.faults`
+    /// for pool member i; shorter vectors leave the rest on the template
+    /// plan).
+    std::vector<FaultPlan> device_faults;
     /// Host threads for the simulator's functional pass (0 = hardware
     /// concurrency).
     int functional_threads = 0;
@@ -77,10 +88,21 @@ class Hal {
   /// BAT allocator: every request lands in the shared region, so even
   /// tiny BATs are FPGA-visible.
   HalAllocator* bat_allocator() { return bat_allocator_.get(); }
-  /// The bootstrapped AAL session (AFU handshake done, DSM live).
-  AalSession* aal() { return aal_.get(); }
+  /// The bootstrapped AAL session of device 0 (AFU handshake done, DSM
+  /// live). Every pool member holds its own session; see aal(int).
+  AalSession* aal() { return aal_sessions_.front().get(); }
+  AalSession* aal(int i) { return aal_sessions_[static_cast<size_t>(i)].get(); }
   SharedArena* arena() { return arena_.get(); }
-  FpgaDevice* device() { return device_.get(); }
+  /// Device 0 — the paper's direct-submit target. Single-device call
+  /// sites keep this handle; pool-aware paths go through pool().
+  FpgaDevice* device() { return pool_->device(0); }
+  /// The full device topology behind this HAL.
+  DevicePool* pool() { return pool_.get(); }
+  /// Template configuration every pool member was built from. Program
+  /// geometry (PUs, character matchers, states) is uniform across the
+  /// pool, so compiling and cost-modeling against the template is always
+  /// correct; per-device engine counts can differ — occupancy-sensitive
+  /// code must read pool()->device(i)->config().
   const DeviceConfig& device_config() const { return options_.device; }
   const RetryPolicy& retry_policy() const { return options_.retry; }
 
@@ -110,9 +132,9 @@ class Hal {
   std::unique_ptr<SlabAllocator> slab_;
   std::unique_ptr<HalAllocator> allocator_;
   std::unique_ptr<HalAllocator> bat_allocator_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<FpgaDevice> device_;
-  std::unique_ptr<AalSession> aal_;
+  std::unique_ptr<ThreadPool> thread_pool_;
+  std::unique_ptr<DevicePool> pool_;
+  std::vector<std::unique_ptr<AalSession>> aal_sessions_;
 };
 
 }  // namespace doppio

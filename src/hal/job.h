@@ -15,6 +15,11 @@ class FpgaJob {
 
   bool valid() const { return device_ != nullptr; }
   JobId id() const { return id_; }
+  /// The device this job was submitted to — with a DevicePool, jobs on
+  /// different members carry different devices (and clock domains), so
+  /// lifecycle code must derive waits and deadlines from the job's own
+  /// device, never from an ambient "the device" handle.
+  FpgaDevice* device() const { return device_; }
 
   /// Busy-waits on the done bit (the prototype has no FPGA-to-CPU
   /// interrupts, §4.2.2). Advances the device's virtual clock.

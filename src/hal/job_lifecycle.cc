@@ -105,15 +105,21 @@ Status AwaitJobWithRecovery(FpgaDevice* device, FpgaJob* job,
                             const JobParams& params,
                             const RetryPolicy& policy,
                             JobOutcome* outcome) {
-  outcome->deadline_budget =
-      JobDeadlineBudget(device->config(), params.count, params.heap_bytes,
-                        policy, device->config().num_engines);
   while (true) {
-    Status st = job->Wait(device->now() + outcome->deadline_budget);
+    // The budget and deadline come from the job's OWN device: with a
+    // DevicePool the members' virtual clocks (and engine counts) are
+    // independent, so `device->now()` would be an unrelated clock when
+    // `job` lives on another member. `device` is only the resubmission
+    // target. Single-device callers pass the same handle for both.
+    FpgaDevice* owner = job->device();
+    outcome->deadline_budget =
+        JobDeadlineBudget(owner->config(), params.count, params.heap_bytes,
+                          policy, owner->config().num_engines);
+    Status st = job->Wait(owner->now() + outcome->deadline_budget);
     if (st.ok()) {
       outcome->ok = true;
       outcome->final_status = Status::OK();
-      JobStatus* status = device->status(job->id());
+      JobStatus* status = owner->status(job->id());
       status->retries = outcome->retries;
       if (status->fault_flags.load(std::memory_order_acquire) != 0) {
         outcome->fault_seen = true;

@@ -77,6 +77,9 @@ Result<FpgaJob> SubmitJobWithRetry(FpgaDevice* device,
 /// cancels the attempt, backs off, resubmits `params` and waits again,
 /// until the shared retry budget in `outcome` is exhausted. On success the
 /// final attempt's JobStatus carries the retry count; `job` addresses it.
+/// Deadlines are computed on the clock (and engine count) of the job's
+/// own device; `device` is only where expired attempts are resubmitted —
+/// pool callers pass the slice's owning device for both.
 Status AwaitJobWithRecovery(FpgaDevice* device, FpgaJob* job,
                             const JobParams& params,
                             const RetryPolicy& policy, JobOutcome* outcome);

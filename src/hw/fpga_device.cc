@@ -35,9 +35,10 @@ obs::Counter& WaitLostCounter() {
 }  // namespace
 
 FpgaDevice::FpgaDevice(const DeviceConfig& config, SharedArena* arena,
-                       ThreadPool* pool)
+                       ThreadPool* pool, int device_id)
     : config_(config),
       arena_(arena),
+      device_id_(device_id),
       qpi_(config),
       arbiter_(&qpi_, config.num_engines, config.arbiter_batch_lines) {
   std::vector<RegexEngine*> raw;
@@ -139,6 +140,7 @@ Result<JobId> FpgaDevice::Submit(JobParams params,
   std::lock_guard<std::recursive_mutex> lock(sim_mutex_);
   auto record = std::make_unique<JobRecord>();
   record->params = std::move(params);
+  record->status.device_id = device_id_;
   JobRecord* raw = record.get();
   JobId id = static_cast<JobId>(jobs_.size());
   jobs_.push_back(std::move(record));

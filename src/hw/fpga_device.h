@@ -34,8 +34,11 @@ class FpgaDevice {
   /// is checked against it (the hardware cannot take page faults — see
   /// §4.2.1). May be null for self-contained tests.
   /// `pool`: optional host thread pool accelerating the functional pass.
+  /// `device_id`: this device's index within its DevicePool (0 for a
+  /// standalone device); stamped into every job's status block so metrics
+  /// and traces attribute work to the right pool member.
   FpgaDevice(const DeviceConfig& config, SharedArena* arena = nullptr,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr, int device_id = 0);
 
   DOPPIO_DISALLOW_COPY_AND_ASSIGN(FpgaDevice);
 
@@ -86,6 +89,7 @@ class FpgaDevice {
 
   SimScheduler* scheduler() { return &scheduler_; }
   SimTime now() const { return scheduler_.now(); }
+  int device_id() const { return device_id_; }
   const DeviceConfig& config() const { return config_; }
   const QpiLink& qpi() const { return qpi_; }
   const RegexEngine& engine(int i) const { return *engines_[i]; }
@@ -105,6 +109,7 @@ class FpgaDevice {
 
   DeviceConfig config_;
   SharedArena* arena_;
+  int device_id_ = 0;
   SimScheduler scheduler_;
   QpiLink qpi_;
   Arbiter arbiter_;

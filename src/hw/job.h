@@ -78,6 +78,9 @@ struct JobStatus {
   int64_t functional_bytes = 0;
   double functional_host_seconds = 0;
   int64_t engine_id = -1;
+  /// Pool index of the device that executed this job (0 for a standalone
+  /// device) — metric/trace attribution across a DevicePool.
+  int32_t device_id = 0;
   SimTime enqueue_time = 0;         // virtual time entering the job queue
   SimTime dispatch_time = 0;        // distributor picked up the descriptor
   SimTime start_time = 0;           // assigned to an engine

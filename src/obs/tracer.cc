@@ -176,10 +176,16 @@ std::string Tracer::ToChromeTraceJson() const {
   // insertion index, not queue_job_id — job ids restart at 0 on every
   // device, and a trace spanning several devices (e.g. one BenchSystem
   // per input size) would otherwise interleave unrelated jobs with
-  // rewinding clocks on one track.
+  // rewinding clocks on one track. Tracks are grouped per pool device by
+  // striding the tid with device_id, so a DevicePool trace reads as one
+  // band of tracks per clock domain; for device 0 (every single-device
+  // trace) the stride vanishes and track numbering is unchanged.
+  constexpr uint64_t kDeviceTrackStride = 1'000'000;
   for (size_t i = 0; i < jobs_.size(); ++i) {
     const auto& job = jobs_[i];
-    const uint64_t tid = static_cast<uint64_t>(i) + 1;
+    const uint64_t tid = static_cast<uint64_t>(job.device_id) *
+                             kDeviceTrackStride +
+                         static_cast<uint64_t>(i) + 1;
     EmitSpan(w, "queue", kVirtualPid, tid, job.enqueue_time,
              job.dispatch_time);
     EmitSpan(w, "distribute", kVirtualPid, tid, job.dispatch_time,
@@ -187,6 +193,7 @@ std::string Tracer::ToChromeTraceJson() const {
     EmitSpan(w, "execute", kVirtualPid, tid, job.start_time,
              job.collect_start_time, [&](JsonWriter& a) {
                a.Field("job", static_cast<int64_t>(job.queue_job_id));
+               a.Field("device", static_cast<int64_t>(job.device_id));
                a.Field("engine", job.engine_id);
                a.Field("pu_kernel", job.pu_kernel);
                a.Field("strings", job.strings_processed);

@@ -44,6 +44,9 @@ struct JobTraceRecord {
   TraceId trace_id = kInvalidTraceId;
   uint64_t queue_job_id = 0;
   int64_t engine_id = -1;
+  /// Pool index of the executing device (0 standalone). Device tracks are
+  /// grouped per device in the exported trace: tid = device * stride + n.
+  int32_t device_id = 0;
   SimTime enqueue_time = 0;        // descriptor entered the shared queue
   SimTime dispatch_time = 0;       // distributor picked the descriptor up
   SimTime start_time = 0;          // engine accepted the job

@@ -407,11 +407,12 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
 
   if (!wave->fpga.empty()) {
     const int batch_width = static_cast<int>(wave->fpga.size());
-    // Split the engines across the wave: a full-width wave gives each
-    // query one engine; a singleton keeps the paper's all-engines
-    // partitioning.
+    // Split the pool's engines across the wave: a full-width wave gives
+    // each query one engine; a singleton keeps the paper's all-engines
+    // partitioning. With one device this equals the historical
+    // num_engines / batch_width.
     const int partitions = std::max(
-        1, hal_->device_config().num_engines / batch_width);
+        1, hal_->pool()->total_engines() / batch_width);
     std::vector<FpgaBatchQuery> queries(wave->fpga.size());
     std::vector<FpgaBatchQuery*> pointers;
     pointers.reserve(queries.size());
@@ -424,7 +425,9 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
       queries[i].timing_only = request.timing_only;
       pointers.push_back(&queries[i]);
     }
-    Status status = RegexpFpgaBatch(hal_, pointers);
+    // Device-aware entry: shards the wave across the pool and steals work
+    // from stalled members; a pool of one takes the exact historical path.
+    Status status = RegexpFpgaBatchPooled(hal_, pointers);
     for (size_t i = 0; i < wave->fpga.size(); ++i) {
       Request& request = *wave->fpga[i];
       if (status.ok()) {

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 
+#include "db/hudf.h"
+#include "hal/hal.h"
 #include "hw/config_compiler.h"
 #include "hw/kernel_backend.h"
 #include "hw/processing_unit.h"
@@ -216,6 +219,91 @@ TEST_P(ConformanceTest, SimdBackendAgreesWhenMappable) {
   EXPECT_EQ(capped->Match(c.input), reference)
       << c.pattern << " on '" << c.input << "' (scalar-capped)";
   unsetenv("DOPPIO_SIMD_LEVEL");
+}
+
+/// Shared HALs for the pool sweep (one construction per pool size, reused
+/// across the whole corpus; the conformance geometry maps more patterns
+/// than the paper's deployment default).
+Hal* PoolHal(int num_devices) {
+  auto make = [](int n) {
+    Hal::Options options;
+    options.shared_memory_bytes = 128 * kSharedPageBytes;
+    options.functional_threads = 1;
+    options.num_devices = n;
+    options.device.max_chars = 64;
+    options.device.max_states = 32;
+    return new Hal(options);  // lives for the whole test binary
+  };
+  static Hal* one = make(1);
+  static Hal* two = make(2);
+  static Hal* four = make(4);
+  switch (num_devices) {
+    case 1:
+      return one;
+    case 2:
+      return two;
+    default:
+      return four;
+  }
+}
+
+TEST_P(ConformanceTest, DevicePoolShardingAgreesWhenMappable) {
+  // The whole dialect corpus through 2- and 4-device pools: sharding a
+  // BAT across devices must preserve the per-row 16-bit match index
+  // exactly — byte-identical to the single-device partitioned run, with
+  // the case rows deliberately spread across slice boundaries.
+  const Conformance& c = GetParam();
+  DeviceConfig probe_device;
+  probe_device.max_chars = 64;
+  probe_device.max_states = 32;
+  auto probe = CompileRegexConfig(c.pattern, probe_device);
+  if (!probe.ok()) {
+    GTEST_SKIP() << "not hardware-mappable: " << probe.status().ToString();
+  }
+
+  constexpr int kRows = 63;  // odd, so slices straddle the case rows
+  auto fill = [&](Hal* hal, Bat* input) {
+    for (int i = 0; i < kRows; ++i) {
+      if (i % 3 == 0) {
+        ASSERT_TRUE(input->AppendString(c.input).ok());
+      } else if (i % 3 == 1) {
+        ASSERT_TRUE(input->AppendString("filler row, no verdict").ok());
+      } else {
+        ASSERT_TRUE(input->AppendString("").ok());
+      }
+    }
+    (void)hal;
+  };
+
+  Hal* single = PoolHal(1);
+  Bat reference_input(ValueType::kString, single->bat_allocator());
+  fill(single, &reference_input);
+  auto config_one = single->CompileConfig(c.pattern);
+  ASSERT_TRUE(config_one.ok()) << c.pattern;
+  auto reference =
+      RegexpFpgaPartitioned(single, reference_input, *config_one);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (int devices : {2, 4}) {
+    Hal* hal = PoolHal(devices);
+    Bat input(ValueType::kString, hal->bat_allocator());
+    fill(hal, &input);
+    auto config = hal->CompileConfig(c.pattern);
+    ASSERT_TRUE(config.ok()) << c.pattern;
+    auto out = RegexpFpgaPartitionedPooled(hal, input, *config);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(std::memcmp(reference->result->tail_data(),
+                          out->result->tail_data(),
+                          static_cast<size_t>(kRows) * 2),
+              0)
+        << c.pattern << " on '" << c.input << "' with " << devices
+        << " devices";
+    for (int64_t i = 0; i < kRows; i += 3) {
+      EXPECT_EQ(out->result->GetInt16(i) != 0, c.matched)
+          << c.pattern << " on '" << c.input << "' row " << i << " with "
+          << devices << " devices";
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Dialect, ConformanceTest,

@@ -258,5 +258,98 @@ TEST(SchedStressTest, TeardownUnderLoad) {
   scheduler.reset();
 }
 
+// Multi-device leg: the scheduler's waves run through the pooled executor
+// across a 3-device pool whose members fail differently — device 0 clean,
+// device 1 dropping jobs, device 2 with a permanently stalled engine.
+// Every query must still complete with results matching the software
+// reference, nobody may livelock on Overloaded, and the healthy members
+// must absorb the faulty ones' backlog.
+TEST(SchedStressTest, MultiDevicePoolMixedFaultsStaysBitIdentical) {
+  FaultPlan dropping;
+  dropping.enabled = true;
+  dropping.seed = 23;
+  dropping.drop_rate = 0.2;
+  dropping.submit_failure_rate = 0.05;
+  FaultPlan stalled;
+  stalled.enabled = true;
+  stalled.stalled_engine_mask = 0x1;  // engine 0 hangs forever
+
+  Hal::Options hal_options = StressHal();
+  hal_options.num_devices = 3;
+  hal_options.device_faults = {FaultPlan{}, dropping, stalled};
+  Hal hal(hal_options);
+  ASSERT_EQ(hal.pool()->size(), 3);
+
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 8;
+  constexpr int kRows = 96;
+
+  QueryScheduler::Options options;
+  options.cost_routing = false;
+  QueryScheduler scheduler(&hal, options);
+
+  std::vector<std::unique_ptr<Bat>> inputs;
+  std::vector<std::vector<bool>> expected;
+  std::vector<Session*> sessions;
+  for (int t = 0; t < kThreads; ++t) {
+    auto input =
+        std::make_unique<Bat>(ValueType::kString, hal.bat_allocator());
+    FillInput(input.get(), kRows, /*salt=*/t);
+    expected.push_back(GroundTruth(*input, kPatterns[t % 4]));
+    inputs.push_back(std::move(input));
+    SessionOptions session_options;
+    session_options.tenant = "pool" + std::to_string(t);
+    sessions.push_back(scheduler.CreateSession(session_options));
+  }
+
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Bat& input = *inputs[static_cast<size_t>(t)];
+      const std::vector<bool>& want = expected[static_cast<size_t>(t)];
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        Result<sched::ScheduledResult> result = Status::Internal("unset");
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          result = scheduler.Execute(sessions[static_cast<size_t>(t)], input,
+                                     kPatterns[t % 4]);
+          if (!result.ok() && result.status().IsOverloaded()) {
+            std::this_thread::yield();
+            continue;
+          }
+          break;
+        }
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        bool rows_ok = result->hudf.result->count() == input.count();
+        for (int64_t r = 0; rows_ok && r < input.count(); ++r) {
+          rows_ok = (result->hudf.result->GetInt16(r) != 0) ==
+                    want[static_cast<size_t>(r)];
+        }
+        if (!rows_ok) {
+          ++failures;
+          continue;
+        }
+        ++completed;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kThreads * kQueriesPerThread);
+  // The pool actually spread the load: the clean device executed slices,
+  // and the faulty members were not silently excluded from placement.
+  int devices_used = 0;
+  for (int d = 0; d < hal.pool()->size(); ++d) {
+    if (hal.pool()->slices_executed(d) > 0) ++devices_used;
+  }
+  EXPECT_GE(devices_used, 2);
+  scheduler.Shutdown();
+}
+
 }  // namespace
 }  // namespace doppio
