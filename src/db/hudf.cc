@@ -63,6 +63,39 @@ struct QueryRun {
   std::vector<Slice> slices;
 };
 
+/// Demultiplexes a set-compiled query's row-major staging results
+/// (out.result: count x streams 16-bit values) into per-stream columns
+/// (FpgaBatchQuery::set_outputs). No-op at streams == 1. Byte-wise copy:
+/// the raw device values pass through untouched, so every stream is
+/// bit-identical to running its member pattern alone.
+Status DemuxSetOutputs(Hal* hal, FpgaBatchQuery& q) {
+  if (q.streams <= 1) return Status::OK();
+  const int streams = q.streams;
+  const int64_t n = q.input->count();
+  q.set_outputs.clear();
+  q.set_outputs.resize(static_cast<size_t>(streams));
+  const uint8_t* staging = q.out.result->tail_data();
+  for (int k = 0; k < streams; ++k) {
+    HudfResult& out = q.set_outputs[static_cast<size_t>(k)];
+    DOPPIO_ASSIGN_OR_RETURN(
+        out.result, Bat::New(ValueType::kInt16, n, hal->bat_allocator()));
+    DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(n));
+    uint8_t* dst = out.result->mutable_tail_data();
+    int64_t matched = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const uint8_t lo = staging[(i * streams + k) * 2];
+      const uint8_t hi = staging[(i * streams + k) * 2 + 1];
+      dst[i * 2] = lo;
+      dst[i * 2 + 1] = hi;
+      if ((lo | hi) != 0) ++matched;
+    }
+    // The shared scan's phase/trace stats, with this stream's own count.
+    out.stats = q.out.stats;
+    out.stats.rows_matched = matched;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<HudfResult> RunDfaScanInSoftware(const Bat& input,
@@ -161,20 +194,28 @@ Status RegexpFpgaBatch(Hal* hal,
       return fail(
           Status::InvalidArgument("regex job input must be a string BAT"));
     }
+    if (q->streams < 1 || q->streams > 64) {
+      return fail(
+          Status::InvalidArgument("batch query streams out of range [1, 64]"));
+    }
     runs.emplace_back();
     QueryRun& run = runs.back();
     run.query = q;
     run.trace = tracer.BeginQuery(q->span_name);
     HudfResult& out = q->out;
     out.stats.trace_id = run.trace;
-    out.stats.strategy = "fpga";  // partitioning is internal to the operator
+    // Partitioning is internal to the operator; a set-compiled config
+    // surfaces as its own strategy so demuxed streams are attributable.
+    out.stats.strategy = q->streams > 1 ? "fpga-set" : "fpga";
     out.stats.rows_scanned = q->input->count();
 
-    auto result = Bat::New(ValueType::kInt16, q->input->count(),
+    // streams > 1: the result BAT is the row-major staging area for every
+    // stream; DemuxSetOutputs splits it per member after the wave.
+    auto result = Bat::New(ValueType::kInt16, q->input->count() * q->streams,
                            hal->bat_allocator());
     if (!result.ok()) return fail(result.status());
     out.result = std::move(*result);
-    Status st = out.result->AppendZeros(q->input->count());
+    Status st = out.result->AppendZeros(q->input->count() * q->streams);
     if (!st.ok()) return fail(st);
   }
 
@@ -204,8 +245,9 @@ Status RegexpFpgaBatch(Hal* hal,
       JobParams& params = slice.params;
       params.offsets = input.tail_data() + first * input.offset_width();
       params.heap = input.heap()->data();
-      params.result = q.out.result->mutable_tail_data() + first * 2;
+      params.result = q.out.result->mutable_tail_data() + first * 2 * q.streams;
       params.count = rows;
+      params.streams = q.streams;
       params.offset_width = static_cast<int32_t>(input.offset_width());
       // Heap extent of this slice: up to the next slice's first string
       // (the heap is written in row order), or the heap end for the last
@@ -236,6 +278,8 @@ Status RegexpFpgaBatch(Hal* hal,
     HudfResult& out = q.out;
 
     if (q.input->count() == 0) {
+      Status st = DemuxSetOutputs(hal, q);
+      if (!st.ok()) return fail(st);
       out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();
       tracer.EndQuery(run.trace);
       continue;
@@ -290,7 +334,8 @@ Status RegexpFpgaBatch(Hal* hal,
       FallbackRowsCounter().Add(slice.params.count);
     }
     if (out.stats.fallback_rows > 0) {
-      out.stats.strategy = "fpga+sw_fallback";
+      out.stats.strategy =
+          q.streams > 1 ? "fpga-set+sw_fallback" : "fpga+sw_fallback";
     }
     out.stats.sim_host_seconds = wait_watch.ElapsedSeconds();
     out.stats.hw_seconds =
@@ -299,6 +344,8 @@ Status RegexpFpgaBatch(Hal* hal,
         std::max(0.0, run.udf_watch.ElapsedSeconds() -
                           out.stats.hal_seconds -
                           out.stats.sim_host_seconds);
+    Status demux = DemuxSetOutputs(hal, q);
+    if (!demux.ok()) return fail(demux);
     tracer.EndQuery(run.trace);
   }
   return Status::OK();
@@ -357,19 +404,23 @@ Status RegexpFpgaBatchPooled(Hal* hal,
       return fail(
           Status::InvalidArgument("regex job input must be a string BAT"));
     }
+    if (q->streams < 1 || q->streams > 64) {
+      return fail(
+          Status::InvalidArgument("batch query streams out of range [1, 64]"));
+    }
     runs.emplace_back();
     QueryRun& run = runs.back();
     run.query = q;
     run.trace = tracer.BeginQuery(q->span_name);
     HudfResult& out = q->out;
     out.stats.trace_id = run.trace;
-    out.stats.strategy = "fpga";
+    out.stats.strategy = q->streams > 1 ? "fpga-set" : "fpga";
     out.stats.rows_scanned = q->input->count();
-    auto result = Bat::New(ValueType::kInt16, q->input->count(),
+    auto result = Bat::New(ValueType::kInt16, q->input->count() * q->streams,
                            hal->bat_allocator());
     if (!result.ok()) return fail(result.status());
     out.result = std::move(*result);
-    Status st = out.result->AppendZeros(q->input->count());
+    Status st = out.result->AppendZeros(q->input->count() * q->streams);
     if (!st.ok()) return fail(st);
   }
 
@@ -404,8 +455,9 @@ Status RegexpFpgaBatchPooled(Hal* hal,
       JobParams& params = slice.params;
       params.offsets = input.tail_data() + first * input.offset_width();
       params.heap = input.heap()->data();
-      params.result = q.out.result->mutable_tail_data() + first * 2;
+      params.result = q.out.result->mutable_tail_data() + first * 2 * q.streams;
       params.count = rows;
+      params.streams = q.streams;
       params.offset_width = static_cast<int32_t>(input.offset_width());
       params.heap_bytes =
           first + rows < input.count()
@@ -588,6 +640,8 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     FpgaBatchQuery& q = *run.query;
     HudfResult& out = q.out;
     if (q.input->count() == 0) {
+      Status st = DemuxSetOutputs(hal, q);
+      if (!st.ok()) return fail(st);
       out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();
       tracer.EndQuery(run.trace);
       continue;
@@ -611,7 +665,8 @@ Status RegexpFpgaBatchPooled(Hal* hal,
       }
     }
     if (out.stats.fallback_rows > 0) {
-      out.stats.strategy = "fpga+sw_fallback";
+      out.stats.strategy =
+          q.streams > 1 ? "fpga-set+sw_fallback" : "fpga+sw_fallback";
     }
     double hw_seconds = 0;
     for (const ClockExtent& extent : extents[qi]) {
@@ -628,6 +683,8 @@ Status RegexpFpgaBatchPooled(Hal* hal,
         std::max(0.0, run.udf_watch.ElapsedSeconds() -
                           out.stats.hal_seconds -
                           out.stats.sim_host_seconds);
+    Status demux = DemuxSetOutputs(hal, q);
+    if (!demux.ok()) return fail(demux);
     tracer.EndQuery(run.trace);
   }
   return Status::OK();

@@ -72,7 +72,18 @@ struct FpgaBatchQuery {
   /// Simulator-only throughput knob (see JobParams::timing_only): derive
   /// exact traffic/timing but skip the functional pass (results zeroed).
   bool timing_only = false;
+  /// Output streams of `config` (1..64). 1 = the classic single-pattern
+  /// scan, byte-identical to before streams existed. > 1 = `config` is a
+  /// set-compiled program (CompileRegexSetConfig) with that many tagged
+  /// accept streams: `out.result` then holds count x streams 16-bit
+  /// values row-major (the raw device layout) and `set_outputs` the
+  /// per-stream demux. Must equal the compiled program's pattern count.
+  int streams = 1;
   HudfResult out;  // populated by RegexpFpgaBatch
+  /// streams > 1 only: set_outputs[k] is member k's own kInt16 column
+  /// over the input rows — bit-identical to running that member alone.
+  /// Each carries the wave's shared stats with its own rows_matched.
+  std::vector<HudfResult> set_outputs;
 };
 
 /// Shared partitioned submission across queries: every slice of every

@@ -40,6 +40,27 @@ Result<RegexConfig> CompileRegexConfig(const AstNode& ast,
   return config;
 }
 
+Result<RegexConfig> CompileRegexSetConfig(
+    const std::vector<const TokenNfa*>& members, const DeviceConfig& device) {
+  Stopwatch watch;
+  DOPPIO_ASSIGN_OR_RETURN(TokenNfa nfa, BuildUnionNfa(members));
+  DOPPIO_RETURN_NOT_OK(CheckCapacity(nfa, device));
+  if (nfa.NumStates() > 64) {
+    // CompiledPuProgram would reject it later; fail at compile time so the
+    // scheduler falls back to the multi-pass planner up front.
+    return Status::CapacityExceeded("pattern-set union exceeds 64 states");
+  }
+  DOPPIO_ASSIGN_OR_RETURN(ConfigVector vector, ConfigVector::Encode(nfa));
+
+  RegexConfig config;
+  config.states_used = nfa.NumStates();
+  config.matchers_used = nfa.TotalMatchers();
+  config.vector = std::move(vector);
+  config.nfa = std::move(nfa);
+  config.compile_seconds = watch.ElapsedSeconds();
+  return config;
+}
+
 Result<RegexConfig> CompileRegexConfig(std::string_view pattern,
                                        const DeviceConfig& device,
                                        const CompileOptions& options) {

@@ -10,6 +10,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "hw/config_vector.h"
@@ -41,5 +42,14 @@ Result<RegexConfig> CompileRegexConfig(const AstNode& ast,
 
 /// Checks an extracted token NFA against a geometry.
 Status CheckCapacity(const TokenNfa& nfa, const DeviceConfig& device);
+
+/// Compiles a *set* of already-compiled member configs into one combined
+/// config: the union NFA with tagged accepts (docs/PATTERN_SETS.md).
+/// Member k's matches surface on output stream k. Fails with
+/// CapacityExceeded when the merged token/trigger/transition program does
+/// not fit one PU (token dedup across members is applied first) — the
+/// signal that sends the batch back to the multi-pass planner.
+Result<RegexConfig> CompileRegexSetConfig(
+    const std::vector<const TokenNfa*>& members, const DeviceConfig& device);
 
 }  // namespace doppio

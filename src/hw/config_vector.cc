@@ -15,7 +15,10 @@ namespace doppio {
 //   states:  per state:
 //     u4-words: trigger bitmask  (ceil(num_tokens/8) bytes)
 //     pred bitmask               (ceil(num_states/8) bytes)
-//     u8 flags: bit0 latch, bit1 accept
+//     u8 flags: bit0 latch, bit1 accept, bit2 tagged
+//     if tagged: u8 pattern_tag (set-compiled unions only; a tag of 0 is
+//     encoded without the flag, so single-pattern vectors are byte-for-byte
+//     what version 1 always emitted)
 namespace {
 constexpr uint8_t kMagic = 0xD0;
 constexpr uint8_t kVersion = 1;
@@ -70,7 +73,11 @@ Result<ConfigVector> ConfigVector::Encode(const TokenNfa& nfa) {
     uint8_t flags = 0;
     if (state.latch) flags |= 1;
     if (state.accept) flags |= 2;
+    if (state.pattern_tag != 0) flags |= 4;
     b.push_back(flags);
+    if (state.pattern_tag != 0) {
+      b.push_back(static_cast<uint8_t>(state.pattern_tag));
+    }
   }
 
   // Pad to whole 512-bit words.
@@ -143,6 +150,10 @@ Result<TokenNfa> ConfigVector::Decode() const {
     const uint8_t flags = u8();
     state.latch = (flags & 1) != 0;
     state.accept = (flags & 2) != 0;
+    if ((flags & 4) != 0) {
+      DOPPIO_RETURN_NOT_OK(need(1));
+      state.pattern_tag = u8();
+    }
   }
   DOPPIO_RETURN_NOT_OK(nfa.Validate());
   return nfa;

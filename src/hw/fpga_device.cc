@@ -101,6 +101,9 @@ void FpgaDevice::PublishDsm(DeviceStatusMemory* dsm) {
 
 Status FpgaDevice::ValidateJob(const JobParams& params) const {
   if (params.count < 0) return Status::InvalidArgument("negative count");
+  if (params.streams < 1 || params.streams > 64) {
+    return Status::InvalidArgument("job streams out of range [1, 64]");
+  }
   if (params.offset_width != 4) {
     return Status::NotImplemented("only 32-bit offsets are deployed");
   }
@@ -118,7 +121,8 @@ Status FpgaDevice::ValidateJob(const JobParams& params) const {
     // anything else would be an unrecoverable fault (§4.2.1).
     if (!arena_->Contains(params.offsets, params.count * 4) ||
         !arena_->Contains(params.heap, params.heap_bytes) ||
-        !arena_->Contains(params.result, params.count * 2)) {
+        !arena_->Contains(params.result,
+                          params.count * 2 * params.streams)) {
       return Status::InvalidArgument(
           "job memory outside the CPU-FPGA shared region");
     }

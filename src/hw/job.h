@@ -25,6 +25,11 @@ struct JobParams {
   int32_t offset_width = 4;          // bytes per offset
   int64_t heap_bytes = 0;            // heap extent (for prefetch sizing)
   std::vector<uint8_t> config;       // configuration vector words
+  /// Tagged output streams of a set-compiled config (must equal the
+  /// program's num_patterns). The result block holds count*streams 16-bit
+  /// indexes, row-major per string: string i's stream p lands at
+  /// result[(i*streams + p) * 2]. 1 for ordinary single-pattern jobs.
+  int32_t streams = 1;
 
   /// Simulator-only knob for throughput experiments: skip the functional
   /// matching pass (results are zeroed) while still deriving the exact

@@ -53,6 +53,10 @@ class ScalarExecution : public HostExecution {
     return pu_.ProcessString(input);
   }
 
+  void MatchSet(std::string_view input, uint16_t* match) override {
+    pu_.ProcessStringSet(input, match);
+  }
+
   const char* kernel_name() const override {
     return PuKernelName(pu_.kernel());
   }
@@ -69,10 +73,32 @@ class SimdExecution : public HostExecution {
   explicit SimdExecution(std::shared_ptr<const CompiledPuProgram> program)
       : program_(std::move(program)), level_(simd::ActiveSimdLevel()) {
     prefilter_.level = level_;
+    const int num_patterns = program_->num_patterns();
     if (program_->kernel() != PuKernelKind::kNfaLoop) {
-      bitparallel_ = BitParallelProgram::Compile(program_->nfa());
+      if (num_patterns == 1) {
+        bitparallel_ = BitParallelProgram::Compile(program_->nfa());
+      } else if (program_->members_chain_shaped()) {
+        // Set program whose every member is chain-shaped: one bit-parallel
+        // engine per member. Union members are disjoint, so running them
+        // separately is exactly the tagged-stream semantics.
+        for (int p = 0; p < num_patterns; ++p) {
+          Result<TokenNfa> member = ExtractMemberNfa(program_->nfa(), p);
+          std::optional<BitParallelProgram> bp;
+          if (member.ok()) bp = BitParallelProgram::Compile(*member);
+          if (!bp.has_value()) {
+            member_bp_.clear();
+            break;
+          }
+          member_bp_.push_back(std::move(*bp));
+        }
+      }
     }
-    if (!bitparallel_.has_value()) {
+    const bool bit_parallel = bitparallel_.has_value() ||
+                              (num_patterns > 1 &&
+                               member_bp_.size() ==
+                                   static_cast<size_t>(num_patterns));
+    if (!bit_parallel) {
+      member_bp_.clear();
       const std::vector<uint8_t>& sb = program_->start_bytes();
       if (program_->kernel() == PuKernelKind::kLazyDfa && !sb.empty() &&
           static_cast<int>(sb.size()) <= simd::kMaxScanBytes) {
@@ -82,16 +108,24 @@ class SimdExecution : public HostExecution {
         prefilter_.count = static_cast<int>(sb.size());
         dfa_ = std::make_unique<LazyDfaCache>(program_.get());
       }
-    }
-    if (!bitparallel_.has_value()) {
       // Overflow fallback for the prefiltered DFA, or the whole
       // execution when the program has no SIMD-accelerable shape.
       scalar_ = std::make_unique<ScalarExecution>(program_);
     }
+    scratch_.assign(static_cast<size_t>(num_patterns), 0);
   }
 
   uint16_t Match(std::string_view input) override {
     if (bitparallel_.has_value()) return bitparallel_->Find(input, level_);
+    if (program_->num_patterns() > 1) {
+      // Any-stream semantics on a set program: the earliest stream accept.
+      MatchSet(input, scratch_.data());
+      uint16_t first = 0;
+      for (uint16_t v : scratch_) {
+        if (v != 0 && (first == 0 || v < first)) first = v;
+      }
+      return first;
+    }
     if (dfa_ != nullptr) {
       uint16_t index = 0;
       if (dfa_->Run(input, &index, &prefilter_)) return index;
@@ -101,8 +135,24 @@ class SimdExecution : public HostExecution {
     return scalar_->Match(input);
   }
 
+  void MatchSet(std::string_view input, uint16_t* match) override {
+    if (program_->num_patterns() == 1) {
+      match[0] = Match(input);
+      return;
+    }
+    if (!member_bp_.empty()) {
+      for (size_t p = 0; p < member_bp_.size(); ++p) {
+        match[p] = member_bp_[p].Find(input, level_);
+      }
+      return;
+    }
+    if (dfa_ != nullptr && dfa_->RunSet(input, match, &prefilter_)) return;
+    scalar_->MatchSet(input, match);
+  }
+
   const char* kernel_name() const override {
     if (bitparallel_.has_value()) return "bit-parallel";
+    if (!member_bp_.empty()) return "bit-parallel-set";
     if (dfa_ != nullptr) return "dfa+prefilter";
     return scalar_->kernel_name();
   }
@@ -113,9 +163,11 @@ class SimdExecution : public HostExecution {
   /// env lookup is far too slow for the per-string Match loop.
   simd::SimdLevel level_;
   std::optional<BitParallelProgram> bitparallel_;
+  std::vector<BitParallelProgram> member_bp_;  // bit-parallel-set route
   StartBytePrefilter prefilter_;
   std::unique_ptr<LazyDfaCache> dfa_;
   std::unique_ptr<ScalarExecution> scalar_;
+  std::vector<uint16_t> scratch_;
 };
 
 class CpuScalarBackend : public KernelBackend {
@@ -136,6 +188,12 @@ class CpuSimdBackend : public KernelBackend {
   bool Supports(const CompiledPuProgram& program) const override {
     if (program.kernel() == PuKernelKind::kNfaLoop) {
       return false;  // forced interpreter: honor it
+    }
+    // Set programs: bit-parallel per member when every member is
+    // chain-shaped; otherwise the prefiltered-DFA test below applies to
+    // the union as a whole (RunSet shares the reset-state skip).
+    if (program.num_patterns() > 1 && program.members_chain_shaped()) {
+      return true;
     }
     // Chain-shaped programs compile to the bit-parallel engine (stage
     // chains are <= 64 matchers by TokenNfa::Validate, so they always
@@ -213,12 +271,22 @@ Result<int64_t> RunHostSlice(const DeviceConfig& device,
     info->backend = backend.id();
     info->kernel = exec->kernel_name();
   }
+  const int32_t streams = params.streams;
+  if (program->num_patterns() != streams) {
+    return Status::Internal("host slice streams do not match the program");
+  }
   StringReader reader(params);
   OutputCollector collector(params);
+  std::vector<uint16_t> values(static_cast<size_t>(streams));
   while (reader.HasMore()) {
     DOPPIO_ASSIGN_OR_RETURN(StringReader::Block block, reader.ReadBlock());
     for (std::string_view s : block.strings) {
-      DOPPIO_RETURN_NOT_OK(collector.Append(exec->Match(s)));
+      if (streams == 1) {
+        DOPPIO_RETURN_NOT_OK(collector.Append(exec->Match(s)));
+      } else {
+        exec->MatchSet(s, values.data());
+        DOPPIO_RETURN_NOT_OK(collector.AppendSet(values.data(), streams));
+      }
     }
   }
   return collector.matches();

@@ -58,8 +58,17 @@ class HostExecution {
   /// last character saturated at 65535, or 0 for no match.
   virtual uint16_t Match(std::string_view input) = 0;
 
+  /// Set-program semantics: fills match[0 .. program num_patterns) with
+  /// each tagged stream's first-accept index, each stream bit-identical
+  /// to Match() on that member compiled alone (independent 65535
+  /// saturation per stream). The default covers single-pattern programs.
+  virtual void MatchSet(std::string_view input, uint16_t* match) {
+    match[0] = Match(input);
+  }
+
   /// Kernel actually executing ("literal", "lazy-dfa", "nfa-loop",
-  /// "bit-parallel", "dfa+prefilter") — stats/bench tag.
+  /// "bit-parallel", "bit-parallel-set", "dfa+prefilter") — stats/bench
+  /// tag.
   virtual const char* kernel_name() const = 0;
 };
 

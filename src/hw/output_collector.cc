@@ -18,16 +18,23 @@ obs::Counter& ResultLinesCounter() {
 OutputCollector::OutputCollector(const JobParams& params) : params_(&params) {}
 
 Status OutputCollector::Append(uint16_t match_index) {
+  return AppendSet(&match_index, 1);
+}
+
+Status OutputCollector::AppendSet(const uint16_t* values, int32_t streams) {
   if (results_written_ >= params_->count) {
     return Status::Internal("output collector overflow");
   }
   uint16_t* out = reinterpret_cast<uint16_t*>(params_->result);
-  out[results_written_] = match_index;
-  // Count a result line when its first index lands — once per 32 strings,
-  // so the functional pass's measured host time stays unperturbed.
-  if (results_written_ % kResultsPerLine == 0) ResultLinesCounter().Add();
+  for (int32_t p = 0; p < streams; ++p) {
+    out[values_written_] = values[p];
+    // Count a result line when its first index lands — once per 32 values,
+    // so the functional pass's measured host time stays unperturbed.
+    if (values_written_ % kResultsPerLine == 0) ResultLinesCounter().Add();
+    ++values_written_;
+    if (values[p] != 0) ++matches_;
+  }
   ++results_written_;
-  if (match_index != 0) ++matches_;
   return Status::OK();
 }
 

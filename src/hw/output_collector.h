@@ -21,24 +21,31 @@ class OutputCollector {
   /// Appends the match index for the next string (input order).
   Status Append(uint16_t match_index);
 
+  /// Appends all tagged-stream indexes for the next string of a
+  /// set-compiled job (JobParams::streams values, row-major layout).
+  /// Append(x) is exactly AppendSet(&x, 1).
+  Status AppendSet(const uint16_t* values, int32_t streams);
+
   /// Strings emitted so far.
   int64_t results_written() const { return results_written_; }
-  /// Cache lines of result traffic generated so far.
+  /// Cache lines of result traffic generated so far (16-bit values packed
+  /// 32 per line — streams multiply the value count).
   int64_t result_lines() const {
-    return (results_written_ + kResultsPerLine - 1) / kResultsPerLine;
+    return (values_written_ + kResultsPerLine - 1) / kResultsPerLine;
   }
-  /// Number of nonzero results (matches) — kept as a running statistic
-  /// for the job status block.
+  /// Number of nonzero result values (per-stream matches) — kept as a
+  /// running statistic for the job status block.
   int64_t matches() const { return matches_; }
 
-  /// Total result lines for a job of `count` strings.
-  static int64_t TotalResultLines(int64_t count) {
-    return (count + kResultsPerLine - 1) / kResultsPerLine;
+  /// Total result lines for `values` 16-bit indexes (strings x streams).
+  static int64_t TotalResultLines(int64_t values) {
+    return (values + kResultsPerLine - 1) / kResultsPerLine;
   }
 
  private:
   const JobParams* params_;
-  int64_t results_written_ = 0;
+  int64_t results_written_ = 0;  // strings
+  int64_t values_written_ = 0;   // 16-bit indexes (strings x streams)
   int64_t matches_ = 0;
 };
 

@@ -55,10 +55,22 @@ class ProcessingUnit {
   uint16_t MatchIndex() const { return match_index_; }
   bool Matched() const { return match_index_ != 0; }
 
+  /// Per-stream match indexes of a set-compiled program (index =
+  /// pattern_tag; size = num_patterns). Each stream saturates at 65535
+  /// independently. For single-pattern programs this is {MatchIndex()}.
+  const std::vector<uint16_t>& MatchIndexes() const { return match_indexes_; }
+
   /// Convenience: full string through the PU. Dispatches to the compiled
   /// kernel; the result and the cycle count are identical to a
   /// StartString + ConsumeByte loop over every byte.
   uint16_t ProcessString(std::string_view input);
+
+  /// Set-program variant: fills match[0 .. num_patterns) with each tagged
+  /// stream's first-accept index. Stream p is bit-identical to
+  /// ProcessString with member p compiled alone; cycle accounting is one
+  /// pass over the string regardless of the member count — the whole point
+  /// of set compilation. Identical to ProcessString for one pattern.
+  void ProcessStringSet(std::string_view input, uint16_t* match);
 
   /// Total bytes consumed since Configure — equals PU clock cycles spent.
   int64_t cycles() const { return cycles_; }
@@ -73,6 +85,8 @@ class ProcessingUnit {
   /// lazy-DFA overflow fallback). Touches only `progress_`; leaves the
   /// streaming state (`active_`, `position_`, `cycles_`) to the caller.
   uint16_t RunNfaLoop(std::string_view input);
+  /// Set variant of the interpreter loop: per-stream first accepts.
+  void RunNfaLoopSet(std::string_view input, uint16_t* match);
   /// Ordered substring stages (LIKE '%s1%s2%...%' shape).
   uint16_t RunLiteral(std::string_view input) const;
 
@@ -86,6 +100,9 @@ class ProcessingUnit {
   uint64_t active_ = 0;                // active states bitmask
   int64_t position_ = 0;
   uint16_t match_index_ = 0;
+  std::vector<uint16_t> match_indexes_;  // per output stream
+  uint64_t matched_streams_ = 0;         // streams already latched
+  uint64_t all_streams_ = 1;             // (1 << num_patterns) - 1
 
   int64_t cycles_ = 0;
 };

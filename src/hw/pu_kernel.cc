@@ -1,6 +1,7 @@
 #include "hw/pu_kernel.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "hw/config_compiler.h"
 #include "regex/charset_analysis.h"
@@ -63,6 +64,10 @@ Result<std::shared_ptr<const CompiledPuProgram>> CompiledPuProgram::Compile(
   program->nfa_ = std::move(nfa);
   const TokenNfa& prog_nfa = program->nfa_;
 
+  program->num_patterns_ = prog_nfa.NumPatterns();
+  program->pattern_accept_masks_.assign(
+      static_cast<size_t>(program->num_patterns_), 0);
+
   std::vector<uint64_t> pred_masks(prog_nfa.states.size(), 0);
   for (size_t s = 0; s < prog_nfa.states.size(); ++s) {
     const HwState& state = prog_nfa.states[s];
@@ -70,7 +75,11 @@ Result<std::shared_ptr<const CompiledPuProgram>> CompiledPuProgram::Compile(
       pred_masks[s] |= uint64_t{1} << p;
     }
     if (state.latch) program->latch_mask_ |= uint64_t{1} << s;
-    if (state.accept) program->accept_mask_ |= uint64_t{1} << s;
+    if (state.accept) {
+      program->accept_mask_ |= uint64_t{1} << s;
+      program->pattern_accept_masks_[static_cast<size_t>(state.pattern_tag)] |=
+          uint64_t{1} << s;
+    }
 
     for (int t : state.trigger_tokens) {
       const HwToken& token = prog_nfa.tokens[static_cast<size_t>(t)];
@@ -114,6 +123,18 @@ Result<std::shared_ptr<const CompiledPuProgram>> CompiledPuProgram::Compile(
 
   program->chain_states_ =
       AnalyzeChainShape(prog_nfa).value_or(std::vector<int>{});
+  if (program->num_patterns_ == 1) {
+    program->members_chain_shaped_ = !program->chain_states_.empty();
+  } else {
+    program->members_chain_shaped_ = true;
+    for (int p = 0; p < program->num_patterns_; ++p) {
+      Result<TokenNfa> member = ExtractMemberNfa(prog_nfa, p);
+      if (!member.ok() || !AnalyzeChainShape(*member).has_value()) {
+        program->members_chain_shaped_ = false;
+        break;
+      }
+    }
+  }
 
   // Escape-byte set of the reset state: with no state active, only a
   // start-gated edge whose first chain position matches the byte can set
@@ -167,6 +188,15 @@ int32_t LazyDfaCache::Intern(std::vector<uint64_t> regs) {
   }
   const int32_t id = static_cast<int32_t>(regs_.size());
   accept_.push_back((regs.back() & program_->accept_mask()) != 0 ? 1 : 0);
+  uint64_t tags = 0;
+  if (accept_.back() != 0) {
+    for (int p = 0; p < program_->num_patterns(); ++p) {
+      if ((regs.back() & program_->pattern_accept_mask(p)) != 0) {
+        tags |= uint64_t{1} << p;
+      }
+    }
+  }
+  accept_tags_.push_back(tags);
   trans_.insert(trans_.end(),
                 static_cast<size_t>(program_->num_byte_classes()), -1);
   regs_.push_back(regs);
@@ -229,6 +259,50 @@ bool LazyDfaCache::Run(std::string_view input, uint16_t* match_index,
     }
   }
   *match_index = 0;
+  return true;
+}
+
+bool LazyDfaCache::RunSet(std::string_view input, uint16_t* match,
+                          const StartBytePrefilter* prefilter) {
+  const int num_patterns = program_->num_patterns();
+  const uint64_t all = num_patterns >= 64
+                           ? ~uint64_t{0}
+                           : (uint64_t{1} << num_patterns) - 1;
+  for (int p = 0; p < num_patterns; ++p) match[p] = 0;
+
+  const uint16_t* classes = program_->byte_classes().data();
+  const int32_t num_classes = program_->num_byte_classes();
+  int32_t sid = 0;
+  uint64_t matched = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (sid == 0 && prefilter != nullptr) {
+      // Reset state never accepts (for any stream), so the skip is sound
+      // exactly as in Run().
+      i = simd::FindByteSetAtLevel(input, i, prefilter->bytes.data(),
+                                   prefilter->count, prefilter->level);
+      if (i == std::string_view::npos) break;
+    }
+    const int32_t cls = classes[static_cast<uint8_t>(input[i])];
+    int32_t next = trans_[static_cast<size_t>(sid * num_classes + cls)];
+    if (next < 0) {
+      next = Step(sid, cls);
+      if (next < 0) return false;
+      trans_[static_cast<size_t>(sid * num_classes + cls)] = next;
+    }
+    sid = next;
+    uint64_t fresh = accept_tags_[static_cast<size_t>(sid)] & ~matched;
+    if (fresh != 0) {
+      const uint16_t index =
+          i + 1 > 65535 ? 65535 : static_cast<uint16_t>(i + 1);
+      while (fresh != 0) {
+        const int p = std::countr_zero(fresh);
+        match[p] = index;
+        fresh &= fresh - 1;
+      }
+      matched |= accept_tags_[static_cast<size_t>(sid)];
+      if (matched == all) return true;
+    }
+  }
   return true;
 }
 

@@ -96,6 +96,15 @@ class CompiledPuProgram {
   uint64_t latch_mask() const { return latch_mask_; }
   uint64_t accept_mask() const { return accept_mask_; }
 
+  /// Tagged output streams (1 for ordinary programs; K for set-compiled
+  /// unions, docs/PATTERN_SETS.md). Executors emit one 16-bit match index
+  /// per stream per string, each saturated independently.
+  int num_patterns() const { return num_patterns_; }
+  /// Accept-state bitmask of one output stream (accept_mask() is their OR).
+  uint64_t pattern_accept_mask(int pattern) const {
+    return pattern_accept_masks_[static_cast<size_t>(pattern)];
+  }
+
   const std::vector<LiteralStage>& literal_stages() const {
     return literal_stages_;
   }
@@ -118,6 +127,13 @@ class CompiledPuProgram {
   /// kernel and the bit-parallel host backend both key off this.
   const std::vector<int>& chain_state_order() const { return chain_states_; }
 
+  /// True when every member of a set-compiled union is chain-shaped (for
+  /// single-pattern programs: the whole graph is). The SIMD backend's
+  /// bit-parallel-set route keys off this — each member then runs its own
+  /// Shift-And engine, which is exactly the tagged-stream semantics since
+  /// union members are disjoint.
+  bool members_chain_shaped() const { return members_chain_shaped_; }
+
   /// Bytes that can move the machine out of the empty (reset) state: the
   /// first-position bytes of every start-gated edge. While no state is
   /// active, any byte outside this set provably leaves the machine in the
@@ -132,12 +148,15 @@ class CompiledPuProgram {
   std::vector<Edge> edges_;
   uint64_t latch_mask_ = 0;
   uint64_t accept_mask_ = 0;
+  int num_patterns_ = 1;
+  std::vector<uint64_t> pattern_accept_masks_;
   std::vector<LiteralStage> literal_stages_;
   std::array<uint16_t, 256> byte_classes_{};
   int num_byte_classes_ = 0;
   std::vector<std::vector<uint64_t>> class_edge_masks_;
   int max_dfa_states_ = 0;
   std::vector<int> chain_states_;
+  bool members_chain_shaped_ = false;
   std::vector<uint8_t> start_bytes_;
 };
 
@@ -174,6 +193,14 @@ class LazyDfaCache {
   bool Run(std::string_view input, uint16_t* match_index,
            const StartBytePrefilter* prefilter = nullptr);
 
+  /// Set-program variant: fills match[0 .. program->num_patterns()) with
+  /// each tagged stream's first-accept index (0 = no match, saturation per
+  /// stream). The scan continues past earlier streams' accepts until every
+  /// stream has matched, so the DFA may intern states Run() never reaches;
+  /// overflow semantics are the same (false = fall back to the NFA loop).
+  bool RunSet(std::string_view input, uint16_t* match,
+              const StartBytePrefilter* prefilter = nullptr);
+
   /// Subset states materialized so far (observability for tests).
   size_t num_states() const { return regs_.size(); }
 
@@ -191,6 +218,7 @@ class LazyDfaCache {
   /// accept flag — the interning map is only touched on cache misses.
   std::vector<int32_t> trans_;   // num_states x num_byte_classes; -1 = miss
   std::vector<uint8_t> accept_;  // per state id
+  std::vector<uint64_t> accept_tags_;  // per state id: accepting streams
   std::vector<std::vector<uint64_t>> regs_;  // per state id: machine state
   std::map<std::vector<uint64_t>, int32_t> ids_;
 };

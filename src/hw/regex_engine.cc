@@ -136,6 +136,13 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
                           ConfigVector::FromBytes(params->config));
   DOPPIO_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPuProgram> program,
                           CompiledPuProgram::Compile(cv, device_));
+  // A set-compiled config carries its stream count redundantly in the job
+  // parameters; a mismatch means the submitter sized the result block for
+  // the wrong program.
+  const int streams = program->num_patterns();
+  if (params->streams != streams) {
+    return Status::Internal("job streams do not match the compiled program");
+  }
   for (ProcessingUnit& pu : pus_) {
     pu.Configure(program);
   }
@@ -162,8 +169,19 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
     const int npus = device_.pus_per_engine;
     if (params->timing_only) continue;  // traffic model only
     functional_bytes += block.string_bytes;
-    std::vector<uint16_t> results(block.strings.size());
-    if (!parallel) {
+    std::vector<uint16_t> results(block.strings.size() *
+                                  static_cast<size_t>(streams));
+    if (!parallel && streams > 1) {
+      // Set-compiled job on the structural path: the result lane carries
+      // `streams` 16-bit indexes per string instead of one, so the FIFO
+      // emulation below (one value per lane slot) does not apply; the
+      // round-robin PU assignment alone preserves input order.
+      const size_t n = block.strings.size();
+      for (size_t i = 0; i < n; ++i) {
+        pus_[i % static_cast<size_t>(npus)].ProcessStringSet(
+            block.strings[i], &results[i * static_cast<size_t>(streams)]);
+      }
+    } else if (!parallel) {
       // Structural path (Fig. 4): the reader scatters strings round-robin
       // into cache-line-wide input FIFOs, PUs consume, and the Output
       // Collector gathers 16-bit indexes from the result FIFOs in the
@@ -226,13 +244,21 @@ Status RegexEngine::RunFunctional(JobParams* params, JobStatus* status,
         if (begin == end) return;
         ProcessingUnit pu(device_);
         pu.Configure(program);
-        for (size_t i = begin; i < end; ++i) {
-          results[i] = pu.ProcessString(block.strings[i]);
+        if (streams == 1) {
+          for (size_t i = begin; i < end; ++i) {
+            results[i] = pu.ProcessString(block.strings[i]);
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            pu.ProcessStringSet(block.strings[i],
+                                &results[i * static_cast<size_t>(streams)]);
+          }
         }
       });
     }
-    for (uint16_t r : results) {
-      DOPPIO_RETURN_NOT_OK(collector.Append(r));
+    for (size_t i = 0; i < block.strings.size(); ++i) {
+      DOPPIO_RETURN_NOT_OK(collector.AppendSet(
+          &results[i * static_cast<size_t>(streams)], streams));
     }
   }
 
@@ -287,9 +313,11 @@ void RegexEngine::Finalize() {
   // Streaming is done; everything from here is result collection and the
   // status-line write.
   status_->collect_start_time = scheduler_->now();
-  // Result lines plus the status-line write.
+  // Result lines plus the status-line write. A set job writes
+  // count x streams indexes, so its result traffic scales with the
+  // member count (streams is 1 everywhere on the paper's path).
   const int64_t result_lines =
-      OutputCollector::TotalResultLines(params_->count);
+      OutputCollector::TotalResultLines(params_->count * params_->streams);
   SimTime results_done =
       arbiter_->Transfer(id_, scheduler_->now(), result_lines + 1);
   SimTime finish = std::max(pu_done_, results_done);
@@ -313,7 +341,8 @@ void RegexEngine::Finalize() {
     for (const BlockTiming& block : blocks_) heap_lines += block.heap_lines;
     status->bytes_streamed =
         (StringReader::TotalOffsetLines(params->count) +
-         OutputCollector::TotalResultLines(params->count) + heap_lines) *
+         OutputCollector::TotalResultLines(params->count * params->streams) +
+         heap_lines) *
         kCacheLineBytes;
 
     stats_.jobs_executed += 1;

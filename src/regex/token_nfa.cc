@@ -53,6 +53,9 @@ Status TokenNfa::Validate() const {
   bool has_accept = false;
   for (const HwState& state : states) {
     if (state.accept) has_accept = true;
+    if (state.pattern_tag < 0 || state.pattern_tag > 63) {
+      return Status::Internal("pattern tag out of range [0, 63]");
+    }
     if (state.trigger_tokens.empty()) {
       return Status::Internal("state without trigger tokens");
     }
@@ -68,6 +71,18 @@ Status TokenNfa::Validate() const {
     }
   }
   if (!has_accept) return Status::Internal("token NFA without accept state");
+  const int num_patterns = NumPatterns();
+  if (num_patterns > 1) {
+    std::vector<char> tag_accepts(static_cast<size_t>(num_patterns), 0);
+    for (const HwState& state : states) {
+      if (state.accept) tag_accepts[static_cast<size_t>(state.pattern_tag)] = 1;
+    }
+    for (int p = 0; p < num_patterns; ++p) {
+      if (tag_accepts[static_cast<size_t>(p)] == 0) {
+        return Status::Internal("pattern-set member without accept state");
+      }
+    }
+  }
   for (const HwToken& token : tokens) {
     if (token.chain.empty()) return Status::Internal("empty token chain");
     if (token.length() > 64) {
@@ -83,6 +98,10 @@ Status TokenNfa::Validate() const {
 }
 
 std::optional<std::vector<int>> AnalyzeChainShape(const TokenNfa& nfa) {
+  // A tagged union is never one chain (every member contributes its own
+  // start-gated head); reject up front so set programs can't claim the
+  // single-stream literal fast path.
+  if (nfa.NumPatterns() > 1) return std::nullopt;
   const int n = nfa.NumStates();
   int start = -1;
   for (int s = 0; s < n; ++s) {
@@ -131,6 +150,89 @@ std::optional<std::vector<int>> AnalyzeChainShape(const TokenNfa& nfa) {
     }
   }
   return order;
+}
+
+Result<TokenNfa> BuildUnionNfa(const std::vector<const TokenNfa*>& members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("empty pattern set");
+  }
+  if (members.size() > 64) {
+    return Status::InvalidArgument("pattern set exceeds 64 members");
+  }
+  TokenNfa out;
+  for (size_t k = 0; k < members.size(); ++k) {
+    const TokenNfa& m = *members[k];
+    Status valid = m.Validate();
+    if (!valid.ok()) return valid;
+    if (m.NumPatterns() != 1) {
+      return Status::InvalidArgument("pattern-set member is itself a set");
+    }
+    // Identical tokens are shared across members: the per-state trigger
+    // bitmask makes reuse free, and it is the capacity win that lets more
+    // members fit one PU.
+    std::vector<int> token_map(m.tokens.size(), -1);
+    for (size_t t = 0; t < m.tokens.size(); ++t) {
+      for (size_t u = 0; u < out.tokens.size(); ++u) {
+        if (out.tokens[u] == m.tokens[t]) {
+          token_map[t] = static_cast<int>(u);
+          break;
+        }
+      }
+      if (token_map[t] < 0) {
+        token_map[t] = static_cast<int>(out.tokens.size());
+        out.tokens.push_back(m.tokens[t]);
+      }
+    }
+    const int state_base = out.NumStates();
+    for (const HwState& s : m.states) {
+      HwState copy = s;
+      copy.pattern_tag = static_cast<int>(k);
+      for (int& t : copy.trigger_tokens) t = token_map[static_cast<size_t>(t)];
+      for (int& p : copy.pred_states) p += state_base;
+      out.states.push_back(std::move(copy));
+    }
+  }
+  if (out.tokens.size() > 255 || out.states.size() > 255) {
+    return Status::CapacityExceeded(
+        "pattern-set union exceeds the config-vector format");
+  }
+  return out;
+}
+
+Result<TokenNfa> ExtractMemberNfa(const TokenNfa& union_nfa, int pattern_tag) {
+  if (pattern_tag < 0 || pattern_tag >= union_nfa.NumPatterns()) {
+    return Status::InvalidArgument("pattern tag not present in union");
+  }
+  TokenNfa out;
+  std::vector<int> state_map(union_nfa.states.size(), -1);
+  std::vector<int> token_map(union_nfa.tokens.size(), -1);
+  for (size_t s = 0; s < union_nfa.states.size(); ++s) {
+    if (union_nfa.states[s].pattern_tag != pattern_tag) continue;
+    state_map[s] = out.NumStates();
+    out.states.push_back(union_nfa.states[s]);
+  }
+  for (HwState& s : out.states) {
+    s.pattern_tag = 0;
+    for (int& t : s.trigger_tokens) {
+      if (token_map[static_cast<size_t>(t)] < 0) {
+        token_map[static_cast<size_t>(t)] =
+            static_cast<int>(out.tokens.size());
+        out.tokens.push_back(union_nfa.tokens[static_cast<size_t>(t)]);
+      }
+      t = token_map[static_cast<size_t>(t)];
+    }
+    for (int& p : s.pred_states) {
+      // Union members are disjoint, so every predecessor carries the same
+      // tag and was remapped above.
+      if (state_map[static_cast<size_t>(p)] < 0) {
+        return Status::Internal("union member references a foreign state");
+      }
+      p = state_map[static_cast<size_t>(p)];
+    }
+  }
+  Status valid = out.Validate();
+  if (!valid.ok()) return valid;
+  return out;
 }
 
 TokenNfaMatcher::TokenNfaMatcher(TokenNfa nfa) : nfa_(std::move(nfa)) {
@@ -200,6 +302,62 @@ MatchResult TokenNfaMatcher::Find(std::string_view input) const {
     }
   }
   return MatchResult{};
+}
+
+std::vector<MatchResult> TokenNfaMatcher::FindSet(std::string_view input) const {
+  const size_t num_states = nfa_.states.size();
+  const int num_patterns = nfa_.NumPatterns();
+  std::vector<MatchResult> out(static_cast<size_t>(num_patterns));
+  std::vector<uint64_t> progress(edges_.size(), 0);
+  std::vector<uint8_t> active(num_states, 0);
+  std::vector<uint8_t> next_active(num_states, 0);
+
+  int remaining = num_patterns;
+  for (size_t i = 0; i < input.size() && remaining > 0; ++i) {
+    uint8_t byte = static_cast<uint8_t>(input[i]);
+    std::fill(next_active.begin(), next_active.end(), 0);
+    for (size_t e = 0; e < edges_.size(); ++e) {
+      const Edge& edge = edges_[e];
+      const HwState& state = nfa_.states[static_cast<size_t>(edge.state)];
+      uint64_t gate = 1;
+      if (!state.pred_states.empty()) {
+        gate = 0;
+        for (int p : state.pred_states) {
+          if (active[static_cast<size_t>(p)] != 0) {
+            gate = 1;
+            break;
+          }
+        }
+      }
+      uint64_t shifted = (progress[e] << 1) | gate;
+      const HwToken& token = nfa_.tokens[static_cast<size_t>(edge.token)];
+      uint64_t mask = 0;
+      for (int j = 0; j < edge.chain_len; ++j) {
+        if (token.chain[static_cast<size_t>(j)].Test(byte)) {
+          mask |= uint64_t{1} << j;
+        }
+      }
+      progress[e] = shifted & mask;
+      if ((progress[e] & edge.fired_bit) != 0) {
+        next_active[static_cast<size_t>(edge.state)] = 1;
+      }
+    }
+    for (size_t s = 0; s < num_states; ++s) {
+      if (nfa_.states[s].latch && active[s] != 0) next_active[s] = 1;
+    }
+    std::swap(active, next_active);
+    for (size_t s = 0; s < num_states; ++s) {
+      const HwState& state = nfa_.states[s];
+      if (!state.accept || active[s] == 0) continue;
+      MatchResult& r = out[static_cast<size_t>(state.pattern_tag)];
+      if (!r.matched) {
+        r.matched = true;
+        r.end = static_cast<int32_t>(i + 1);
+        --remaining;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace doppio

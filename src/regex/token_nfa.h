@@ -102,6 +102,11 @@ struct HwState {
   std::vector<int> pred_states;
   bool latch = false;
   bool accept = false;
+  /// Member-pattern tag for set-compiled programs (union-NFA with tagged
+  /// accepts, docs/PATTERN_SETS.md): accept activation reports a match for
+  /// output stream `pattern_tag`. 0 for ordinary single-pattern programs.
+  /// Bounded to [0, 63] so a set's streams fit one uint64 mask.
+  int pattern_tag = 0;
 };
 
 /// The runtime-parameterizable program of one Processing Unit.
@@ -110,6 +115,13 @@ struct TokenNfa {
   std::vector<HwState> states;
 
   int NumStates() const { return static_cast<int>(states.size()); }
+  /// Number of tagged output streams: max pattern_tag + 1. A plain
+  /// single-pattern program reports 1.
+  int NumPatterns() const {
+    int max_tag = 0;
+    for (const HwState& s : states) max_tag = std::max(max_tag, s.pattern_tag);
+    return max_tag + 1;
+  }
   /// Total character-matcher slots the configuration occupies.
   int TotalMatchers() const {
     int cost = 0;
@@ -143,12 +155,34 @@ struct TokenNfa {
 /// (hw/pu_kernel) and the bit-parallel host backend (regex/bitparallel).
 std::optional<std::vector<int>> AnalyzeChainShape(const TokenNfa& nfa);
 
+/// Builds the union automaton of `members` with tagged accepts: member k's
+/// states are copied with pattern_tag = k, predecessor indices rebased, and
+/// structurally identical tokens deduplicated across members (the trigger
+/// bitmask makes a shared token free). Members stay fully disjoint in the
+/// state graph, so each tagged stream behaves exactly as the member run
+/// alone. Fails with InvalidArgument for an empty set, a member that is
+/// itself a set, or more than 64 members; CapacityExceeded when the union
+/// overflows the config-vector format (255 tokens/states).
+Result<TokenNfa> BuildUnionNfa(const std::vector<const TokenNfa*>& members);
+
+/// Extracts member `pattern_tag` of a union back out as a standalone
+/// single-pattern NFA (tags cleared, tokens/states renumbered). Inverse of
+/// BuildUnionNfa per member; used by the SIMD backend to run chain-shaped
+/// members bit-parallel.
+Result<TokenNfa> ExtractMemberNfa(const TokenNfa& union_nfa, int pattern_tag);
+
 /// Software execution of the PU semantics (the reference model).
 class TokenNfaMatcher : public StringMatcher {
  public:
   explicit TokenNfaMatcher(TokenNfa nfa);
 
   MatchResult Find(std::string_view input) const override;
+
+  /// Set semantics over a tagged union: per-stream first-accept positions
+  /// (index = pattern_tag, size = nfa().NumPatterns()). The scan runs until
+  /// every stream has matched or the input ends; stream p of the result is
+  /// bit-identical to Find() on member p alone.
+  std::vector<MatchResult> FindSet(std::string_view input) const;
 
   const TokenNfa& nfa() const { return nfa_; }
 

@@ -1,5 +1,7 @@
 #include "sched/program_cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "obs/metrics.h"
 
@@ -29,7 +31,47 @@ obs::Counter& EvictionsCounter() {
   return *c;
 }
 
+obs::Counter& AliasSharesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.program_cache.alias_shares",
+      "textually distinct patterns aliased onto an existing compiled slot");
+  return *c;
+}
+
+obs::Counter& SetHitsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.cache_hits",
+      "set-program cache lookups served from cache");
+  return *c;
+}
+
+obs::Counter& SetMissesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.cache_misses",
+      "set-program cache lookups that compiled the union cold");
+  return *c;
+}
+
+obs::Histogram& SetSizeHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "doppio.sched.set_compile.size", obs::DepthBuckets(),
+      "distinct member patterns per compiled set program");
+  return *h;
+}
+
+std::string FingerprintOf(const RegexConfig& config) {
+  const std::vector<uint8_t>& bytes = config.vector.bytes();
+  return std::string(bytes.begin(), bytes.end());
+}
+
 }  // namespace
+
+int CachedSetProgram::StreamOf(std::string_view fingerprint) const {
+  for (size_t i = 0; i < member_fingerprints.size(); ++i) {
+    if (member_fingerprints[i] == fingerprint) return static_cast<int>(i);
+  }
+  return -1;
+}
 
 ProgramCache::ProgramCache(const DeviceConfig& device, int capacity)
     : device_(device), capacity_(capacity) {
@@ -57,12 +99,12 @@ Result<std::shared_ptr<const CachedProgram>> ProgramCache::GetOrCompile(
   std::string key = MakeKey(pattern, options);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
+    auto it = by_alias_.find(key);
+    if (it != by_alias_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
       ++hits_;
       HitsCounter().Add();
-      return it->second->second;
+      return it->second->entry;
     }
   }
 
@@ -75,24 +117,123 @@ Result<std::shared_ptr<const CachedProgram>> ProgramCache::GetOrCompile(
   DOPPIO_ASSIGN_OR_RETURN(
       entry->program,
       CompiledPuProgram::Compile(entry->config.vector, device_));
+  entry->fingerprint = FingerprintOf(entry->config);
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   MissesCounter().Add();
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  auto it = by_alias_.find(key);
+  if (it != by_alias_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return it->second->entry;
   }
-  lru_.emplace_front(std::move(key), std::move(entry));
-  index_.emplace(lru_.front().first, lru_.begin());
+  // Fingerprint aliasing: a textually new pattern whose compiled program
+  // already lives in the cache shares that slot instead of occupying a
+  // second one. The redundant compilation is discarded — callers get the
+  // original immutable entry, so all aliases execute the same program.
+  auto fp = by_fingerprint_.find(entry->fingerprint);
+  if (fp != by_fingerprint_.end()) {
+    lru_.splice(lru_.begin(), lru_, fp->second);
+    fp->second->aliases.push_back(key);
+    by_alias_.emplace(std::move(key), fp->second);
+    AliasSharesCounter().Add();
+    return fp->second->entry;
+  }
+  lru_.emplace_front();
+  lru_.front().entry = entry;
+  lru_.front().aliases.push_back(key);
+  by_alias_.emplace(std::move(key), lru_.begin());
+  by_fingerprint_.emplace(entry->fingerprint, lru_.begin());
   if (static_cast<int>(lru_.size()) > capacity_) {
-    index_.erase(lru_.back().first);
+    const Node& victim = lru_.back();
+    for (const std::string& alias : victim.aliases) by_alias_.erase(alias);
+    by_fingerprint_.erase(victim.entry->fingerprint);
     lru_.pop_back();
     ++evictions_;
     EvictionsCounter().Add();
   }
-  return lru_.front().second;
+  return std::shared_ptr<const CachedProgram>(std::move(entry));
+}
+
+Result<std::shared_ptr<const CachedSetProgram>> ProgramCache::GetOrCompileSet(
+    const std::vector<std::shared_ptr<const CachedProgram>>& members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("empty pattern set");
+  }
+  for (const auto& member : members) {
+    if (member == nullptr) {
+      return Status::InvalidArgument("null pattern-set member");
+    }
+  }
+  // Canonical order: sorted unique fingerprints. Any permutation (or
+  // textual aliasing) of the same member set resolves to the same key and
+  // the same stream assignment.
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(members.size());
+  for (const auto& member : members) {
+    fingerprints.push_back(member->fingerprint);
+  }
+  std::sort(fingerprints.begin(), fingerprints.end());
+  fingerprints.erase(
+      std::unique(fingerprints.begin(), fingerprints.end()),
+      fingerprints.end());
+  // '\x1e' (record separator) never appears in config-vector bytes at a
+  // member boundary ambiguity: the encoding is length-framed, so joined
+  // fingerprints are injective over the member multiset.
+  std::string key;
+  for (const std::string& fingerprint : fingerprints) {
+    key += fingerprint;
+    key += '\x1e';
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = set_index_.find(key);
+    if (it != set_index_.end()) {
+      set_lru_.splice(set_lru_.begin(), set_lru_, it->second);
+      ++set_hits_;
+      SetHitsCounter().Add();
+      return it->second->second;
+    }
+  }
+
+  // Compile the union outside the lock, in canonical member order.
+  auto entry = std::make_shared<CachedSetProgram>();
+  entry->member_fingerprints = fingerprints;
+  std::vector<const TokenNfa*> nfas;
+  nfas.reserve(fingerprints.size());
+  for (const std::string& fingerprint : fingerprints) {
+    const CachedProgram* found = nullptr;
+    for (const auto& member : members) {
+      if (member->fingerprint == fingerprint) {
+        found = member.get();
+        break;
+      }
+    }
+    nfas.push_back(&found->config.nfa);
+  }
+  DOPPIO_ASSIGN_OR_RETURN(entry->config,
+                          CompileRegexSetConfig(nfas, device_));
+  DOPPIO_ASSIGN_OR_RETURN(
+      entry->program,
+      CompiledPuProgram::Compile(entry->config.vector, device_));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++set_misses_;
+  SetMissesCounter().Add();
+  SetSizeHistogram().Observe(static_cast<double>(fingerprints.size()));
+  auto it = set_index_.find(key);
+  if (it != set_index_.end()) {
+    set_lru_.splice(set_lru_.begin(), set_lru_, it->second);
+    return it->second->second;
+  }
+  set_lru_.emplace_front(std::move(key), std::move(entry));
+  set_index_.emplace(set_lru_.front().first, set_lru_.begin());
+  if (static_cast<int>(set_lru_.size()) > capacity_) {
+    set_index_.erase(set_lru_.back().first);
+    set_lru_.pop_back();
+  }
+  return set_lru_.front().second;
 }
 
 int64_t ProgramCache::hits() const {
@@ -110,16 +251,31 @@ int64_t ProgramCache::evictions() const {
   return evictions_;
 }
 
+int64_t ProgramCache::set_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return set_hits_;
+}
+
+int64_t ProgramCache::set_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return set_misses_;
+}
+
 int ProgramCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(lru_.size());
+}
+
+int ProgramCache::set_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(set_lru_.size());
 }
 
 std::vector<std::string> ProgramCache::KeysMruFirst() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
   keys.reserve(lru_.size());
-  for (const auto& [key, value] : lru_) keys.push_back(key);
+  for (const Node& node : lru_) keys.push_back(node.aliases.front());
   return keys;
 }
 

@@ -4,12 +4,21 @@
 // functional path also compiles a PU kernel program per configuration
 // (hw/pu_kernel) — decode, byte-class partition, possibly literal-stage
 // extraction — and concurrent clients overwhelmingly re-issue the same
-// handful of patterns (the Fig. 11 workload). The cache keys on
-// (pattern, CompileOptions) and hands out one immutable RegexConfig plus
-// one shared CompiledPuProgram per distinct query, so same-pattern queries
-// admitted by the scheduler share a single compilation regardless of
-// session. Results are unaffected: a cache hit executes the exact same
-// immutable program a cold compile would have produced.
+// handful of patterns (the Fig. 11 workload). The cache looks up by
+// (pattern, CompileOptions) but stores by the *compiled-program
+// fingerprint* — the canonical config-vector bytes — so textually
+// different patterns that compile to the identical program (e.g. the
+// case-insensitive spellings of one literal) alias onto one LRU slot
+// instead of occupying two. Every alias of a slot promotes and keeps the
+// same immutable RegexConfig + CompiledPuProgram alive; a cache hit
+// executes the exact same program a cold compile would have produced.
+//
+// The cache also holds *set programs* (docs/PATTERN_SETS.md): union NFAs
+// with tagged accepts compiled from several cached members. Set entries
+// are keyed on the sorted unique member fingerprints, so the same set of
+// patterns coalesced in any order — or spelled with aliasing textual
+// variants — resolves to one cached compilation, and the sorted order IS
+// the output-stream order.
 #pragma once
 
 #include <cstdint>
@@ -38,22 +47,54 @@ namespace sched {
 struct CachedProgram {
   RegexConfig config;
   std::shared_ptr<const CompiledPuProgram> program;
+  /// Canonical identity: the encoded config-vector bytes. Two patterns
+  /// with equal fingerprints are semantically identical by construction
+  /// (the device consumes nothing but these bytes).
+  std::string fingerprint;
+};
+
+/// One cached *set* compilation: the union NFA with tagged accepts over
+/// `member_fingerprints` (sorted unique — pattern k of the sorted order
+/// reports on output stream k). Immutable once inserted.
+struct CachedSetProgram {
+  RegexConfig config;
+  std::shared_ptr<const CompiledPuProgram> program;
+  /// Sorted unique member fingerprints; index in this vector = the
+  /// member's output stream in the compiled program.
+  std::vector<std::string> member_fingerprints;
+
+  /// Stream index of `fingerprint`, or -1 when it is not a member.
+  int StreamOf(std::string_view fingerprint) const;
 };
 
 class ProgramCache {
  public:
-  /// `capacity` >= 1: the maximum number of distinct (pattern, options)
-  /// entries kept; the least-recently-used entry is evicted beyond that.
+  /// `capacity` >= 1: the maximum number of distinct compiled programs
+  /// kept (fingerprint slots, however many textual aliases each has); the
+  /// least-recently-used slot is evicted beyond that. Set programs are
+  /// held in a second LRU of the same capacity.
   ProgramCache(const DeviceConfig& device, int capacity);
 
   DOPPIO_DISALLOW_COPY_AND_ASSIGN(ProgramCache);
 
   /// Returns the cached compilation for (pattern, options), compiling and
-  /// inserting it on a miss. Compile failures (e.g. CapacityExceeded when
-  /// the pattern does not fit the deployed geometry) are returned and NOT
-  /// cached — a failed pattern never occupies a slot. Thread-safe.
+  /// inserting it on a miss. A miss whose compiled fingerprint matches an
+  /// existing slot aliases onto that slot (no second copy is kept — the
+  /// double-compile is discarded). Compile failures (e.g.
+  /// CapacityExceeded when the pattern does not fit the deployed
+  /// geometry) are returned and NOT cached — a failed pattern never
+  /// occupies a slot. Thread-safe.
   Result<std::shared_ptr<const CachedProgram>> GetOrCompile(
       std::string_view pattern, const CompileOptions& options = {});
+
+  /// Returns the cached set compilation over `members` (each obtained
+  /// from GetOrCompile), compiling the union NFA on a miss. Members are
+  /// deduplicated by fingerprint and ordered canonically (sorted
+  /// fingerprints), so the same pattern set in any order resolves to one
+  /// entry. Fails with CapacityExceeded — not cached — when the union
+  /// does not fit one PU; the caller falls back to multi-pass execution.
+  Result<std::shared_ptr<const CachedSetProgram>> GetOrCompileSet(
+      const std::vector<std::shared_ptr<const CachedProgram>>& members);
 
   /// Canonical cache key for (pattern, options) — exposed so tests and the
   /// scheduler's coalescing pass can compare compatibility without holding
@@ -62,28 +103,49 @@ class ProgramCache {
                              const CompileOptions& options);
 
   // Lifetime counters (also mirrored in the metrics registry under
-  // doppio.sched.program_cache.{hits,misses,evictions}).
+  // doppio.sched.program_cache.{hits,misses,evictions} and
+  // doppio.sched.set_compile.{cache_hits,cache_misses}).
   int64_t hits() const;
   int64_t misses() const;
   int64_t evictions() const;
+  int64_t set_hits() const;
+  int64_t set_misses() const;
   int size() const;
+  int set_size() const;
   int capacity() const { return capacity_; }
 
   /// Keys most-recently-used first — the exact eviction order, for tests.
+  /// Each slot is reported once, by the textual key that first created it
+  /// (aliases promote the slot but do not add entries here).
   std::vector<std::string> KeysMruFirst() const;
 
  private:
+  /// One LRU slot: a compiled program plus every textual key aliased to
+  /// it. `aliases.front()` is the key that first compiled the slot.
+  struct Node {
+    std::shared_ptr<const CachedProgram> entry;
+    std::vector<std::string> aliases;
+  };
+
   const DeviceConfig device_;
   const int capacity_;
 
   mutable std::mutex mutex_;
   /// Front = most recently used; back = next eviction victim.
-  std::list<std::pair<std::string, std::shared_ptr<const CachedProgram>>>
-      lru_;
-  std::unordered_map<std::string_view, decltype(lru_)::iterator> index_;
+  std::list<Node> lru_;
+  std::unordered_map<std::string, std::list<Node>::iterator> by_alias_;
+  std::unordered_map<std::string, std::list<Node>::iterator> by_fingerprint_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+
+  /// Set programs: separate LRU keyed on the joined sorted member
+  /// fingerprints.
+  std::list<std::pair<std::string, std::shared_ptr<const CachedSetProgram>>>
+      set_lru_;
+  std::unordered_map<std::string, decltype(set_lru_)::iterator> set_index_;
+  int64_t set_hits_ = 0;
+  int64_t set_misses_ = 0;
 };
 
 }  // namespace sched

@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -72,6 +73,56 @@ obs::Histogram& BatchWidthHistogram() {
   return *h;
 }
 
+obs::Counter& SetCoalescedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.coalesced",
+      "queries pulled into a wave by pattern-set coalescing");
+  return *c;
+}
+
+obs::Counter& SetWavesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.waves",
+      "set-compiled scans submitted (one per multi-pattern batch slot)");
+  return *c;
+}
+
+obs::Counter& SetQueriesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.queries",
+      "queries served by a set-compiled scan");
+  return *c;
+}
+
+obs::Counter& SetFallbackCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.fallback",
+      "same-column groups that fell back to multi-pass scans");
+  return *c;
+}
+
+obs::Histogram& SetWidthHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "doppio.sched.set_compile.width", obs::DepthBuckets(),
+      "distinct patterns per set-compiled scan");
+  return *h;
+}
+
+/// Deep copy of a demuxed result column — duplicate-pattern queries of
+/// one set scan share a stream, so all but one need their own BAT.
+Result<HudfResult> CopyColumn(const HudfResult& source) {
+  HudfResult out;
+  out.stats = source.stats;
+  const int64_t n = source.result->count();
+  DOPPIO_ASSIGN_OR_RETURN(out.result, Bat::New(ValueType::kInt16, n));
+  DOPPIO_RETURN_NOT_OK(out.result->AppendZeros(n));
+  if (n > 0) {
+    std::memcpy(out.result->mutable_tail_data(), source.result->tail_data(),
+                static_cast<size_t>(n) * 2);
+  }
+  return out;
+}
+
 }  // namespace
 
 namespace internal {
@@ -101,6 +152,7 @@ struct Request {
   HudfResult hudf;
   uint64_t completion_seq = 0;
   int batch_width = 1;
+  int set_width = 1;
 };
 
 }  // namespace internal
@@ -122,6 +174,11 @@ QueryScheduler::QueryScheduler(Hal* hal, Options options)
   DOPPIO_CHECK(options_.global_queue_limit >= 1);
   DOPPIO_CHECK(options_.quantum_rows >= 1);
   DOPPIO_CHECK(options_.max_batch_width >= 1);
+  if (options_.set_compilation) {
+    // 64 = the config-vector's tagged-accept stream bound.
+    DOPPIO_CHECK(options_.max_set_patterns >= 2);
+    DOPPIO_CHECK(options_.max_set_patterns <= 64);
+  }
   if (options_.cost_routing) {
     cost_model_ = std::make_unique<OperatorCostModel>(
         hal_->device_config(), OperatorCostModel::Measure());
@@ -294,6 +351,7 @@ Result<ScheduledResult> QueryScheduler::Wait(const QueryTicket& ticket) {
   out.route = request->route;
   out.completion_seq = request->completion_seq;
   out.batch_width = request->batch_width;
+  out.set_width = request->set_width;
   return out;
 }
 
@@ -391,6 +449,76 @@ QueryScheduler::Wave QueryScheduler::PickWaveLocked() {
     }
   }
 
+  // Pattern-set coalescing (opt-in): pull head-of-line FPGA queries whose
+  // pattern DIFFERS from a wave member's but scans the SAME input column,
+  // when the union of the group's distinct programs still fits one PU
+  // (exact on states; conservative on matchers, since token dedup can
+  // only shrink the union). Such queries join an existing batch slot
+  // instead of consuming a new one, so the width cap does not apply — but
+  // each pulled query is charged to ITS OWN session's deficit, exactly
+  // like same-pattern coalescing: a set-compiled scan serving K tenants
+  // debits every tenant for the rows it asked to scan, so sharing a scan
+  // never lets a heavy tenant ride free on a light one's turn.
+  // Head-of-line only, preserving per-session FIFO order.
+  if (options_.set_compilation) {
+    const DeviceConfig& device = hal_->device_config();
+    bool pulled = true;
+    while (pulled) {
+      pulled = false;
+      for (const auto& owned : sessions_) {
+        Session* session = owned.get();
+        auto& queue = queues_[session];
+        if (queue.empty()) continue;
+        std::shared_ptr<Request>& head = queue.front();
+        if (head->route != Route::kFpga || head->program == nullptr) {
+          continue;
+        }
+        // The candidate's same-column group in the current wave.
+        bool same_input = false;
+        bool same_key = false;
+        int distinct_keys = 0;
+        int states = 0;
+        int matchers = 0;
+        std::vector<std::string_view> keys_seen;
+        for (const auto& member : wave.fpga) {
+          if (member->input != head->input) continue;
+          same_input = true;
+          if (member->key == head->key) same_key = true;
+          bool counted = false;
+          for (std::string_view key : keys_seen) {
+            if (key == member->key) {
+              counted = true;
+              break;
+            }
+          }
+          if (counted) continue;
+          keys_seen.push_back(member->key);
+          ++distinct_keys;
+          states += member->program->config.states_used;
+          matchers += member->program->config.matchers_used;
+        }
+        // Same-key pulls are the classic pass's job (and bounded by the
+        // width cap); this pass only grows the *pattern set*.
+        if (!same_input || same_key) continue;
+        if (distinct_keys + 1 > options_.max_set_patterns) continue;
+        if (states + head->program->config.states_used > device.max_states) {
+          continue;
+        }
+        if (matchers + head->program->config.matchers_used >
+            device.max_chars) {
+          continue;
+        }
+        session->deficit_rows_ -= head->cost_rows;  // may go negative: a loan
+        wave.fpga.push_back(std::move(head));
+        queue.pop_front();
+        --session->queued_;
+        --global_queued_;
+        SetCoalescedCounter().Add();
+        pulled = true;
+      }
+    }
+  }
+
   QueueDepthGauge().Set(global_queued_);
   WavesCounter().Add();
   return wave;
@@ -406,38 +534,142 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
   }
 
   if (!wave->fpga.empty()) {
-    const int batch_width = static_cast<int>(wave->fpga.size());
-    // Split the pool's engines across the wave: a full-width wave gives
-    // each query one engine; a singleton keeps the paper's all-engines
-    // partitioning. With one device this equals the historical
-    // num_engines / batch_width.
+    // Plan the wave's batch slots. Default: one slot per request, exactly
+    // the historical layout. With set compilation on, requests over the
+    // same input column group together, and a group spanning >= 2
+    // distinct programs compiles to ONE set scan (union NFA with tagged
+    // accepts) whose streams demux per query after the wave. A union that
+    // fails to compile (capacity, ultimately) degrades the group back to
+    // classic one-slot-per-request scans — the multi-pass fallback.
+    struct Slot {
+      std::vector<Request*> members;
+      std::shared_ptr<const CachedSetProgram> set;  // null: classic slot
+    };
+    std::vector<Slot> slots;
+    if (options_.set_compilation) {
+      std::vector<std::vector<Request*>> groups;
+      for (auto& request : wave->fpga) {
+        Request* raw = request.get();
+        bool placed = false;
+        for (auto& group : groups) {
+          if (group.front()->input == raw->input) {
+            group.push_back(raw);
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) groups.push_back({raw});
+      }
+      for (auto& group : groups) {
+        std::vector<std::shared_ptr<const CachedProgram>> distinct;
+        for (Request* raw : group) {
+          bool seen = false;
+          for (const auto& program : distinct) {
+            if (program->fingerprint == raw->program->fingerprint) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) distinct.push_back(raw->program);
+        }
+        if (distinct.size() < 2) {
+          // One pattern (possibly several queries of it): classic slots.
+          for (Request* raw : group) slots.push_back(Slot{{raw}, nullptr});
+          continue;
+        }
+        auto set = cache_.GetOrCompileSet(distinct);
+        if (set.ok()) {
+          slots.push_back(Slot{std::move(group), std::move(*set)});
+        } else {
+          SetFallbackCounter().Add();
+          for (Request* raw : group) slots.push_back(Slot{{raw}, nullptr});
+        }
+      }
+    } else {
+      slots.reserve(wave->fpga.size());
+      for (auto& request : wave->fpga) {
+        slots.push_back(Slot{{request.get()}, nullptr});
+      }
+    }
+
+    const int batch_width = static_cast<int>(slots.size());
+    // Split the pool's engines across the wave's slots: a full-width wave
+    // gives each slot one engine; a singleton keeps the paper's
+    // all-engines partitioning. With one device and no set slots this
+    // equals the historical num_engines / batch_width.
     const int partitions = std::max(
         1, hal_->pool()->total_engines() / batch_width);
-    std::vector<FpgaBatchQuery> queries(wave->fpga.size());
+    std::vector<FpgaBatchQuery> queries(slots.size());
     std::vector<FpgaBatchQuery*> pointers;
     pointers.reserve(queries.size());
-    for (size_t i = 0; i < wave->fpga.size(); ++i) {
-      Request& request = *wave->fpga[i];
-      queries[i].input = request.input;
-      queries[i].config = &request.program->config;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      const Request& lead = *slot.members.front();
+      queries[i].input = lead.input;
       queries[i].partitions = partitions;
-      queries[i].span_name = "sched_fpga";
-      queries[i].timing_only = request.timing_only;
+      queries[i].timing_only = lead.timing_only;
+      if (slot.set != nullptr) {
+        queries[i].config = &slot.set->config;
+        queries[i].streams =
+            static_cast<int>(slot.set->member_fingerprints.size());
+        queries[i].span_name = "sched_fpga_set";
+      } else {
+        queries[i].config = &lead.program->config;
+        queries[i].span_name = "sched_fpga";
+      }
       pointers.push_back(&queries[i]);
     }
     // Device-aware entry: shards the wave across the pool and steals work
     // from stalled members; a pool of one takes the exact historical path.
     Status status = RegexpFpgaBatchPooled(hal_, pointers);
-    for (size_t i = 0; i < wave->fpga.size(); ++i) {
-      Request& request = *wave->fpga[i];
-      if (status.ok()) {
+    int set_slots = 0;
+    int64_t set_queries = 0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      if (!status.ok()) {
+        for (Request* raw : slot.members) raw->status = status;
+        continue;
+      }
+      if (slot.set == nullptr) {
+        Request& request = *slot.members.front();
         request.hudf = std::move(queries[i].out);
         request.batch_width = batch_width;
-      } else {
-        request.status = status;
+        continue;
+      }
+      ++set_slots;
+      SetWidthHistogram().Observe(static_cast<double>(queries[i].streams));
+      // Demux: each member takes its pattern's stream. Duplicate-pattern
+      // members share a stream; all but the last copy the column.
+      std::vector<int> uses(static_cast<size_t>(queries[i].streams), 0);
+      for (Request* raw : slot.members) {
+        const int stream = slot.set->StreamOf(raw->program->fingerprint);
+        DOPPIO_CHECK(stream >= 0);
+        ++uses[static_cast<size_t>(stream)];
+      }
+      for (Request* raw : slot.members) {
+        const int stream = slot.set->StreamOf(raw->program->fingerprint);
+        HudfResult& source =
+            queries[i].set_outputs[static_cast<size_t>(stream)];
+        if (--uses[static_cast<size_t>(stream)] == 0) {
+          raw->hudf = std::move(source);
+        } else {
+          auto copy = CopyColumn(source);
+          if (!copy.ok()) {
+            raw->status = copy.status();
+            continue;
+          }
+          raw->hudf = std::move(*copy);
+        }
+        raw->batch_width = batch_width;
+        raw->set_width = queries[i].streams;
+        ++set_queries;
       }
     }
-    RouteFpgaCounter().Add(batch_width);
+    if (set_slots > 0) {
+      SetWavesCounter().Add(set_slots);
+      SetQueriesCounter().Add(set_queries);
+    }
+    RouteFpgaCounter().Add(static_cast<int64_t>(wave->fpga.size()));
     BatchWidthHistogram().Observe(static_cast<double>(batch_width));
   }
 

@@ -24,6 +24,12 @@
 //    wave overlaps across the device's engines in virtual time. Results
 //    demultiplex per query by construction — each job writes only its own
 //    query's result range.
+//  * Pattern-set compilation (opt-in, Options::set_compilation) —
+//    *different* patterns scanning the same column coalesce into ONE
+//    set-compiled scan: the union NFA with tagged accepts emits each
+//    member's matches on its own output stream, demuxed per query after
+//    the wave (docs/PATTERN_SETS.md). Unions that exceed one PU fall back
+//    to the classic multi-pass waves.
 //  * Cost-model routing — small inputs and patterns that exceed the
 //    deployed geometry run on the host thread pool (the same compiled
 //    program the engines execute, so results stay bit-identical), freeing
@@ -75,9 +81,13 @@ struct ScheduledResult {
   /// Global completion order (1-based) across all sessions — lets tests
   /// and clients reason about fairness without wall clocks.
   uint64_t completion_seq = 0;
-  /// Queries that shared the FPGA wave this query ran in (1 when routed
-  /// to the CPU or dispatched alone).
+  /// Batch slots that shared the FPGA wave this query ran in (1 when
+  /// routed to the CPU or dispatched alone). A set-compiled scan is ONE
+  /// slot however many patterns it serves.
   int batch_width = 1;
+  /// Distinct patterns in the set-compiled scan that served this query
+  /// (1 = a classic single-pattern scan). See Options::set_compilation.
+  int set_width = 1;
 };
 
 /// Opaque handle to an admitted query. Obtained from Submit, consumed by
@@ -122,6 +132,17 @@ class QueryScheduler {
     /// timing but skip the functional pass (results zeroed). For
     /// benchmarks; never set on correctness paths.
     bool timing_only = false;
+    /// Compile *different* patterns over the same input column into one
+    /// set program (union NFA with tagged accepts, docs/PATTERN_SETS.md)
+    /// when the union fits one PU, so N same-column tenants cost one scan
+    /// instead of N. Per-stream results stay bit-identical to solo runs;
+    /// a union that exceeds capacity falls back to the multi-pass path.
+    /// Off by default: the paper's per-pattern waves stay byte-identical.
+    bool set_compilation = false;
+    /// Distinct patterns coalesced into one set-compiled scan (2..64; the
+    /// tagged-accept encoding carries at most 64 streams). Only consulted
+    /// when set_compilation is on.
+    int max_set_patterns = 8;
   };
 
   explicit QueryScheduler(Hal* hal);  // default Options

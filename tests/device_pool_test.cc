@@ -14,6 +14,7 @@
 
 #include "db/hudf.h"
 #include "hal/job_lifecycle.h"
+#include "hw/config_compiler.h"
 #include "hw/device_pool.h"
 #include "hw/fault_plan.h"
 #include "mem/arena.h"
@@ -457,6 +458,73 @@ TEST(DevicePoolTest, SaturationRowsSurviveShardingBoundaries) {
     for (int64_t i = 0; i < input.count(); ++i) {
       EXPECT_EQ(out->result->GetInt16(i) != 0,
                 expected[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(DevicePoolTest, SetCompiledSaturationSurvivesShardingBoundaries) {
+  // Same invariant for a set-compiled program: every output stream
+  // saturates its 16-bit lane independently (65534 exact, 65535 exact,
+  // 65536 saturated), and a row reports the same per-stream values no
+  // matter which device or slice it lands on — including the 1-device
+  // pool, which takes the historical single-device path.
+  for (int devices : {1, 2, 4}) {
+    Hal hal(PoolHal(devices));
+    Bat input(ValueType::kString, hal.bat_allocator());
+    const std::string tails[2] = {"Strasse", "Gasse"};
+    for (size_t len : {size_t{65534}, size_t{65535}, size_t{65536}}) {
+      for (const std::string& tail : tails) {
+        std::string s(len - tail.size(), 'x');
+        s += tail;  // the stream's match ends exactly at the row's length
+        ASSERT_TRUE(input.AppendString(s).ok());
+      }
+    }
+    // Padding rows so the saturation rows cross slice boundaries.
+    FillInput(&hal, &input, 61);
+
+    auto strasse = hal.CompileConfig("Strasse");
+    auto gasse = hal.CompileConfig("Gasse");
+    ASSERT_TRUE(strasse.ok());
+    ASSERT_TRUE(gasse.ok());
+    auto set = CompileRegexSetConfig({&strasse->nfa, &gasse->nfa},
+                                     hal.device_config());
+    ASSERT_TRUE(set.ok()) << set.status().ToString();
+
+    FpgaBatchQuery query;
+    query.input = &input;
+    query.config = &*set;
+    query.streams = 2;
+    std::vector<FpgaBatchQuery*> batch{&query};
+    Status st = RegexpFpgaBatchPooled(&hal, batch);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_EQ(query.set_outputs.size(), 2u);
+    EXPECT_EQ(query.out.stats.strategy, "fpga-set");
+
+    // Rows 2r end in Strasse (stream 0), rows 2r+1 in Gasse (stream 1);
+    // the other stream must stay silent on those rows.
+    const uint16_t expected_lane[] = {65534, 65535, 65535};
+    for (int64_t r = 0; r < 3; ++r) {
+      const Bat& s0 = *query.set_outputs[0].result;
+      const Bat& s1 = *query.set_outputs[1].result;
+      EXPECT_EQ(static_cast<uint16_t>(s0.GetInt16(2 * r)), expected_lane[r])
+          << devices << " devices, row " << 2 * r;
+      EXPECT_EQ(static_cast<uint16_t>(s1.GetInt16(2 * r + 1)),
+                expected_lane[r])
+          << devices << " devices, row " << 2 * r + 1;
+      EXPECT_EQ(s1.GetInt16(2 * r), 0);
+      EXPECT_EQ(s0.GetInt16(2 * r + 1), 0);
+    }
+    // Every stream's full column is bit-identical to scanning its member
+    // pattern alone on the same pool.
+    for (int p = 0; p < 2; ++p) {
+      auto solo = RegexpFpgaPartitionedPooled(&hal, input,
+                                              p == 0 ? *strasse : *gasse);
+      ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+      for (int64_t i = 0; i < input.count(); ++i) {
+        EXPECT_EQ(query.set_outputs[static_cast<size_t>(p)].result->GetInt16(i),
+                  solo->result->GetInt16(i))
+            << devices << " devices, stream " << p << ", row " << i;
+      }
     }
   }
 }

@@ -351,5 +351,85 @@ TEST(SchedStressTest, MultiDevicePoolMixedFaultsStaysBitIdentical) {
   scheduler.Shutdown();
 }
 
+// Pattern-set leg: many sessions hammer ONE shared column with a rotating
+// pattern mix while set compilation is on, so concurrent waves constantly
+// form, cache, and demux set-compiled scans (GetOrCompileSet under
+// contention, per-stream demux with shared owners). Every query must come
+// back matching the software reference for ITS pattern — a cross-stream
+// mixup or a data race here is exactly what this leg exists to catch.
+TEST(SchedStressTest, SetCompiledWavesUnderConcurrency) {
+  Hal hal(StressHal());
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 10;
+  constexpr int kRows = 64;
+
+  QueryScheduler::Options options;
+  options.cost_routing = false;
+  options.set_compilation = true;
+  QueryScheduler scheduler(&hal, options);
+
+  // One shared input column: only then can different-pattern queries
+  // coalesce into set scans.
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, kRows, /*salt=*/0);
+  std::vector<std::vector<bool>> expected;
+  for (const char* pattern : kPatterns) {
+    expected.push_back(GroundTruth(input, pattern));
+  }
+  std::vector<Session*> sessions;
+  for (int t = 0; t < kThreads; ++t) {
+    SessionOptions session_options;
+    session_options.tenant = "set" + std::to_string(t);
+    sessions.push_back(scheduler.CreateSession(session_options));
+  }
+
+  obs::Counter* set_queries = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.set_compile.queries");
+  const int64_t set_queries0 = set_queries->Value();
+
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const int p = (t + i) % 4;
+        Result<sched::ScheduledResult> result = Status::Internal("unset");
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          result = scheduler.Execute(sessions[static_cast<size_t>(t)], input,
+                                     kPatterns[p]);
+          if (!result.ok() && result.status().IsOverloaded()) {
+            std::this_thread::yield();
+            continue;
+          }
+          break;
+        }
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        const std::vector<bool>& want = expected[static_cast<size_t>(p)];
+        bool rows_ok = result->hudf.result->count() == input.count();
+        for (int64_t r = 0; rows_ok && r < input.count(); ++r) {
+          rows_ok = (result->hudf.result->GetInt16(r) != 0) ==
+                    want[static_cast<size_t>(r)];
+        }
+        if (!rows_ok) {
+          ++failures;
+          continue;
+        }
+        ++completed;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kThreads * kQueriesPerThread);
+  // Set compilation actually engaged — this was not 60 solo scans.
+  EXPECT_GT(set_queries->Value() - set_queries0, 0);
+  scheduler.Shutdown();
+}
+
 }  // namespace
 }  // namespace doppio

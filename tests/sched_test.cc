@@ -339,6 +339,131 @@ TEST(BatchingTest, CoalescedWavesAreBitIdenticalToSerial) {
   EXPECT_GT(coalesced->Value(), coalesced_before);
 }
 
+// --- Pattern-set compilation ------------------------------------------------
+
+TEST(PatternSetSchedTest, DistinctPatternsCoalesceIntoOneSetScan) {
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  const int rows = 32;
+  FillInput(&input, rows);
+  const std::vector<std::string> patterns = {"Strasse", "Gasse", "Berner"};
+  std::vector<std::vector<int16_t>> expected;
+  for (const std::string& pattern : patterns) {
+    expected.push_back(DirectResult(&hal, input, pattern));
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* coalesced =
+      registry.GetCounter("doppio.sched.set_compile.coalesced");
+  obs::Counter* waves = registry.GetCounter("doppio.sched.set_compile.waves");
+  obs::Counter* queries =
+      registry.GetCounter("doppio.sched.set_compile.queries");
+  const int64_t coalesced0 = coalesced->Value();
+  const int64_t waves0 = waves->Value();
+  const int64_t queries0 = queries->Value();
+
+  QueryScheduler::Options options = NoRouting();
+  options.set_compilation = true;
+  // One query per DRR round: only the set-coalescing pass can pull the
+  // remaining patterns into the wave.
+  options.quantum_rows = rows;
+  QueryScheduler scheduler(&hal, options);
+  Session* session = scheduler.CreateSession();
+
+  std::vector<QueryTicket> tickets;
+  for (const std::string& pattern : patterns) {
+    auto ticket = scheduler.Submit(session, input, pattern);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(std::move(*ticket));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto result = scheduler.Wait(tickets[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->route, Route::kFpga);
+    // All three patterns ran as ONE set-compiled scan: a single batch
+    // slot serving a three-pattern set.
+    EXPECT_EQ(result->batch_width, 1) << patterns[i];
+    EXPECT_EQ(result->set_width, 3) << patterns[i];
+    ExpectSameColumn(expected[i], *result->hudf.result);
+  }
+  EXPECT_EQ(coalesced->Value() - coalesced0, 2);  // Gasse + Berner pulled
+  EXPECT_EQ(waves->Value() - waves0, 1);          // one set scan total
+  EXPECT_EQ(queries->Value() - queries0, 3);
+  EXPECT_EQ(scheduler.program_cache().set_misses(), 1);
+}
+
+TEST(PatternSetSchedTest, SetScanChargesEveryOwnerNoFreeRide) {
+  // Satellite fairness property: a set-compiled wave serving K queries of
+  // one tenant debits that tenant K costs, so a heavy tenant cycling many
+  // patterns over one column cannot starve a light tenant on another.
+  Hal hal(TestHal());
+  Bat input_h(ValueType::kString, hal.bat_allocator());
+  Bat input_l(ValueType::kString, hal.bat_allocator());
+  const int rows = 32;
+  FillInput(&input_h, rows);
+  FillInput(&input_l, rows, /*salt=*/1);
+  const std::vector<int16_t> expected_h =
+      DirectResult(&hal, input_h, "Strasse");
+  const std::vector<int16_t> expected_l = DirectResult(&hal, input_l, "61234");
+
+  QueryScheduler::Options options = NoRouting();
+  options.set_compilation = true;
+  options.quantum_rows = rows;
+  QueryScheduler scheduler(&hal, options);
+  SessionOptions ho, lo;
+  ho.tenant = "heavy";
+  lo.tenant = "light";
+  Session* heavy = scheduler.CreateSession(ho);
+  Session* light = scheduler.CreateSession(lo);
+
+  // Heavy floods 12 queries cycling three patterns over its column (every
+  // wave it joins set-coalesces to width 3, borrowing against its own
+  // deficit); light asks for 4 modest scans of a different column.
+  const char* cycle[] = {"Strasse", "Gasse", "Berner"};
+  std::vector<QueryTicket> heavy_tickets, light_tickets;
+  for (int i = 0; i < 12; ++i) {
+    auto ticket = scheduler.Submit(heavy, input_h, cycle[i % 3]);
+    ASSERT_TRUE(ticket.ok());
+    heavy_tickets.push_back(std::move(*ticket));
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto ticket = scheduler.Submit(light, input_l, "61234");
+    ASSERT_TRUE(ticket.ok());
+    light_tickets.push_back(std::move(*ticket));
+  }
+
+  double heavy_mean = 0, light_mean = 0;
+  uint64_t light_max_seq = 0;
+  int heavy_set_scans = 0;
+  for (auto& ticket : heavy_tickets) {
+    auto result = scheduler.Wait(ticket);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    heavy_mean += static_cast<double>(result->completion_seq);
+    if (result->set_width > 1) ++heavy_set_scans;
+  }
+  for (auto& ticket : light_tickets) {
+    auto result = scheduler.Wait(ticket);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    light_mean += static_cast<double>(result->completion_seq);
+    light_max_seq = std::max(light_max_seq, result->completion_seq);
+    ExpectSameColumn(expected_l, *result->hudf.result);
+  }
+  heavy_mean /= 12;
+  light_mean /= 4;
+  // Heavy actually used set scans — and still paid for every query: the
+  // loans drive its deficit negative, so light drains first.
+  EXPECT_GT(heavy_set_scans, 0);
+  EXPECT_LT(light_mean, heavy_mean);
+  // Light's last completion lands within the first half of the sequence:
+  // heavy's 12-query flood cannot push light to the back.
+  EXPECT_LE(light_max_seq, 8u);
+
+  // Heavy's own results stayed bit-identical through the set path.
+  auto check = scheduler.Execute(heavy, input_h, "Strasse");
+  ASSERT_TRUE(check.ok());
+  ExpectSameColumn(expected_h, *check->hudf.result);
+}
+
 // --- Cost-model routing -----------------------------------------------------
 
 TEST(RoutingTest, SmallInputsRouteToCpuBitIdentically) {
@@ -471,6 +596,78 @@ TEST(ProgramCacheTest, FailedCompilesAreNotCached) {
   auto oversize = cache.GetOrCompile("Strasse");
   EXPECT_TRUE(oversize.status().IsCapacityExceeded());
   EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(ProgramCacheTest, SemanticallyIdenticalPatternsShareOneSlot) {
+  // Case folding lowercases literals at the AST level, so "strasse" and
+  // "STRASSE" compile to byte-identical config vectors. The cache keys
+  // slots by that compiled fingerprint: the second spelling aliases onto
+  // the first slot instead of double-caching the program.
+  obs::Counter* shares = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.program_cache.alias_shares");
+  const int64_t shares0 = shares->Value();
+
+  DeviceConfig device;
+  ProgramCache cache(device, /*capacity=*/4);
+  CompileOptions fold;
+  fold.case_insensitive = true;
+  auto a = cache.GetOrCompile("strasse", fold);
+  auto b = cache.GetOrCompile("STRASSE", fold);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->fingerprint, (*b)->fingerprint);
+  // One slot, one immutable entry — the regression this guards: the
+  // second spelling used to compile AND occupy a second LRU slot.
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.misses(), 2);  // both spellings compiled cold once
+  EXPECT_EQ(shares->Value() - shares0, 1);
+
+  // Both spellings are now alias keys of the shared slot: hits, no
+  // recompilation.
+  ASSERT_TRUE(cache.GetOrCompile("strasse", fold).ok());
+  ASSERT_TRUE(cache.GetOrCompile("STRASSE", fold).ok());
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 2);
+
+  // Eviction removes every alias of the victim, not just its first key.
+  ProgramCache small(device, /*capacity=*/1);
+  ASSERT_TRUE(small.GetOrCompile("strasse", fold).ok());
+  ASSERT_TRUE(small.GetOrCompile("STRASSE", fold).ok());
+  ASSERT_TRUE(small.GetOrCompile("Gasse").ok());  // evicts the shared slot
+  EXPECT_EQ(small.size(), 1);
+  ASSERT_TRUE(small.GetOrCompile("STRASSE", fold).ok());
+  EXPECT_EQ(small.hits(), 0);   // no stale alias hit after eviction
+  EXPECT_EQ(small.misses(), 4);  // the evicted alias had to recompile
+}
+
+TEST(ProgramCacheTest, SetProgramsAreKeyedOrderInsensitively) {
+  DeviceConfig device;
+  ProgramCache cache(device, /*capacity=*/4);
+  auto strasse = cache.GetOrCompile("Strasse");
+  auto gasse = cache.GetOrCompile("Gasse");
+  ASSERT_TRUE(strasse.ok());
+  ASSERT_TRUE(gasse.ok());
+
+  auto ab = cache.GetOrCompileSet({*strasse, *gasse});
+  auto ba = cache.GetOrCompileSet({*gasse, *strasse});
+  ASSERT_TRUE(ab.ok()) << ab.status().ToString();
+  ASSERT_TRUE(ba.ok());
+  // Any submission order of the same member set is the same cached
+  // program with the same stream assignment.
+  EXPECT_EQ(ab->get(), ba->get());
+  EXPECT_EQ(cache.set_size(), 1);
+  EXPECT_EQ(cache.set_misses(), 1);
+  EXPECT_EQ(cache.set_hits(), 1);
+  const int s = (*ab)->StreamOf((*strasse)->fingerprint);
+  const int g = (*ab)->StreamOf((*gasse)->fingerprint);
+  EXPECT_NE(s, -1);
+  EXPECT_NE(g, -1);
+  EXPECT_NE(s, g);
+  // Duplicate members dedup into the same set.
+  auto dup = cache.GetOrCompileSet({*strasse, *gasse, *strasse});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->get(), ab->get());
 }
 
 TEST(ProgramCacheTest, HitExecutesBitIdenticalToColdCompile) {
