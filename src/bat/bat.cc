@@ -1,5 +1,7 @@
 #include "bat/bat.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace doppio {
@@ -32,8 +34,15 @@ const char* ValueTypeName(ValueType type) {
   return "?";
 }
 
+namespace {
+/// Process-wide column-identity source (never 0, never reused).
+std::atomic<uint64_t> next_bat_id{1};
+}  // namespace
+
 Bat::Bat(ValueType type, BufferAllocator* allocator)
-    : type_(type), tail_(allocator) {
+    : type_(type),
+      tail_(allocator),
+      id_(next_bat_id.fetch_add(1, std::memory_order_relaxed)) {
   if (type_ == ValueType::kString) {
     heap_ = std::make_unique<StringHeap>(allocator);
   }
@@ -50,6 +59,7 @@ Status Bat::AppendInt32(int32_t value) {
   DOPPIO_CHECK(type_ == ValueType::kInt32);
   DOPPIO_RETURN_NOT_OK(tail_.Append(&value, sizeof(value)));
   ++count_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -57,6 +67,7 @@ Status Bat::AppendInt64(int64_t value) {
   DOPPIO_CHECK(type_ == ValueType::kInt64);
   DOPPIO_RETURN_NOT_OK(tail_.Append(&value, sizeof(value)));
   ++count_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -64,6 +75,7 @@ Status Bat::AppendInt16(int16_t value) {
   DOPPIO_CHECK(type_ == ValueType::kInt16);
   DOPPIO_RETURN_NOT_OK(tail_.Append(&value, sizeof(value)));
   ++count_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -72,6 +84,7 @@ Status Bat::AppendString(std::string_view value) {
   DOPPIO_ASSIGN_OR_RETURN(uint32_t offset, heap_->Append(value));
   DOPPIO_RETURN_NOT_OK(tail_.Append(&offset, sizeof(offset)));
   ++count_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -89,6 +102,7 @@ Status Bat::AppendZeros(int64_t n) {
   DOPPIO_CHECK(type_ != ValueType::kString);
   DOPPIO_RETURN_NOT_OK(tail_.AppendZeros(n * ValueTypeWidth(type_)));
   count_ += n;
+  BumpVersion();
   return Status::OK();
 }
 

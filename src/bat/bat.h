@@ -8,6 +8,7 @@
 // the tuple count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -43,6 +44,16 @@ class Bat {
 
   ValueType type() const { return type_; }
   int64_t count() const { return count_; }
+
+  /// Process-unique column identity, assigned at construction. Never
+  /// reused within a process, so caches keyed on it (sched/result_cache)
+  /// cannot confuse a freed BAT's address with its successor's.
+  uint64_t id() const { return id_; }
+
+  /// Monotone content version, starting at 1 and bumped by every append.
+  /// A (id, version) pair names an immutable snapshot of the column: the
+  /// first `count` rows as of that version. Readable from any thread.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   // --- Appends ------------------------------------------------------------
   Status AppendInt32(int32_t value);
@@ -90,10 +101,14 @@ class Bat {
   BufferAllocator* allocator() const { return tail_.allocator(); }
 
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   ValueType type_;
   Buffer tail_;
   std::unique_ptr<StringHeap> heap_;  // only for kString
   int64_t count_ = 0;
+  uint64_t id_;
+  std::atomic<uint64_t> version_{1};
 };
 
 }  // namespace doppio

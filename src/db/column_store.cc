@@ -8,6 +8,7 @@
 #include "regex/dfa_matcher.h"
 #include "regex/like_translator.h"
 #include "regex/substring_search.h"
+#include "sched/result_cache.h"
 
 namespace doppio {
 
@@ -234,7 +235,8 @@ Result<std::vector<uint8_t>> ColumnStoreEngine::EvalFpga(
   Status hw_status = Status::OK();
   if (spec.op == StringFilterSpec::Op::kHybrid) {
     Result<HybridResult> hybrid =
-        ExecuteHybrid(options_.hal, column, spec.pattern, copts);
+        ExecuteHybrid(options_.hal, column, spec.pattern, copts,
+                      /*gate=*/nullptr, options_.result_cache);
     if (hybrid.ok()) {
       result = std::move(hybrid->result);
       local = hybrid->stats;
@@ -305,6 +307,27 @@ Result<std::vector<uint8_t>> ColumnStoreEngine::EvalContains(
   std::vector<uint8_t> bits(static_cast<size_t>(column.count()), 0);
   for (int64_t row : rows) bits[static_cast<size_t>(row)] = 1;
   return bits;
+}
+
+Result<uint64_t> ColumnStoreEngine::AppendToColumn(
+    const std::string& table, const std::string& column,
+    const std::vector<std::string>& values) {
+  Table* t = catalog_.GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  Bat* col = t->GetColumn(column);
+  if (col == nullptr) {
+    return Status::NotFound("no column '" + column + "'");
+  }
+  if (col->type() != ValueType::kString) {
+    return Status::InvalidArgument("AppendToColumn requires a string column");
+  }
+  for (const std::string& value : values) {
+    DOPPIO_RETURN_NOT_OK(col->AppendString(value));
+  }
+  if (options_.result_cache != nullptr) {
+    options_.result_cache->InvalidateColumn(col->id());
+  }
+  return col->version();
 }
 
 Status ColumnStoreEngine::BuildContainsIndex(const std::string& table,

@@ -26,6 +26,10 @@
 
 namespace doppio {
 
+namespace sched {
+class ResultCache;
+}  // namespace sched
+
 /// A string predicate as it appears in a WHERE clause.
 struct StringFilterSpec {
   enum class Op {
@@ -51,6 +55,11 @@ class ColumnStoreEngine {
     /// When set, REGEXP_FPGA is available and BATs should be allocated
     /// from the HAL's shared-memory allocator.
     Hal* hal = nullptr;
+    /// Optional versioned match-result cache (docs/RESULT_CACHE.md). The
+    /// hybrid strategy reuses cached pre-filters through it, and ingest
+    /// (AppendToColumn) invalidates the mutated column explicitly. Null =
+    /// exact pre-cache behaviour.
+    sched::ResultCache* result_cache = nullptr;
   };
 
   explicit ColumnStoreEngine(const Options& options);
@@ -72,6 +81,17 @@ class ColumnStoreEngine {
   Result<std::vector<uint8_t>> EvalStringFilter(const Bat& column,
                                                 const StringFilterSpec& spec,
                                                 QueryStats* stats);
+
+  /// Streaming-ingest helper: appends `values` to table.column. Every
+  /// append bumps the column's content version (Bat::version), so
+  /// snapshot-keyed result caches stop serving pre-append entries; when a
+  /// result cache is attached (Options::result_cache) the column is also
+  /// invalidated explicitly, freeing its budget immediately. Returns the
+  /// column's post-append version. Callers must serialize ingest against
+  /// in-flight scans of the same column (the BAT may reallocate).
+  Result<uint64_t> AppendToColumn(const std::string& table,
+                                  const std::string& column,
+                                  const std::vector<std::string>& values);
 
   /// Builds (or rebuilds) the CONTAINS index for table.column.
   Status BuildContainsIndex(const std::string& table,

@@ -71,7 +71,9 @@ struct QueryRun {
 Status DemuxSetOutputs(Hal* hal, FpgaBatchQuery& q) {
   if (q.streams <= 1) return Status::OK();
   const int streams = q.streams;
-  const int64_t n = q.input->count();
+  // q.rows was normalized in Phase 0: the admission snapshot, not
+  // whatever the input has grown to by demux time.
+  const int64_t n = q.rows;
   q.set_outputs.clear();
   q.set_outputs.resize(static_cast<size_t>(streams));
   const uint8_t* staging = q.out.result->tail_data();
@@ -100,15 +102,17 @@ Status DemuxSetOutputs(Hal* hal, FpgaBatchQuery& q) {
 
 Result<HudfResult> RunDfaScanInSoftware(const Bat& input,
                                         std::string_view pattern,
-                                        const CompileOptions& options) {
+                                        const CompileOptions& options,
+                                        int64_t rows) {
   HudfResult out;
   Stopwatch cpu_watch;
+  const int64_t n =
+      rows < 0 ? input.count() : std::min<int64_t>(rows, input.count());
   DOPPIO_ASSIGN_OR_RETURN(std::unique_ptr<DfaMatcher> matcher,
                           DfaMatcher::Compile(pattern, options));
-  DOPPIO_ASSIGN_OR_RETURN(out.result,
-                          Bat::New(ValueType::kInt16, input.count()));
+  DOPPIO_ASSIGN_OR_RETURN(out.result, Bat::New(ValueType::kInt16, n));
   int64_t matched = 0;
-  for (int64_t i = 0; i < input.count(); ++i) {
+  for (int64_t i = 0; i < n; ++i) {
     MatchResult m = matcher->Find(input.GetString(i));
     int16_t value =
         m.matched ? static_cast<int16_t>(std::min<int32_t>(
@@ -118,7 +122,7 @@ Result<HudfResult> RunDfaScanInSoftware(const Bat& input,
     DOPPIO_RETURN_NOT_OK(out.result->AppendInt16(value));
   }
   out.stats.strategy = "software";
-  out.stats.rows_scanned = input.count();
+  out.stats.rows_scanned = n;
   out.stats.rows_matched = matched;
   out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
   return out;
@@ -202,20 +206,26 @@ Status RegexpFpgaBatch(Hal* hal,
     QueryRun& run = runs.back();
     run.query = q;
     run.trace = tracer.BeginQuery(q->span_name);
+    // Normalize the admission snapshot: -1 (or an over-count) means "all
+    // rows as of now". From here on the executor reads q->rows only, so a
+    // concurrent append cannot change the scanned extent mid-wave.
+    if (q->rows < 0 || q->rows > q->input->count()) {
+      q->rows = q->input->count();
+    }
     HudfResult& out = q->out;
     out.stats.trace_id = run.trace;
     // Partitioning is internal to the operator; a set-compiled config
     // surfaces as its own strategy so demuxed streams are attributable.
     out.stats.strategy = q->streams > 1 ? "fpga-set" : "fpga";
-    out.stats.rows_scanned = q->input->count();
+    out.stats.rows_scanned = q->rows;
 
     // streams > 1: the result BAT is the row-major staging area for every
     // stream; DemuxSetOutputs splits it per member after the wave.
-    auto result = Bat::New(ValueType::kInt16, q->input->count() * q->streams,
+    auto result = Bat::New(ValueType::kInt16, q->rows * q->streams,
                            hal->bat_allocator());
     if (!result.ok()) return fail(result.status());
     out.result = std::move(*result);
-    Status st = out.result->AppendZeros(q->input->count() * q->streams);
+    Status st = out.result->AppendZeros(q->rows * q->streams);
     if (!st.ok()) return fail(st);
   }
 
@@ -224,21 +234,22 @@ Status RegexpFpgaBatch(Hal* hal,
   for (QueryRun& run : runs) {
     FpgaBatchQuery& q = *run.query;
     const Bat& input = *q.input;
-    if (input.count() == 0) continue;  // degenerate: no rows, no slices
+    const int64_t limit = q.rows;  // admission snapshot (Phase 0)
+    if (limit == 0) continue;      // degenerate: no rows, no slices
 
     int partitions = q.partitions;
     if (partitions <= 0) partitions = num_engines;
     partitions = static_cast<int>(
-        std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
+        std::min<int64_t>(partitions, std::max<int64_t>(limit, 1)));
 
     Stopwatch hal_watch;
-    const int64_t chunk = (input.count() + partitions - 1) / partitions;
+    const int64_t chunk = (limit + partitions - 1) / partitions;
     const uint32_t* all_offsets =
         reinterpret_cast<const uint32_t*>(input.tail_data());
     for (int p = 0; p < partitions; ++p) {
       const int64_t first = p * chunk;
-      if (first >= input.count()) break;
-      const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
+      if (first >= limit) break;
+      const int64_t rows = std::min<int64_t>(chunk, limit - first);
       if (rows <= 0) continue;
       run.slices.emplace_back();
       Slice& slice = run.slices.back();
@@ -277,7 +288,7 @@ Status RegexpFpgaBatch(Hal* hal,
     FpgaBatchQuery& q = *run.query;
     HudfResult& out = q.out;
 
-    if (q.input->count() == 0) {
+    if (q.rows == 0) {
       Status st = DemuxSetOutputs(hal, q);
       if (!st.ok()) return fail(st);
       out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();
@@ -412,15 +423,18 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     QueryRun& run = runs.back();
     run.query = q;
     run.trace = tracer.BeginQuery(q->span_name);
+    if (q->rows < 0 || q->rows > q->input->count()) {
+      q->rows = q->input->count();
+    }
     HudfResult& out = q->out;
     out.stats.trace_id = run.trace;
     out.stats.strategy = q->streams > 1 ? "fpga-set" : "fpga";
-    out.stats.rows_scanned = q->input->count();
-    auto result = Bat::New(ValueType::kInt16, q->input->count() * q->streams,
+    out.stats.rows_scanned = q->rows;
+    auto result = Bat::New(ValueType::kInt16, q->rows * q->streams,
                            hal->bat_allocator());
     if (!result.ok()) return fail(result.status());
     out.result = std::move(*result);
-    Status st = out.result->AppendZeros(q->input->count() * q->streams);
+    Status st = out.result->AppendZeros(q->rows * q->streams);
     if (!st.ok()) return fail(st);
   }
 
@@ -433,21 +447,22 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     QueryRun& run = runs[qi];
     FpgaBatchQuery& q = *run.query;
     const Bat& input = *q.input;
-    if (input.count() == 0) continue;
+    const int64_t limit = q.rows;  // admission snapshot (Phase 0)
+    if (limit == 0) continue;
 
     int partitions = q.partitions;
     if (partitions <= 0) partitions = pool->total_engines();
     partitions = static_cast<int>(
-        std::min<int64_t>(partitions, std::max<int64_t>(input.count(), 1)));
+        std::min<int64_t>(partitions, std::max<int64_t>(limit, 1)));
 
     Stopwatch hal_watch;
-    const int64_t chunk = (input.count() + partitions - 1) / partitions;
+    const int64_t chunk = (limit + partitions - 1) / partitions;
     const uint32_t* all_offsets =
         reinterpret_cast<const uint32_t*>(input.tail_data());
     for (int p = 0; p < partitions; ++p) {
       const int64_t first = p * chunk;
-      if (first >= input.count()) break;
-      const int64_t rows = std::min<int64_t>(chunk, input.count() - first);
+      if (first >= limit) break;
+      const int64_t rows = std::min<int64_t>(chunk, limit - first);
       if (rows <= 0) continue;
       slices.emplace_back();
       PoolSlice& slice = slices.back();
@@ -639,7 +654,7 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     QueryRun& run = runs[qi];
     FpgaBatchQuery& q = *run.query;
     HudfResult& out = q.out;
-    if (q.input->count() == 0) {
+    if (q.rows == 0) {
       Status st = DemuxSetOutputs(hal, q);
       if (!st.ok()) return fail(st);
       out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();

@@ -72,6 +72,12 @@ struct FpgaBatchQuery {
   /// Simulator-only throughput knob (see JobParams::timing_only): derive
   /// exact traffic/timing but skip the functional pass (results zeroed).
   bool timing_only = false;
+  /// Admission-time row snapshot: scan only the first `rows` rows of
+  /// `input` (-1 = whatever `input->count()` is at execution time). The
+  /// scheduler pins this at Submit so an append landing between admission
+  /// and wave execution cannot leak post-snapshot rows into the result.
+  /// Normalized to min(rows, input->count()) during Phase-0 validation.
+  int64_t rows = -1;
   /// Output streams of `config` (1..64). 1 = the classic single-pattern
   /// scan, byte-identical to before streams existed. > 1 = `config` is a
   /// set-compiled program (CompileRegexSetConfig) with that many tagged
@@ -121,10 +127,12 @@ Result<HudfResult> RegexpFpgaPartitionedPooled(Hal* hal, const Bat& input,
 /// the hybrid planner's software strategy and the scheduler's CPU route
 /// for patterns that exceed the deployed geometry. Fills result (int16,
 /// values capped at 32767), strategy ("software"), row counts and the
-/// software phase time.
+/// software phase time. `rows` >= 0 scans only the first `rows` rows
+/// (the scheduler's admission snapshot); -1 = all rows.
 Result<HudfResult> RunDfaScanInSoftware(const Bat& input,
                                         std::string_view pattern,
-                                        const CompileOptions& options = {});
+                                        const CompileOptions& options = {},
+                                        int64_t rows = -1);
 
 /// Runs a geometry-eligible pattern entirely on the host through the
 /// kernel-backend registry (hw/kernel_backend.h) — the execution path of

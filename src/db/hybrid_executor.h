@@ -20,6 +20,9 @@
 #include "regex/pattern_ast.h"
 
 namespace doppio {
+namespace sched {
+class ResultCache;
+}  // namespace sched
 
 enum class HybridStrategy { kFpgaOnly, kHybrid, kSoftwareOnly };
 
@@ -52,9 +55,26 @@ struct HybridResult {
 /// submitted straight at the device — the multi-tenant scheduler
 /// (src/sched) implements the gate with session quotas, fair sharing and
 /// cross-query batching. A null gate is the paper's direct-submit path.
+///
+/// When `cache` is non-null (docs/RESULT_CACHE.md), the executor consults
+/// the versioned match-result cache against the column's admission
+/// snapshot (id, version, row count):
+///  * kFpgaOnly — an exact (fingerprint, column, version) hit is served
+///    straight from the cached block ("fpga-cache"); otherwise a cached
+///    scan of a '.*'-cut prefix of the pattern subsumes it as a complete
+///    candidate set, and the full program refines only candidate rows on
+///    the host backend ("fpga+cache_prefilter", bit-identical to a full
+///    device scan by construction).
+///  * kHybrid — a cached prefix scan replaces the device pre-filter
+///    entirely ("hybrid+cache_prefilter"); the CPU post-process is
+///    unchanged.
+/// Completed device-semantics scans are offered back to the cache when
+/// gate == nullptr (a gated offload is cached by the scheduler itself).
+/// A null cache is the paper's every-query-rescans path.
 Result<HybridResult> ExecuteHybrid(Hal* hal, const Bat& input,
                                    std::string_view pattern,
                                    const CompileOptions& options = {},
-                                   RegexAdmissionGate* gate = nullptr);
+                                   RegexAdmissionGate* gate = nullptr,
+                                   sched::ResultCache* cache = nullptr);
 
 }  // namespace doppio

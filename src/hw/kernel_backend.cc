@@ -1,5 +1,6 @@
 #include "hw/kernel_backend.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -290,6 +291,42 @@ Result<int64_t> RunHostSlice(const DeviceConfig& device,
     }
   }
   return collector.matches();
+}
+
+Result<int64_t> RunHostCandidates(
+    const DeviceConfig& device, const Bat& input, int64_t rows,
+    const uint16_t* candidates,
+    std::shared_ptr<const CompiledPuProgram> program, uint16_t* result,
+    HostSliceInfo* info) {
+  if (candidates == nullptr || result == nullptr || program == nullptr) {
+    return Status::InvalidArgument("null candidate-subset execution input");
+  }
+  if (input.type() != ValueType::kString) {
+    return Status::InvalidArgument("regex job input must be a string BAT");
+  }
+  if (program->num_patterns() != 1) {
+    return Status::InvalidArgument(
+        "candidate-subset execution takes single-pattern programs");
+  }
+  const int64_t n = std::min<int64_t>(rows, input.count());
+  const KernelBackend& backend =
+      BackendRegistry::Global().ChooseHost(*program);
+  std::unique_ptr<HostExecution> exec = backend.NewExecution(program);
+  if (info != nullptr) {
+    info->backend = backend.id();
+    info->kernel = exec->kernel_name();
+  }
+  int64_t matches = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (candidates[i] == 0) {
+      result[i] = 0;
+      continue;
+    }
+    const uint16_t value = exec->Match(input.GetString(i));
+    result[i] = value;
+    if (value != 0) ++matches;
+  }
+  return matches;
 }
 
 }  // namespace doppio

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bat/bat.h"
 #include "common/status.h"
 #include "hw/device_config.h"
 #include "hw/job.h"
@@ -128,5 +129,20 @@ Result<int64_t> RunHostSlice(const DeviceConfig& device,
                              std::shared_ptr<const CompiledPuProgram> program =
                                  nullptr,
                              HostSliceInfo* info = nullptr);
+
+/// Candidate-subset host execution — the result-cache pre-filter's
+/// refinement step (docs/RESULT_CACHE.md). Runs `program` over the first
+/// `rows` rows of `input`, but only where `candidates[i] != 0`: a zero
+/// candidate means a *complete* coarser scan already proved row i cannot
+/// match the refining pattern, so its result is written as 0 without
+/// touching the string. Candidate rows execute with full device Match
+/// semantics (first-match end saturated at 65535), so given the
+/// subsumption precondition the output is bit-identical to a full scan.
+/// Writes one uint16 per row into `result` and returns the match count.
+Result<int64_t> RunHostCandidates(
+    const DeviceConfig& device, const Bat& input, int64_t rows,
+    const uint16_t* candidates,
+    std::shared_ptr<const CompiledPuProgram> program, uint16_t* result,
+    HostSliceInfo* info = nullptr);
 
 }  // namespace doppio

@@ -38,6 +38,30 @@ obs::Counter& AliasSharesCounter() {
   return *c;
 }
 
+obs::Counter& ReadoptionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.program_cache.readoptions",
+      "misses re-adopting an evicted-but-still-referenced program instead "
+      "of keeping a second live copy");
+  return *c;
+}
+
+obs::Gauge& SizeGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge(
+      "doppio.sched.program_cache.size",
+      "live compiled programs: resident LRU slots plus evicted entries "
+      "still referenced by an in-flight wave");
+  return *g;
+}
+
+obs::Gauge& LiveBytesGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge(
+      "doppio.sched.program_cache.live_bytes",
+      "estimated bytes of all live compiled programs (resident + "
+      "evicted-but-referenced)");
+  return *g;
+}
+
 obs::Counter& SetHitsCounter() {
   static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
       "doppio.sched.set_compile.cache_hits",
@@ -64,6 +88,16 @@ std::string FingerprintOf(const RegexConfig& config) {
   return std::string(bytes.begin(), bytes.end());
 }
 
+// The compiled kernel structures (DFA cache, NFA tables, literal stage)
+// are not byte-introspectable; charge a fixed overhead per entry on top
+// of the exact config-vector footprint.
+constexpr int64_t kEntryOverheadBytes = 256;
+
+int64_t EntryBytes(const CachedProgram& entry) {
+  return static_cast<int64_t>(entry.config.vector.bytes().size()) +
+         static_cast<int64_t>(entry.fingerprint.size()) + kEntryOverheadBytes;
+}
+
 }  // namespace
 
 int CachedSetProgram::StreamOf(std::string_view fingerprint) const {
@@ -76,6 +110,10 @@ int CachedSetProgram::StreamOf(std::string_view fingerprint) const {
 ProgramCache::ProgramCache(const DeviceConfig& device, int capacity)
     : device_(device), capacity_(capacity) {
   DOPPIO_CHECK(capacity_ >= 1);
+  // Instantiate the live-accounting gauges so they report 0 (not absent)
+  // before the first insert.
+  SizeGauge();
+  LiveBytesGauge();
 }
 
 std::string ProgramCache::MakeKey(std::string_view pattern,
@@ -139,20 +177,48 @@ Result<std::shared_ptr<const CachedProgram>> ProgramCache::GetOrCompile(
     AliasSharesCounter().Add();
     return fp->second->entry;
   }
+  // Re-adoption: the fingerprint was evicted but an in-flight wave still
+  // holds the program. Re-inserting the original pointer (not the fresh
+  // redundant compilation) keeps exactly one live copy — without this, a
+  // re-insert while the evicted copy is referenced double-counts the
+  // program's memory, and its textual aliases would later re-register as
+  // fresh alias_shares against the duplicate slot.
+  std::shared_ptr<const CachedProgram> slot_entry;
+  for (auto evicted = evicted_live_.begin(); evicted != evicted_live_.end();) {
+    if (evicted->first != entry->fingerprint) {
+      ++evicted;
+      continue;
+    }
+    slot_entry = evicted->second.lock();
+    evicted = evicted_live_.erase(evicted);
+    if (slot_entry != nullptr) break;  // released copies fall through
+  }
+  if (slot_entry != nullptr) {
+    ++readoptions_;
+    ReadoptionsCounter().Add();
+  } else {
+    slot_entry = std::shared_ptr<const CachedProgram>(std::move(entry));
+  }
   lru_.emplace_front();
-  lru_.front().entry = entry;
+  lru_.front().entry = slot_entry;
   lru_.front().aliases.push_back(key);
   by_alias_.emplace(std::move(key), lru_.begin());
-  by_fingerprint_.emplace(entry->fingerprint, lru_.begin());
+  by_fingerprint_.emplace(slot_entry->fingerprint, lru_.begin());
   if (static_cast<int>(lru_.size()) > capacity_) {
     const Node& victim = lru_.back();
     for (const std::string& alias : victim.aliases) by_alias_.erase(alias);
     by_fingerprint_.erase(victim.entry->fingerprint);
+    // The victim's program may outlive the slot (a wave holds it): keep a
+    // weak ref so live accounting still sees it and a re-insert can
+    // re-adopt it.
+    evicted_live_.emplace_back(victim.entry->fingerprint, victim.entry);
     lru_.pop_back();
     ++evictions_;
     EvictionsCounter().Add();
   }
-  return std::shared_ptr<const CachedProgram>(std::move(entry));
+  PruneEvictedLocked();
+  RefreshGaugesLocked();
+  return slot_entry;
 }
 
 Result<std::shared_ptr<const CachedSetProgram>> ProgramCache::GetOrCompileSet(
@@ -269,6 +335,51 @@ int ProgramCache::size() const {
 int ProgramCache::set_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(set_lru_.size());
+}
+
+int ProgramCache::live_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int live = static_cast<int>(lru_.size());
+  for (const auto& [fingerprint, weak] : evicted_live_) {
+    if (!weak.expired()) ++live;
+  }
+  return live;
+}
+
+int64_t ProgramCache::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LiveBytesLocked();
+}
+
+int64_t ProgramCache::readoptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return readoptions_;
+}
+
+void ProgramCache::PruneEvictedLocked() {
+  for (auto it = evicted_live_.begin(); it != evicted_live_.end();) {
+    it = it->second.expired() ? evicted_live_.erase(it) : std::next(it);
+  }
+}
+
+int64_t ProgramCache::LiveBytesLocked() const {
+  int64_t bytes = 0;
+  for (const Node& node : lru_) bytes += EntryBytes(*node.entry);
+  for (const auto& [fingerprint, weak] : evicted_live_) {
+    if (std::shared_ptr<const CachedProgram> live = weak.lock()) {
+      bytes += EntryBytes(*live);
+    }
+  }
+  return bytes;
+}
+
+void ProgramCache::RefreshGaugesLocked() {
+  int64_t live = static_cast<int64_t>(lru_.size());
+  for (const auto& [fingerprint, weak] : evicted_live_) {
+    if (!weak.expired()) ++live;
+  }
+  SizeGauge().Set(live);
+  LiveBytesGauge().Set(LiveBytesLocked());
 }
 
 std::vector<std::string> ProgramCache::KeysMruFirst() const {

@@ -114,6 +114,21 @@ class ProgramCache {
   int set_size() const;
   int capacity() const { return capacity_; }
 
+  /// Programs whose memory is actually live: resident slots plus entries
+  /// evicted by LRU pressure while a wave still holds the shared_ptr
+  /// (their memory is not reclaimed until the last reference drops).
+  /// Counting only resident slots under-reports both gauges — the
+  /// accounting drift this pair of accessors (and the
+  /// doppio.sched.program_cache.{size,live_bytes} gauges) fixes.
+  int live_size() const;
+  /// Estimated bytes of all live programs (config-vector bytes plus a
+  /// fixed per-entry overhead for the compiled kernel structures).
+  int64_t live_bytes() const;
+  /// Misses whose fingerprint matched an evicted-but-still-referenced
+  /// entry and re-adopted it instead of keeping a second live copy (which
+  /// would also have re-counted its aliases as fresh alias_shares).
+  int64_t readoptions() const;
+
   /// Keys most-recently-used first — the exact eviction order, for tests.
   /// Each slot is reported once, by the textual key that first created it
   /// (aliases promote the slot but do not add entries here).
@@ -138,6 +153,24 @@ class ProgramCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t readoptions_ = 0;
+
+  /// Evicted slots whose program may still be referenced by an in-flight
+  /// wave: (fingerprint, weak ref). Pruned lazily once the last strong
+  /// reference drops. Live accounting spans lru_ plus the still-lockable
+  /// entries here; a miss whose fingerprint matches a lockable entry
+  /// re-adopts the original program (same pointer — no duplicate live
+  /// copy, no alias_shares double count).
+  std::list<std::pair<std::string, std::weak_ptr<const CachedProgram>>>
+      evicted_live_;
+
+  /// Drops evicted_live_ entries whose program has been released.
+  /// Requires mutex_.
+  void PruneEvictedLocked();
+  /// Recomputes the doppio.sched.program_cache.{size,live_bytes} gauges
+  /// from lru_ + evicted_live_. Requires mutex_.
+  void RefreshGaugesLocked();
+  int64_t LiveBytesLocked() const;
 
   /// Set programs: separate LRU keyed on the joined sorted member
   /// fingerprints.

@@ -1,0 +1,278 @@
+#include "sched/result_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace doppio {
+namespace sched {
+namespace {
+
+obs::Counter* HitsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.hits",
+      "result-cache lookups served from a cached block");
+  return c;
+}
+
+obs::Counter* MissesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.misses",
+      "result-cache lookups that required a scan");
+  return c;
+}
+
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.evictions",
+      "result-cache entries evicted (LRU budget or invalidation)");
+  return c;
+}
+
+obs::Counter* IncompleteCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.incomplete_skipped",
+      "result blocks refused by the completeness guard "
+      "(saturated or fallback-degraded)");
+  return c;
+}
+
+obs::Gauge* BytesGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge(
+      "doppio.sched.result_cache.bytes",
+      "bytes currently held by the result cache");
+  return g;
+}
+
+obs::Counter* BytesSavedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.bytes_saved",
+      "result bytes served from cache instead of rescanned");
+  return c;
+}
+
+obs::Counter* PrefilterUsesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.prefilter_uses",
+      "hybrid refinements run over a cached coarser candidate set");
+  return c;
+}
+
+obs::Counter* PrefilterRejectsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.prefilter_rejects",
+      "hybrid pre-filter lookups with no usable cached coarser scan");
+  return c;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(int64_t max_bytes)
+    : max_bytes_(std::max<int64_t>(1, max_bytes)) {
+  // Touch every instrument once so a scrape sees the full series even
+  // before the first lookup.
+  HitsCounter();
+  MissesCounter();
+  EvictionsCounter();
+  IncompleteCounter();
+  BytesGauge();
+  BytesSavedCounter();
+  PrefilterUsesCounter();
+  PrefilterRejectsCounter();
+}
+
+std::string ResultCache::MakeKey(std::string_view fingerprint,
+                                 uint64_t column_id,
+                                 uint64_t column_version) {
+  std::string key;
+  key.reserve(fingerprint.size() + 24);
+  key.append(fingerprint);
+  key.push_back('\x1f');
+  key.append(std::to_string(column_id));
+  key.push_back('\x1f');
+  key.append(std::to_string(column_version));
+  return key;
+}
+
+std::shared_ptr<const CachedResultBlock> ResultCache::Get(
+    std::string_view fingerprint, uint64_t column_id, uint64_t column_version,
+    int64_t rows) {
+  const std::string key = MakeKey(fingerprint, column_id, column_version);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  // A row-extent mismatch means the caller's admission snapshot disagrees
+  // with what the entry covers (an append raced in before this version was
+  // even keyed, or the entry predates a truncation). Serving it would
+  // violate the snapshot; miss instead.
+  if (it == index_.end() || it->second->block->rows() != rows) {
+    ++misses_;
+    MissesCounter()->Add();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  HitsCounter()->Add();
+  bytes_saved_ += it->second->block->bytes();
+  BytesSavedCounter()->Add(it->second->block->bytes());
+  return it->second->block;
+}
+
+bool ResultCache::Put(std::string_view fingerprint, uint64_t column_id,
+                      uint64_t column_version, std::vector<uint16_t> values,
+                      bool degraded) {
+  if (values.empty()) return false;
+  // Completeness guard (the saturation-reuse hazard, ISSUE 9): 65535 means
+  // "matched, true end position truncated". A block holding one is not a
+  // faithful record of the scan, so it must never be replayed or seed a
+  // pre-filter candidate set. Degraded runs mixed per-slice software
+  // fallback into the block; refuse those for the same reason.
+  if (degraded ||
+      std::find(values.begin(), values.end(), kSaturated) != values.end()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++incomplete_skipped_;
+    IncompleteCounter()->Add();
+    return false;
+  }
+
+  auto block = std::make_shared<CachedResultBlock>();
+  block->values = std::move(values);
+  for (uint16_t v : block->values) {
+    if (v != 0) ++block->rows_matched;
+  }
+  if (block->bytes() > max_bytes_) return false;
+
+  const std::string key = MakeKey(fingerprint, column_id, column_version);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Scans are deterministic per (fingerprint, column, version): the
+    // existing block is identical. Keep it (readers may hold it), promote.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  lru_.push_front(Entry{key, column_id, std::move(block)});
+  index_[key] = lru_.begin();
+  by_column_.emplace(column_id, key);
+  bytes_ += lru_.front().block->bytes();
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    ++evictions_;
+    EvictionsCounter()->Add();
+    EraseLocked(std::prev(lru_.end()));
+  }
+  SetBytesGaugeLocked();
+  return true;
+}
+
+void ResultCache::InvalidateColumn(uint64_t column_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto range = by_column_.equal_range(column_id);
+  for (auto it = range.first; it != range.second;) {
+    auto entry = index_.find(it->second);
+    it = by_column_.erase(it);
+    if (entry == index_.end()) continue;
+    ++invalidations_;
+    ++evictions_;
+    EvictionsCounter()->Add();
+    // EraseLocked would re-scan by_column_ for the key we just dropped;
+    // unlink the remaining indexes directly.
+    bytes_ -= entry->second->block->bytes();
+    lru_.erase(entry->second);
+    index_.erase(entry);
+  }
+  SetBytesGaugeLocked();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  by_column_.clear();
+  bytes_ = 0;
+  SetBytesGaugeLocked();
+}
+
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->block->bytes();
+  auto range = by_column_.equal_range(it->column_id);
+  for (auto c = range.first; c != range.second; ++c) {
+    if (c->second == it->key) {
+      by_column_.erase(c);
+      break;
+    }
+  }
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ResultCache::SetBytesGaugeLocked() { BytesGauge()->Set(bytes_); }
+
+void ResultCache::CountPrefilterUse(int64_t rows_avoided) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++prefilter_uses_;
+  PrefilterUsesCounter()->Add();
+  if (rows_avoided > 0) {
+    const int64_t saved =
+        rows_avoided * static_cast<int64_t>(sizeof(uint16_t));
+    bytes_saved_ += saved;
+    BytesSavedCounter()->Add(saved);
+  }
+}
+
+void ResultCache::CountPrefilterReject() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++prefilter_rejects_;
+  PrefilterRejectsCounter()->Add();
+}
+
+int64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+int64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+int64_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+
+int64_t ResultCache::incomplete_skipped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return incomplete_skipped_;
+}
+
+int64_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+int64_t ResultCache::bytes_saved() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_saved_;
+}
+
+int64_t ResultCache::prefilter_uses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prefilter_uses_;
+}
+
+int64_t ResultCache::prefilter_rejects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prefilter_rejects_;
+}
+
+int64_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+}  // namespace sched
+}  // namespace doppio

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace doppio {
 namespace sched {
@@ -49,6 +50,13 @@ obs::Counter& RouteFpgaCounter() {
 obs::Counter& RouteCpuCounter() {
   static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
       "doppio.sched.route_cpu", "queries routed to the host pool");
+  return *c;
+}
+
+obs::Counter& RouteCacheCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.route_cache",
+      "queries served from the versioned result cache");
   return *c;
 }
 
@@ -145,6 +153,19 @@ struct Request {
   bool timing_only = false;
   Stopwatch latency_watch;  // admission -> completion, host wall clock
 
+  // --- Admission snapshot (docs/RESULT_CACHE.md) --------------------------
+  // The column's identity, content version and row count as of Submit.
+  // Execution scans exactly admit_rows rows whatever the input grows to,
+  // and the result cache keys on (fingerprint, column_id, admit_version).
+  uint64_t column_id = 0;
+  uint64_t admit_version = 0;
+  int64_t admit_rows = 0;
+  /// Set once per request by the dispatcher's cache sweep so a request
+  /// re-queued across waves cannot inflate the miss counter.
+  bool cache_checked = false;
+  /// The cached block serving this request (Route::kCache only).
+  std::shared_ptr<const CachedResultBlock> cached;
+
   // --- Completion state ---------------------------------------------------
   bool done = false;
   bool waited = false;
@@ -182,6 +203,9 @@ QueryScheduler::QueryScheduler(Hal* hal, Options options)
   if (options_.cost_routing) {
     cost_model_ = std::make_unique<OperatorCostModel>(
         hal_->device_config(), OperatorCostModel::Measure());
+  }
+  if (options_.result_cache) {
+    results_ = std::make_unique<ResultCache>(options_.result_cache_bytes);
   }
 }
 
@@ -246,8 +270,15 @@ Result<QueryTicket> QueryScheduler::Submit(Session* session, const Bat& input,
   request->pattern = std::string(pattern);
   request->options = options;
   request->key = ProgramCache::MakeKey(pattern, options);
-  request->cost_rows = std::max<int64_t>(input.count(), 1);
   request->timing_only = options_.timing_only;
+  // Admission snapshot: the query scans exactly the rows visible NOW. An
+  // append landing between here and wave execution bumps the version (so
+  // the cache never pairs this snapshot with post-append rows) and grows
+  // the count (which execution ignores in favour of admit_rows).
+  request->column_id = input.id();
+  request->admit_version = input.version();
+  request->admit_rows = input.count();
+  request->cost_rows = std::max<int64_t>(request->admit_rows, 1);
 
   // Route at admission: compile (or hit the cache), overflow to the CPU
   // DFA when the pattern exceeds the geometry, and consult the cost model
@@ -382,6 +413,40 @@ QueryScheduler::Wave QueryScheduler::PickWaveLocked() {
   Wave wave;
   const int width = options_.max_batch_width;
   const size_t n = sessions_.size();
+
+  // Result-cache sweep: before any deficit accounting, serve session heads
+  // whose admission snapshot (fingerprint, column, version, rows) hits the
+  // cache. A hit is a zero-cost grant — the session's deficit is not
+  // charged, because the query consumes no engine time. Popping a head can
+  // expose another hit behind it, so sweep until a full pass pulls
+  // nothing. Head-of-line only: per-session FIFO order is preserved.
+  if (results_ != nullptr) {
+    bool pulled = true;
+    while (pulled) {
+      pulled = false;
+      for (const auto& owned : sessions_) {
+        Session* session = owned.get();
+        auto& queue = queues_[session];
+        if (queue.empty()) continue;
+        std::shared_ptr<Request>& head = queue.front();
+        if (head->program == nullptr ||
+            (head->route != Route::kFpga &&
+             head->route != Route::kCpuProgram)) {
+          continue;  // kCpuDfa results use 32767 software semantics
+        }
+        auto block =
+            results_->Get(head->program->fingerprint, head->column_id,
+                          head->admit_version, head->admit_rows);
+        if (block == nullptr) continue;
+        head->cached = std::move(block);
+        wave.cached.push_back(std::move(head));
+        queue.pop_front();
+        --session->queued_;
+        --global_queued_;
+        pulled = true;
+      }
+    }
+  }
 
   // Deficit round-robin. The outer loop makes progress inevitable: every
   // pass refills each non-empty session's deficit by quantum x weight, so
@@ -525,6 +590,30 @@ QueryScheduler::Wave QueryScheduler::PickWaveLocked() {
 }
 
 void QueryScheduler::ExecuteWave(Wave* wave) {
+  // Cache-served queries first: re-validate each block against the
+  // request's admission snapshot, serve the ones that hold, and
+  // reject-and-retry the rest into this same wave's normal routes (the
+  // defensive arm of the stale-read fix — a block whose extent disagrees
+  // with the snapshot must rescan, never serve).
+  if (!wave->cached.empty()) {
+    std::vector<std::shared_ptr<Request>> serve;
+    serve.reserve(wave->cached.size());
+    for (auto& request : wave->cached) {
+      Request* raw = request.get();
+      if (raw->cached != nullptr &&
+          raw->cached->rows() == raw->admit_rows) {
+        serve.push_back(std::move(request));
+        continue;
+      }
+      raw->cached.reset();
+      (raw->route == Route::kFpga ? wave->fpga : wave->cpu)
+          .push_back(std::move(request));
+    }
+    wave->cached = std::move(serve);
+    for (auto& request : wave->cached) ServeCachedRequest(request.get());
+    RouteCacheCounter().Add(static_cast<int64_t>(wave->cached.size()));
+  }
+
   // CPU-routed queries overlap with the device wave on the pool.
   std::vector<std::future<void>> futures;
   futures.reserve(wave->cpu.size());
@@ -552,7 +641,11 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
         Request* raw = request.get();
         bool placed = false;
         for (auto& group : groups) {
-          if (group.front()->input == raw->input) {
+          // A set slot shares ONE scan, so members must agree on the
+          // admission snapshot, not just the column pointer.
+          if (group.front()->input == raw->input &&
+              group.front()->admit_rows == raw->admit_rows &&
+              group.front()->admit_version == raw->admit_version) {
             group.push_back(raw);
             placed = true;
             break;
@@ -608,6 +701,7 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
       queries[i].input = lead.input;
       queries[i].partitions = partitions;
       queries[i].timing_only = lead.timing_only;
+      queries[i].rows = lead.admit_rows;  // admission snapshot
       if (slot.set != nullptr) {
         queries[i].config = &slot.set->config;
         queries[i].streams =
@@ -669,6 +763,13 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
       SetWavesCounter().Add(set_slots);
       SetQueriesCounter().Add(set_queries);
     }
+    // Offer every completed scan to the result cache (set members insert
+    // under their own member fingerprint — the demuxed stream is
+    // bit-identical to a solo run of that member). The completeness guard
+    // inside Put refuses saturated or fallback-degraded blocks.
+    if (results_ != nullptr) {
+      for (auto& request : wave->fpga) MaybeCacheResult(request.get());
+    }
     RouteFpgaCounter().Add(static_cast<int64_t>(wave->fpga.size()));
     BatchWidthHistogram().Observe(static_cast<double>(batch_width));
   }
@@ -679,8 +780,13 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
 
 void QueryScheduler::RunCpuRequest(Request* request) {
   const Bat& input = *request->input;
+  // Admission snapshot: scan exactly the rows visible at Submit, however
+  // much the column has grown since (min() is defensive — counts never
+  // shrink).
+  const int64_t rows =
+      std::min<int64_t>(request->admit_rows, input.count());
   HudfResult out;
-  out.stats.rows_scanned = input.count();
+  out.stats.rows_scanned = rows;
   Stopwatch cpu_watch;
   Status status;
 
@@ -689,18 +795,22 @@ void QueryScheduler::RunCpuRequest(Request* request) {
     // chosen host backend — results bit-identical to the hardware
     // functional pass by construction.
     out.stats.strategy = "sched_cpu";
-    auto result = Bat::New(ValueType::kInt16, input.count());
+    auto result = Bat::New(ValueType::kInt16, rows);
     if (result.ok()) {
       out.result = std::move(*result);
-      status = out.result->AppendZeros(input.count());
-      if (status.ok() && input.count() > 0) {
+      status = out.result->AppendZeros(rows);
+      if (status.ok() && rows > 0) {
+        const uint32_t* all_offsets =
+            reinterpret_cast<const uint32_t*>(input.tail_data());
         JobParams params;
         params.offsets = input.tail_data();
         params.heap = input.heap()->data();
         params.result = out.result->mutable_tail_data();
-        params.count = input.count();
+        params.count = rows;
         params.offset_width = static_cast<int32_t>(input.offset_width());
-        params.heap_bytes = input.heap()->size_bytes();
+        params.heap_bytes = rows < input.count()
+                                ? static_cast<int64_t>(all_offsets[rows])
+                                : input.heap()->size_bytes();
         params.config = request->program->config.vector.bytes();
         HostSliceInfo info;
         auto matches = RunHostSlice(hal_->device_config(), params,
@@ -719,8 +829,8 @@ void QueryScheduler::RunCpuRequest(Request* request) {
     // The pattern exceeds the deployed geometry: full software scan on
     // the lazy DFA (the planner's software strategy, shared with the
     // hybrid executor via db/hudf.h).
-    auto scan =
-        RunDfaScanInSoftware(input, request->pattern, request->options);
+    auto scan = RunDfaScanInSoftware(input, request->pattern,
+                                     request->options, rows);
     if (scan.ok()) {
       out = std::move(*scan);
     } else {
@@ -731,9 +841,66 @@ void QueryScheduler::RunCpuRequest(Request* request) {
   out.stats.udf_software_seconds = cpu_watch.ElapsedSeconds();
   if (status.ok()) {
     request->hudf = std::move(out);
+    // kCpuProgram results carry device Match semantics, so they are as
+    // cacheable as a device scan; kCpuDfa's 32767-capped software values
+    // are not (MaybeCacheResult skips them — no program, no fingerprint).
+    if (request->route == Route::kCpuProgram && results_ != nullptr) {
+      MaybeCacheResult(request);
+    }
   } else {
     request->status = status;
   }
+}
+
+void QueryScheduler::ServeCachedRequest(Request* request) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const obs::TraceId trace = tracer.BeginQuery("sched_cache_hit");
+  HudfResult out;
+  out.stats.trace_id = trace;
+  out.stats.strategy = "fpga-cache";
+  out.stats.rows_scanned = request->admit_rows;
+  out.stats.rows_matched = request->cached->rows_matched;
+  Stopwatch copy_watch;
+  auto result = Bat::New(ValueType::kInt16, request->admit_rows,
+                         hal_->bat_allocator());
+  Status status = result.ok() ? Status::OK() : result.status();
+  if (status.ok()) {
+    out.result = std::move(*result);
+    status = out.result->AppendZeros(request->admit_rows);
+  }
+  if (status.ok() && request->admit_rows > 0) {
+    std::memcpy(out.result->mutable_tail_data(),
+                request->cached->values.data(),
+                static_cast<size_t>(request->admit_rows) * sizeof(uint16_t));
+  }
+  // hw_seconds stays 0: no engine ran. The copy is the whole cost.
+  out.stats.udf_software_seconds = copy_watch.ElapsedSeconds();
+  if (trace != obs::kInvalidTraceId) {
+    tracer.RecordInstant(trace, "cache_hit", hal_->device()->now());
+  }
+  tracer.EndQuery(trace);
+  if (status.ok()) {
+    request->route = Route::kCache;
+    request->hudf = std::move(out);
+    request->session->cache_served_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    request->status = status;
+  }
+}
+
+void QueryScheduler::MaybeCacheResult(Request* request) {
+  if (results_ == nullptr || request->program == nullptr) return;
+  if (!request->status.ok() || request->timing_only) return;
+  const HudfResult& hudf = request->hudf;
+  if (hudf.result == nullptr || hudf.result->count() != request->admit_rows) {
+    return;
+  }
+  const bool degraded = hudf.stats.fallback_rows > 0;
+  const uint16_t* data =
+      reinterpret_cast<const uint16_t*>(hudf.result->tail_data());
+  std::vector<uint16_t> values(data, data + request->admit_rows);
+  results_->Put(request->program->fingerprint, request->column_id,
+                request->admit_version, std::move(values), degraded);
 }
 
 void QueryScheduler::FinalizeWaveLocked(Wave* wave) {
@@ -746,6 +913,7 @@ void QueryScheduler::FinalizeWaveLocked(Wave* wave) {
   };
   for (auto& request : wave->fpga) finalize(request);
   for (auto& request : wave->cpu) finalize(request);
+  for (auto& request : wave->cached) finalize(request);
 }
 
 }  // namespace sched

@@ -59,6 +59,7 @@
 #include "db/hudf.h"
 #include "hal/hal.h"
 #include "sched/program_cache.h"
+#include "sched/result_cache.h"
 #include "sched/session.h"
 
 namespace doppio {
@@ -73,6 +74,7 @@ enum class Route {
   kFpga,        // batched partitioned submission on the device
   kCpuProgram,  // host thread pool, same compiled PU program (bit-identical)
   kCpuDfa,      // host lazy DFA — pattern exceeds the deployed geometry
+  kCache,       // served from the versioned result cache, no engine used
 };
 
 struct ScheduledResult {
@@ -143,6 +145,15 @@ class QueryScheduler {
     /// tagged-accept encoding carries at most 64 streams). Only consulted
     /// when set_compilation is on.
     int max_set_patterns = 8;
+    /// Versioned match-result cache (docs/RESULT_CACHE.md): a wave head
+    /// whose (compiled-program fingerprint, column id, column version)
+    /// hits is served the cached block without occupying an engine,
+    /// charged to its session as a zero-cost grant. Off by default: the
+    /// paper's every-query-rescans waves stay byte-identical.
+    bool result_cache = false;
+    /// LRU byte budget of the result cache (consulted only when
+    /// result_cache is on).
+    int64_t result_cache_bytes = 64ll << 20;
   };
 
   explicit QueryScheduler(Hal* hal);  // default Options
@@ -200,6 +211,8 @@ class QueryScheduler {
   };
 
   ProgramCache& program_cache() { return cache_; }
+  /// The versioned match-result cache; null unless Options::result_cache.
+  ResultCache* result_cache() { return results_.get(); }
   const Options& options() const { return options_; }
   /// Queries admitted but not yet dispatched, across all sessions.
   int queue_depth() const;
@@ -208,7 +221,12 @@ class QueryScheduler {
   struct Wave {
     std::vector<std::shared_ptr<internal::Request>> fpga;
     std::vector<std::shared_ptr<internal::Request>> cpu;
-    bool empty() const { return fpga.empty() && cpu.empty(); }
+    /// Requests whose admission snapshot hit the result cache: served
+    /// from the cached block in ExecuteWave, no engine, no deficit.
+    std::vector<std::shared_ptr<internal::Request>> cached;
+    bool empty() const {
+      return fpga.empty() && cpu.empty() && cached.empty();
+    }
   };
 
   /// Deficit-round-robin wave assembly plus the same-pattern coalescing
@@ -220,10 +238,17 @@ class QueryScheduler {
   /// Marks a finished wave's requests complete. Requires mutex_.
   void FinalizeWaveLocked(Wave* wave);
   void RunCpuRequest(internal::Request* request);
+  /// Materializes a cache-served request's result from its cached block.
+  void ServeCachedRequest(internal::Request* request);
+  /// Offers a completed scan's block to the result cache (no-op when the
+  /// cache is off or the result is ineligible: degraded, timing-only,
+  /// saturated — the completeness guard lives in ResultCache::Put).
+  void MaybeCacheResult(internal::Request* request);
 
   Hal* const hal_;
   const Options options_;
   ProgramCache cache_;
+  std::unique_ptr<ResultCache> results_;
   std::unique_ptr<OperatorCostModel> cost_model_;  // null: routing off
   ThreadPool pool_;
 

@@ -55,6 +55,11 @@ class Session {
   int64_t completed() const {
     return completed_.load(std::memory_order_relaxed);
   }
+  /// Queries served from the versioned result cache (Route::kCache) —
+  /// they completed without occupying an engine or charging the deficit.
+  int64_t cache_served() const {
+    return cache_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class QueryScheduler;
@@ -67,6 +72,7 @@ class Session {
   std::atomic<int64_t> admitted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> cache_served_{0};
 
   // --- Guarded by the owning scheduler's mutex ---------------------------
   int queued_ = 0;           // requests admitted but not yet dispatched

@@ -1,0 +1,660 @@
+// The versioned match-result cache (docs/RESULT_CACHE.md): unit coverage
+// of keying/LRU/guard/invalidation, the scheduler's cache-served route
+// (bit-identity, zero-cost grants, admission snapshots), the saturation
+// hazard regression across device-shard boundaries, the hybrid
+// executor's pre-filter reuse, the ProgramCache evict-mid-wave
+// accounting fix, and the ingest invalidation path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/column_store.h"
+#include "db/hybrid_executor.h"
+#include "db/hudf.h"
+#include "hw/config_compiler.h"
+#include "sched/program_cache.h"
+#include "sched/result_cache.h"
+#include "sched/scheduler.h"
+#include "workload/address_generator.h"
+#include "workload/queries.h"
+
+namespace doppio {
+namespace {
+
+using sched::CachedResultBlock;
+using sched::ProgramCache;
+using sched::QueryScheduler;
+using sched::QueryTicket;
+using sched::ResultCache;
+using sched::Route;
+using sched::ScheduledResult;
+using sched::Session;
+
+/// Scoped environment override restoring the prior value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+Hal::Options TestHal(int num_devices = 1) {
+  Hal::Options options;
+  options.shared_memory_bytes = 256 * kSharedPageBytes;
+  options.functional_threads = 1;
+  options.num_devices = num_devices;
+  return options;
+}
+
+void FillInput(Bat* input, int rows, int salt = 0) {
+  for (int i = 0; i < rows; ++i) {
+    switch ((i + salt) % 4) {
+      case 0:
+        ASSERT_TRUE(input->AppendString("7 Berner Strasse|61234").ok());
+        break;
+      case 1:
+        ASSERT_TRUE(input->AppendString("12 Berner Gasse|61234").ok());
+        break;
+      case 2:
+        ASSERT_TRUE(input->AppendString("1 Haupt Strasse|99999").ok());
+        break;
+      default:
+        ASSERT_TRUE(input->AppendString("no address at all").ok());
+        break;
+    }
+  }
+}
+
+/// Raw result column of the direct (schedulerless) partitioned path —
+/// works on any pool width via the pooled entry point.
+std::vector<int16_t> DirectResult(Hal* hal, const Bat& input,
+                                  const std::string& pattern) {
+  auto config = hal->CompileConfig(pattern);
+  EXPECT_TRUE(config.ok()) << config.status().ToString();
+  auto out = RegexpFpgaPartitionedPooled(hal, input, *config);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  std::vector<int16_t> values(static_cast<size_t>(input.count()));
+  for (int64_t i = 0; i < input.count(); ++i) {
+    values[static_cast<size_t>(i)] = out->result->GetInt16(i);
+  }
+  return values;
+}
+
+void ExpectSameColumn(const std::vector<int16_t>& expected, const Bat& got) {
+  ASSERT_EQ(static_cast<int64_t>(expected.size()), got.count());
+  for (int64_t i = 0; i < got.count(); ++i) {
+    EXPECT_EQ(got.GetInt16(i), expected[static_cast<size_t>(i)])
+        << "row " << i;
+  }
+}
+
+QueryScheduler::Options CacheOn() {
+  QueryScheduler::Options options;
+  options.cost_routing = false;
+  options.result_cache = true;
+  return options;
+}
+
+// --- ResultCache unit -------------------------------------------------------
+
+TEST(ResultCacheTest, PutGetKeyedOnFingerprintColumnVersion) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("fpA", 7, 1, {0, 5, 0, 9}, false));
+  EXPECT_EQ(cache.size(), 1);
+
+  auto block = cache.Get("fpA", 7, 1, 4);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->rows(), 4);
+  EXPECT_EQ(block->rows_matched, 2);
+  EXPECT_EQ(block->values[1], 5);
+  EXPECT_EQ(cache.hits(), 1);
+
+  // Every key component participates: other fingerprint, column or
+  // version misses.
+  EXPECT_EQ(cache.Get("fpB", 7, 1, 4), nullptr);
+  EXPECT_EQ(cache.Get("fpA", 8, 1, 4), nullptr);
+  EXPECT_EQ(cache.Get("fpA", 7, 2, 4), nullptr);
+  EXPECT_EQ(cache.misses(), 3);
+}
+
+TEST(ResultCacheTest, RowExtentMismatchIsAMiss) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("fp", 1, 1, {0, 5, 0, 9}, false));
+  // A concurrent append between admission and execution changes the
+  // admitted extent: the snapshot discipline must miss, never serve a
+  // block of the wrong length.
+  EXPECT_EQ(cache.Get("fp", 1, 1, 5), nullptr);
+  EXPECT_EQ(cache.Get("fp", 1, 1, 3), nullptr);
+  ASSERT_NE(cache.Get("fp", 1, 1, 4), nullptr);
+}
+
+TEST(ResultCacheTest, CompletenessGuardRefusesSaturatedAndDegraded) {
+  ResultCache cache(1 << 20);
+  // 65535 means "matched, true end truncated": replaying it as a complete
+  // result (or seeding a pre-filter from it) would be wrong.
+  EXPECT_FALSE(cache.Put("fp", 1, 1, {0, ResultCache::kSaturated}, false));
+  // Degraded blocks mix kernel and software semantics.
+  EXPECT_FALSE(cache.Put("fp", 1, 1, {0, 5}, /*degraded=*/true));
+  // Empty blocks carry no information.
+  EXPECT_FALSE(cache.Put("fp", 1, 1, {}, false));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.incomplete_skipped(), 2);
+  // 65534 is an exact (unsaturated) end position and is cacheable.
+  EXPECT_TRUE(cache.Put("fp", 1, 1, {0, 65534}, false));
+}
+
+TEST(ResultCacheTest, LruEvictsUnderByteBudgetAndRefusesOversized) {
+  // Each 4-row block charges 4*2 + 64 = 72 bytes; budget fits two.
+  ResultCache cache(160);
+  ASSERT_TRUE(cache.Put("a", 1, 1, {1, 0, 0, 0}, false));
+  ASSERT_TRUE(cache.Put("b", 1, 1, {2, 0, 0, 0}, false));
+  EXPECT_EQ(cache.size(), 2);
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_NE(cache.Get("a", 1, 1, 4), nullptr);
+  ASSERT_TRUE(cache.Put("c", 1, 1, {3, 0, 0, 0}, false));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Get("b", 1, 1, 4), nullptr);
+  ASSERT_NE(cache.Get("a", 1, 1, 4), nullptr);
+  EXPECT_LE(cache.bytes(), 160);
+
+  // A block larger than the whole budget is refused outright instead of
+  // flushing everything else.
+  std::vector<uint16_t> huge(200, 1);
+  EXPECT_FALSE(cache.Put("huge", 1, 1, std::move(huge), false));
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(ResultCacheTest, InvalidateColumnDropsAllItsVersionsOnly) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("fpA", 1, 1, {1, 0}, false));
+  ASSERT_TRUE(cache.Put("fpA", 1, 2, {1, 0}, false));
+  ASSERT_TRUE(cache.Put("fpB", 1, 2, {2, 0}, false));
+  ASSERT_TRUE(cache.Put("fpA", 2, 1, {3, 0}, false));
+  cache.InvalidateColumn(1);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.invalidations(), 3);
+  EXPECT_EQ(cache.Get("fpA", 1, 1, 2), nullptr);
+  EXPECT_EQ(cache.Get("fpB", 1, 2, 2), nullptr);
+  ASSERT_NE(cache.Get("fpA", 2, 1, 2), nullptr);
+}
+
+// --- Scheduler integration --------------------------------------------------
+
+TEST(SchedulerCacheTest, RepeatQueryServedFromCacheBitIdentical) {
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 64);
+  const std::vector<int16_t> expected = DirectResult(&hal, input, "Strasse");
+
+  QueryScheduler scheduler(&hal, CacheOn());
+  ASSERT_NE(scheduler.result_cache(), nullptr);
+  Session* session = scheduler.CreateSession();
+
+  auto cold = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->route, Route::kFpga);
+  ExpectSameColumn(expected, *cold->hudf.result);
+  EXPECT_EQ(scheduler.result_cache()->size(), 1);
+
+  auto warm = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->route, Route::kCache);
+  EXPECT_EQ(warm->hudf.stats.strategy, "fpga-cache");
+  // The cached serve is an engine-free replay: no virtual hardware time.
+  EXPECT_EQ(warm->hudf.stats.hw_seconds, 0.0);
+  ExpectSameColumn(expected, *warm->hudf.result);
+  EXPECT_EQ(session->cache_served(), 1);
+  EXPECT_GE(scheduler.result_cache()->hits(), 1);
+  EXPECT_GT(scheduler.result_cache()->bytes_saved(), 0);
+}
+
+TEST(SchedulerCacheTest, CacheIsOffByDefault) {
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 32);
+  QueryScheduler::Options options;
+  options.cost_routing = false;
+  QueryScheduler scheduler(&hal, options);
+  EXPECT_EQ(scheduler.result_cache(), nullptr);
+  Session* session = scheduler.CreateSession();
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    auto result = scheduler.Execute(session, input, "Strasse");
+    ASSERT_TRUE(result.ok());
+    // Without the cache every repeat rescans: the paper's byte-identical
+    // baseline behavior.
+    EXPECT_EQ(result->route, Route::kFpga);
+  }
+  EXPECT_EQ(session->cache_served(), 0);
+}
+
+TEST(SchedulerCacheTest, AppendBumpsVersionAndInvalidatesEntries) {
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 48);
+
+  QueryScheduler scheduler(&hal, CacheOn());
+  Session* session = scheduler.CreateSession();
+  ASSERT_TRUE(scheduler.Execute(session, input, "Strasse").ok());
+  const uint64_t v_before = input.version();
+
+  // Ingest: the version bump makes the cached entry unreachable even
+  // before any explicit invalidation.
+  ASSERT_TRUE(input.AppendString("55 Neue Strasse|80001").ok());
+  EXPECT_GT(input.version(), v_before);
+
+  const std::vector<int16_t> expected = DirectResult(&hal, input, "Strasse");
+  auto after = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->route, Route::kCache);
+  ExpectSameColumn(expected, *after->hudf.result);
+
+  // The post-append scan cached under the new version: repeat hits.
+  auto warm = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->route, Route::kCache);
+  ExpectSameColumn(expected, *warm->hudf.result);
+}
+
+TEST(SchedulerCacheTest, SaturatedRowsNeverCachedAcrossShardCounts) {
+  // Satellite hazard audit (docs/RESULT_CACHE.md): every kernel reports
+  // min(first-match-end, 65535), so a saturated lane is truncated
+  // evidence. The completeness guard must keep such blocks out of the
+  // cache on EVERY pool width — a cached replay or pre-filter seeded from
+  // one would silently drop the truncation.
+  const std::string tail = "Strasse";
+  for (int devices : {1, 2, 4}) {
+    Hal hal(TestHal(devices));
+    Bat input(ValueType::kString, hal.bat_allocator());
+    // Match ends at exactly 65534 (exact), 65535 (saturated boundary) and
+    // 65536 (saturated past the lane) — plus padding so the rows cross
+    // slice/shard boundaries.
+    for (size_t len : {size_t{65534}, size_t{65535}, size_t{65536}}) {
+      std::string s(len - tail.size(), 'x');
+      s += tail;
+      ASSERT_TRUE(input.AppendString(s).ok());
+    }
+    FillInput(&input, 61);
+    const std::vector<int16_t> expected =
+        DirectResult(&hal, input, "Strasse");
+
+    QueryScheduler scheduler(&hal, CacheOn());
+    Session* session = scheduler.CreateSession();
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      auto result = scheduler.Execute(session, input, "Strasse");
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      // Both runs rescan: the guard refused the saturated block.
+      EXPECT_NE(result->route, Route::kCache)
+          << devices << " devices, repeat " << repeat;
+      ExpectSameColumn(expected, *result->hudf.result);
+      EXPECT_EQ(static_cast<uint16_t>(result->hudf.result->GetInt16(1)),
+                65535u);
+      EXPECT_EQ(static_cast<uint16_t>(result->hudf.result->GetInt16(2)),
+                65535u);
+    }
+    EXPECT_EQ(scheduler.result_cache()->size(), 0);
+    EXPECT_GE(scheduler.result_cache()->incomplete_skipped(), 1);
+    EXPECT_EQ(session->cache_served(), 0);
+  }
+}
+
+TEST(SchedulerCacheTest, AdmissionSnapshotBoundsTheScan) {
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 40);
+
+  QueryScheduler scheduler(&hal, CacheOn());
+  Session* session = scheduler.CreateSession();
+
+  const int64_t admitted_rows = input.count();
+  auto ticket = scheduler.Submit(session, input, "Strasse");
+  ASSERT_TRUE(ticket.ok());
+  // Rows appended after admission must not be observed by the admitted
+  // query — it runs over its snapshot extent.
+  ASSERT_TRUE(input.AppendString("7 Berner Strasse|61234").ok());
+  ASSERT_TRUE(input.AppendString("8 Berner Strasse|61234").ok());
+
+  auto result = scheduler.Wait(*ticket);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->hudf.result->count(), admitted_rows);
+  EXPECT_EQ(result->hudf.stats.rows_scanned, admitted_rows);
+
+  // A fresh query sees the grown column in full.
+  auto grown = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->hudf.result->count(), input.count());
+}
+
+TEST(SchedulerCacheTest, ForcedBackendSweepIsByteIdentical) {
+  // DOPPIO_FORCE_BACKEND must not change what a cache-served repeat
+  // returns: scalar, simd and fpga runs cache and serve the same bytes.
+  Hal reference_hal(TestHal());
+  Bat reference(ValueType::kString, reference_hal.bat_allocator());
+  FillInput(&reference, 64);
+  const std::vector<int16_t> expected =
+      DirectResult(&reference_hal, reference, "Strasse");
+
+  for (const char* backend : {"scalar", "simd", "fpga"}) {
+    SCOPED_TRACE(backend);
+    ScopedEnv env("DOPPIO_FORCE_BACKEND", backend);
+    Hal hal(TestHal());
+    Bat input(ValueType::kString, hal.bat_allocator());
+    FillInput(&input, 64);
+    QueryScheduler scheduler(&hal, CacheOn());
+    Session* session = scheduler.CreateSession();
+
+    auto cold = scheduler.Execute(session, input, "Strasse");
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ExpectSameColumn(expected, *cold->hudf.result);
+
+    auto warm = scheduler.Execute(session, input, "Strasse");
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_EQ(warm->route, Route::kCache);
+    ExpectSameColumn(expected, *warm->hudf.result);
+  }
+}
+
+TEST(SchedulerCacheTest, SetCompiledMembersCacheOrderInsensitively) {
+  // A set-compiled wave demuxes per-member blocks that are bit-identical
+  // to solo scans, each cached under its own program fingerprint — so a
+  // repeat of the same patterns in ANY order is served from cache.
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 64);
+  const std::vector<int16_t> strasse = DirectResult(&hal, input, "Strasse");
+  const std::vector<int16_t> gasse = DirectResult(&hal, input, "Gasse");
+
+  QueryScheduler::Options options = CacheOn();
+  options.set_compilation = true;
+  QueryScheduler scheduler(&hal, options);
+  Session* a = scheduler.CreateSession();
+  Session* b = scheduler.CreateSession();
+
+  auto t1 = scheduler.Submit(a, input, "Strasse");
+  auto t2 = scheduler.Submit(b, input, "Gasse");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  auto r1 = scheduler.Wait(*t1);
+  auto r2 = scheduler.Wait(*t2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ExpectSameColumn(strasse, *r1->hudf.result);
+  ExpectSameColumn(gasse, *r2->hudf.result);
+
+  // Reversed submission order: both members hit the same entries the
+  // set wave filled.
+  auto t3 = scheduler.Submit(b, input, "Gasse");
+  auto t4 = scheduler.Submit(a, input, "Strasse");
+  ASSERT_TRUE(t3.ok() && t4.ok());
+  auto r3 = scheduler.Wait(*t3);
+  auto r4 = scheduler.Wait(*t4);
+  ASSERT_TRUE(r3.ok() && r4.ok());
+  EXPECT_EQ(r3->route, Route::kCache);
+  EXPECT_EQ(r4->route, Route::kCache);
+  ExpectSameColumn(gasse, *r3->hudf.result);
+  ExpectSameColumn(strasse, *r4->hudf.result);
+}
+
+// --- Hybrid pre-filter reuse ------------------------------------------------
+
+TEST(HybridCacheTest, ExactRepeatServedAsFpgaCache) {
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 64);
+  const std::vector<int16_t> expected = DirectResult(&hal, input, "Strasse");
+
+  ResultCache cache(1 << 20);
+  auto cold = ExecuteHybrid(&hal, input, "Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ExpectSameColumn(expected, *cold->result);
+  EXPECT_EQ(cache.size(), 1);
+
+  auto warm = ExecuteHybrid(&hal, input, "Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->stats.strategy, "fpga-cache");
+  ExpectSameColumn(expected, *warm->result);
+  EXPECT_GE(cache.hits(), 1);
+}
+
+TEST(HybridCacheTest, CachedCoarserScanSubsumesRefiningPattern) {
+  // The pre-filter subsumption rule: "Berner" is a '.*'-cut prefix of
+  // "Berner.*Strasse", so its cached (complete) scan is a candidate set
+  // for the full pattern — zero rows are proven non-matches, candidate
+  // rows refine on the host backend with device Match semantics.
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 96);
+  const std::vector<int16_t> expected =
+      DirectResult(&hal, input, "Berner.*Strasse");
+
+  ResultCache cache(1 << 20);
+  // Seed the coarser scan.
+  auto coarse = ExecuteHybrid(&hal, input, "Berner", {}, nullptr, &cache);
+  ASSERT_TRUE(coarse.ok()) << coarse.status().ToString();
+  ASSERT_EQ(cache.size(), 1);
+
+  auto refined =
+      ExecuteHybrid(&hal, input, "Berner.*Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(refined->stats.strategy, "fpga+cache_prefilter");
+  ExpectSameColumn(expected, *refined->result);
+  EXPECT_EQ(cache.prefilter_uses(), 1);
+  EXPECT_GT(cache.bytes_saved(), 0);
+
+  // The refined block was cached under the full pattern: an exact repeat
+  // now serves straight from cache.
+  auto warm =
+      ExecuteHybrid(&hal, input, "Berner.*Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.strategy, "fpga-cache");
+  ExpectSameColumn(expected, *warm->result);
+}
+
+TEST(HybridCacheTest, HybridPlanReusesCachedPrefixWithoutOffload) {
+  // An over-capacity pattern splits at '.*'; a cached prefix scan
+  // replaces the device pre-filter entirely while the CPU post-process
+  // (and therefore the final bytes) stays identical.
+  Hal::Options small = TestHal();
+  small.device.max_chars = 24;  // QH's prefix fits, the full QH does not
+  Hal hal(small);
+  Bat input(ValueType::kString, hal.bat_allocator());
+  for (int i = 0; i < 64; ++i) {
+    switch (i % 3) {
+      case 0:
+        ASSERT_TRUE(
+            input.AppendString("7 Berner Strasse|81234 delivery note").ok());
+        break;
+      case 1:
+        ASSERT_TRUE(input.AppendString("7 Berner Strasse|81234").ok());
+        break;
+      default:
+        ASSERT_TRUE(input.AppendString("no address at all").ok());
+        break;
+    }
+  }
+  const std::string pattern = QueryPattern(EvalQuery::kQH);
+
+  ResultCache cache(1 << 20);
+  auto cold = ExecuteHybrid(&hal, input, pattern, {}, nullptr, &cache);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cold->strategy, HybridStrategy::kHybrid);
+  EXPECT_EQ(cold->stats.strategy, "hybrid");
+  ASSERT_EQ(cache.size(), 1);  // the prefix scan
+
+  auto warm = ExecuteHybrid(&hal, input, pattern, {}, nullptr, &cache);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->stats.strategy, "hybrid+cache_prefilter");
+  EXPECT_GE(cache.prefilter_uses(), 1);
+  ASSERT_EQ(warm->result->count(), cold->result->count());
+  for (int64_t i = 0; i < cold->result->count(); ++i) {
+    EXPECT_EQ(warm->result->GetInt16(i), cold->result->GetInt16(i))
+        << "row " << i;
+  }
+}
+
+// --- ProgramCache accounting (evict-mid-wave regression) --------------------
+
+TEST(ProgramCacheAccountingTest, EvictedButReferencedProgramsStayAccounted) {
+  DeviceConfig device;
+  ProgramCache cache(device, /*capacity=*/1);
+
+  auto held = cache.GetOrCompile("Strasse");
+  ASSERT_TRUE(held.ok());
+  // A second program evicts the first while "the wave" (this test) still
+  // holds it: resident size shrinks but the memory is live.
+  auto other = cache.GetOrCompile("Gasse");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.live_size(), 2);
+  EXPECT_GT(cache.live_bytes(), 0);
+
+  // Re-inserting the evicted fingerprint re-adopts the original program:
+  // same pointer, one live copy, no alias_shares double count.
+  auto again = cache.GetOrCompile("Strasse");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), held->get());
+  EXPECT_EQ(cache.readoptions(), 1);
+  // "Gasse" is now the evicted-but-held one.
+  EXPECT_EQ(cache.live_size(), 2);
+
+  // Dropping the outstanding references brings live accounting back to
+  // the resident slot count.
+  held->reset();
+  again->reset();
+  other->reset();
+  EXPECT_EQ(cache.live_size(), 1);
+}
+
+TEST(ProgramCacheAccountingTest, ReleasedEvictionsDoNotReadopt) {
+  DeviceConfig device;
+  ProgramCache cache(device, /*capacity=*/1);
+  {
+    auto transient = cache.GetOrCompile("Strasse");
+    ASSERT_TRUE(transient.ok());
+  }  // released before eviction
+  ASSERT_TRUE(cache.GetOrCompile("Gasse").ok());
+  EXPECT_EQ(cache.live_size(), 1);
+  // The expired weak ref cannot be re-adopted: this is a fresh compile.
+  ASSERT_TRUE(cache.GetOrCompile("Strasse").ok());
+  EXPECT_EQ(cache.readoptions(), 0);
+}
+
+// --- Ingest path ------------------------------------------------------------
+
+TEST(ColumnStoreIngestTest, AppendToColumnBumpsVersionAndInvalidates) {
+  ResultCache cache(1 << 20);
+  ColumnStoreEngine::Options options;
+  options.num_threads = 2;
+  options.result_cache = &cache;
+  ColumnStoreEngine engine(options);
+
+  AddressDataOptions data;
+  data.num_records = 512;
+  auto table = GenerateAddressTable(data, "addr");
+  ASSERT_TRUE(table.ok());
+  Bat* column = (*table)->GetColumn("address_string");
+  ASSERT_NE(column, nullptr);
+  ASSERT_TRUE(engine.catalog()->AddTable(std::move(*table)).ok());
+
+  const uint64_t version_before = column->version();
+  ASSERT_TRUE(cache.Put("fp", column->id(), version_before, {1, 0}, false));
+
+  auto version = engine.AppendToColumn("addr", "address_string",
+                                       {"90 Neue Strasse|80002"});
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_GT(*version, version_before);
+  EXPECT_EQ(*version, column->version());
+  // Explicit invalidation freed the stale entry's budget eagerly.
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_GE(cache.invalidations(), 1);
+
+  EXPECT_TRUE(engine.AppendToColumn("missing", "address_string", {"x"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(engine.AppendToColumn("addr", "missing", {"x"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(engine.AppendToColumn("addr", "id", {"x"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Concurrency (run under TSan in CI) -------------------------------------
+
+TEST(SchedulerCacheTest, ConcurrentIngestNeverLeaksPastSnapshots) {
+  // Queries admitted at version V must not observe V+1 rows. Ingest is
+  // serialized against in-flight scans (the documented AppendToColumn
+  // contract) with a shared mutex: queries hold it shared across
+  // admission AND execution, ingest holds it exclusive. The scheduler,
+  // result cache and version snapshots still race freely across the
+  // query threads — which is what TSan checks here.
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 32);
+
+  QueryScheduler scheduler(&hal, CacheOn());
+  std::shared_mutex ingest_mutex;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  auto worker = [&](Session* session) {
+    for (int iteration = 0; iteration < 30; ++iteration) {
+      std::shared_lock<std::shared_mutex> guard(ingest_mutex);
+      const int64_t before = input.count();
+      auto result = scheduler.Execute(session, input, "Strasse");
+      if (!result.ok()) {
+        ++failures;
+        continue;
+      }
+      // The admission snapshot is exactly the extent visible at Submit;
+      // no later append may leak into the result.
+      if (result->hudf.result->count() != before) ++failures;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back(worker, scheduler.CreateSession());
+  }
+  std::thread ingester([&] {
+    for (int append = 0; append < 20 && !stop.load(); ++append) {
+      {
+        std::unique_lock<std::shared_mutex> guard(ingest_mutex);
+        ASSERT_TRUE(input.AppendString("7 Berner Strasse|61234").ok());
+        scheduler.result_cache()->InvalidateColumn(input.id());
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  ingester.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace doppio
