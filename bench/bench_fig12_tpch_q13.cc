@@ -3,8 +3,20 @@
 //
 // Paper: ILIKE doubles MonetDB's response time; the FPGA operator is ~30%
 // faster than LIKE and provides case-insensitivity at no extra cost.
+//
+// Second act (docs/STORAGE.md): the same Q13 predicate over an
+// OUT-OF-CORE o_comment column — a scale-factor × arena-budget sweep
+// through the paged segment store, double-buffered overlap on vs off,
+// emitted to BENCH_segments.json (override: DOPPIO_BENCH_JSON;
+// DOPPIO_BENCH_SMOKE=1 shrinks the sweep). All times in the sweep are
+// modeled/virtual, so the committed JSON is byte-stable across hosts.
 #include "bench_util.h"
 
+#include <vector>
+
+#include "store/pager.h"
+#include "store/segmented_column.h"
+#include "store/stream_executor.h"
 #include "workload/tpch_generator.h"
 
 using namespace doppio;
@@ -21,6 +33,230 @@ std::string Q13WithFpga(bool case_insensitive) {
       "AND " + udf + "('special.*requests', o_comment) = 0 "
       "GROUP BY c_custkey) AS c_orders (c_custkey, c_count) "
       "GROUP BY c_count ORDER BY custdist DESC, c_count DESC;";
+}
+
+constexpr const char* kQ13Pattern = "special.*requests";
+
+/// One (scale, budget) cell of the out-of-core sweep.
+struct SweepCell {
+  double scale = 0;
+  int64_t rows = 0;
+  int64_t payload_bytes = 0;
+  int64_t budget_bytes = 0;
+  int windows = 0;
+  double resident_seconds = 0;  // fully-resident pooled scan (virtual)
+  double serial_seconds = 0;    // page-then-scan, overlap off (modeled)
+  double overlap_seconds = 0;   // double-buffered (modeled)
+  double page_in_seconds = 0;
+  int64_t divergent_rows = 0;
+};
+
+/// Scans o_comment at `scale` through a budget-bounded pager, overlap on
+/// and off, comparing every row against the resident scan. Exits the
+/// process on infrastructure errors (bench convention).
+SweepCell RunSweepCell(Hal* hal, const Bat& comments,
+                       const std::vector<int16_t>& expected,
+                       double resident_seconds, double scale,
+                       int64_t budget_bytes, int64_t segment_bytes) {
+  SweepCell cell;
+  cell.scale = scale;
+  cell.rows = comments.count();
+  cell.budget_bytes = budget_bytes;
+  cell.resident_seconds = resident_seconds;
+
+  PagerOptions popts;
+  popts.budget_bytes = budget_bytes;
+  Pager pager(hal->arena(), popts);
+  SegmentedColumn column(&pager, segment_bytes);
+  for (int64_t i = 0; i < comments.count(); ++i) {
+    if (Status st = column.Append(comments.GetString(i)); !st.ok()) {
+      std::fprintf(stderr, "segment append: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (Status st = column.Seal(); !st.ok()) {
+    std::fprintf(stderr, "seal: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  const SegmentSnapshot snapshot = column.Snapshot();
+  cell.windows = static_cast<int>(snapshot.segments.size());
+  for (const auto& segment : snapshot.segments) {
+    cell.payload_bytes += segment->payload_bytes();
+  }
+
+  auto config = hal->CompileConfig(kQ13Pattern);
+  if (!config.ok()) {
+    std::fprintf(stderr, "compile: %s\n", config.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (bool overlap : {false, true}) {
+    StreamOptions sopts;
+    sopts.overlap = overlap;
+    auto out = RegexpFpgaStreamed(hal, &pager, snapshot, *config, sopts);
+    if (!out.ok()) {
+      std::fprintf(stderr, "streamed scan: %s\n",
+                   out.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (int64_t i = 0; i < snapshot.rows; ++i) {
+      if (out->result->GetInt16(i) != expected[static_cast<size_t>(i)]) {
+        ++cell.divergent_rows;
+      }
+    }
+    if (overlap) {
+      cell.overlap_seconds = out->stats.hw_seconds;
+      cell.page_in_seconds = out->stats.page_in_seconds;
+    } else {
+      cell.serial_seconds = out->stats.hw_seconds;
+    }
+    pager.DropClean();  // both runs start cold: same modeled transfers
+  }
+  return cell;
+}
+
+/// The out-of-core sweep: emits BENCH_segments.json and returns nonzero
+/// when any cell diverges from the resident scan or overlap fails to beat
+/// serial paging at >= 2 windows.
+int RunSegmentSweep() {
+  const bool smoke = std::getenv("DOPPIO_BENCH_SMOKE") != nullptr;
+  // Sub-2MiB segments so even the small scales stream several windows;
+  // each resident window still occupies one whole arena page.
+  const int64_t segment_bytes = 256 * 1024;
+  const std::vector<double> scales =
+      smoke ? std::vector<double>{0.01, 0.02}
+            : std::vector<double>{0.02, 0.05, 0.1};
+  const std::vector<int64_t> budgets =
+      smoke ? std::vector<int64_t>{2 * kSharedPageBytes}
+            : std::vector<int64_t>{2 * kSharedPageBytes,
+                                   4 * kSharedPageBytes,
+                                   16 * kSharedPageBytes};
+
+  std::printf("\nout-of-core sweep: Q13 predicate over a paged o_comment "
+              "column\n");
+  std::printf("%7s %9s %10s %8s %8s %11s %11s %9s\n", "scale", "rows",
+              "payload", "budget", "windows", "serial[s]", "overlap[s]",
+              "speedup");
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "segments");
+  json.Key("smoke").Bool(smoke);
+  json.Field("pattern", kQ13Pattern);
+  json.Field("segment_bytes", segment_bytes);
+  json.Key("sweep").BeginArray();
+
+  int64_t divergent_total = 0;
+  bool overlap_ok = true;
+  Hal::Options hal_options;
+  hal_options.shared_memory_bytes = int64_t{1} << 30;
+  hal_options.functional_threads = 1;
+  hal_options.num_devices = NumDevices();
+  Hal hal(hal_options);
+  for (double scale : scales) {
+    TpchOptions tpch;
+    tpch.scale_factor = scale;
+    // Host-memory table (malloc): only the segment store and the
+    // resident baseline below live in the shared arena.
+    auto orders = GenerateOrdersTable(tpch);
+    if (!orders.ok()) {
+      std::fprintf(stderr, "orders: %s\n",
+                   orders.status().ToString().c_str());
+      return 1;
+    }
+    const Bat* comments = (*orders)->GetColumn("o_comment");
+
+    // Resident baseline: the exact current path, in-arena BAT.
+    double resident_seconds = 0;
+    std::vector<int16_t> expected(static_cast<size_t>(comments->count()));
+    {
+      Bat resident(ValueType::kString, hal.bat_allocator());
+      for (int64_t i = 0; i < comments->count(); ++i) {
+        if (!resident.AppendString(comments->GetString(i)).ok()) {
+          std::fprintf(stderr, "resident copy failed\n");
+          return 1;
+        }
+      }
+      auto config = hal.CompileConfig(kQ13Pattern);
+      if (!config.ok()) return 1;
+      auto out = RegexpFpgaPartitionedPooled(&hal, resident, *config);
+      if (!out.ok()) {
+        std::fprintf(stderr, "resident scan: %s\n",
+                     out.status().ToString().c_str());
+        return 1;
+      }
+      resident_seconds = out->stats.hw_seconds;
+      for (int64_t i = 0; i < resident.count(); ++i) {
+        expected[static_cast<size_t>(i)] = out->result->GetInt16(i);
+      }
+    }
+
+    for (int64_t budget : budgets) {
+      SweepCell cell = RunSweepCell(&hal, *comments, expected,
+                                    resident_seconds, scale, budget,
+                                    segment_bytes);
+      divergent_total += cell.divergent_rows;
+      const double speedup =
+          cell.overlap_seconds > 0
+              ? cell.serial_seconds / cell.overlap_seconds
+              : 0;
+      // The acceptance bar: at >= 2 paged windows, double-buffering must
+      // beat serial page-then-scan.
+      if (cell.windows >= 2 && cell.page_in_seconds > 0 &&
+          cell.overlap_seconds >= cell.serial_seconds) {
+        overlap_ok = false;
+      }
+      json.BeginObject();
+      json.Field("scale", cell.scale);
+      json.Field("rows", cell.rows);
+      json.Field("payload_bytes", cell.payload_bytes);
+      json.Field("budget_bytes", cell.budget_bytes);
+      json.Field("windows", static_cast<int64_t>(cell.windows));
+      json.Field("resident_seconds", cell.resident_seconds);
+      json.Field("serial_seconds", cell.serial_seconds);
+      json.Field("overlap_seconds", cell.overlap_seconds);
+      json.Field("page_in_seconds", cell.page_in_seconds);
+      json.Field("overlap_speedup", obs::FiniteOr(speedup));
+      json.Field("divergent_rows", cell.divergent_rows);
+      json.EndObject();
+      std::printf("%7.2f %9lld %10lld %7lldM %8d %11.6f %11.6f %8.2fx\n",
+                  cell.scale, static_cast<long long>(cell.rows),
+                  static_cast<long long>(cell.payload_bytes),
+                  static_cast<long long>(cell.budget_bytes >> 20),
+                  cell.windows, cell.serial_seconds, cell.overlap_seconds,
+                  speedup);
+    }
+  }
+  json.EndArray();
+  json.Field("divergent_rows_total", divergent_total);
+  json.EndObject();
+
+  const std::string text = json.Take();
+  if (Status st = obs::CheckJsonSyntax(text); !st.ok()) {
+    std::fprintf(stderr, "BENCH_segments.json syntax: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  const char* env_path = std::getenv("DOPPIO_BENCH_JSON");
+  const char* path = env_path != nullptr ? env_path : "BENCH_segments.json";
+  MustWriteFile(path, text);
+  std::printf("\nwrote %s\n", path);
+
+  if (divergent_total != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld rows diverged between streamed and resident "
+                 "scans\n",
+                 static_cast<long long>(divergent_total));
+    return 1;
+  }
+  if (!overlap_ok) {
+    std::fprintf(stderr,
+                 "FAIL: overlap did not beat serial paging at >= 2 "
+                 "windows\n");
+    return 1;
+  }
+  std::printf("zero divergence; overlap beats serial paging in every "
+              "multi-window cell\n");
+  return 0;
 }
 
 }  // namespace
@@ -75,5 +311,5 @@ int main() {
   std::printf(
       "\nshape check: ILIKE slows the software variant down; the two FPGA\n"
       "variants cost the same (collation registers are free in hardware).\n");
-  return 0;
+  return RunSegmentSweep();
 }

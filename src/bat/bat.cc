@@ -36,13 +36,15 @@ const char* ValueTypeName(ValueType type) {
 
 namespace {
 /// Process-wide column-identity source (never 0, never reused).
-std::atomic<uint64_t> next_bat_id{1};
+std::atomic<uint64_t> next_column_id{1};
 }  // namespace
 
+uint64_t AcquireColumnId() {
+  return next_column_id.fetch_add(1, std::memory_order_relaxed);
+}
+
 Bat::Bat(ValueType type, BufferAllocator* allocator)
-    : type_(type),
-      tail_(allocator),
-      id_(next_bat_id.fetch_add(1, std::memory_order_relaxed)) {
+    : type_(type), tail_(allocator), id_(AcquireColumnId()) {
   if (type_ == ValueType::kString) {
     heap_ = std::make_unique<StringHeap>(allocator);
   }

@@ -29,6 +29,11 @@ enum class ValueType : int {
 int64_t ValueTypeWidth(ValueType type);
 const char* ValueTypeName(ValueType type);
 
+/// Draws the next process-unique column identity (never 0, never reused).
+/// Shared by Bat and store::SegmentedColumn so ids from either family can
+/// key the same caches (sched/result_cache) without collision.
+uint64_t AcquireColumnId();
+
 class Bat {
  public:
   /// Creates an empty BAT with the given tail type. All backing memory

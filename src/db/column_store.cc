@@ -4,11 +4,13 @@
 #include "db/cost_model.h"
 #include "db/hudf.h"
 #include "db/hybrid_executor.h"
+#include "hw/config_compiler.h"
 #include "regex/backtrack_matcher.h"
 #include "regex/dfa_matcher.h"
 #include "regex/like_translator.h"
 #include "regex/substring_search.h"
 #include "sched/result_cache.h"
+#include "store/stream_executor.h"
 
 namespace doppio {
 
@@ -36,6 +38,48 @@ const OperatorCostModel& ColumnStoreEngine::cost_model() {
   return *cost_model_;
 }
 
+bool ColumnStoreEngine::ColumnEpochGuard::TryBeginRead() {
+  // Dekker handshake, reader side: publish the reader count first, then
+  // check for a writer. Sequential consistency gives a total order over
+  // the four accesses, so a racing writer either sees our increment (and
+  // backs off) or we see its flag (and back off) — never neither.
+  readers.fetch_add(1, std::memory_order_seq_cst);
+  if (writer.load(std::memory_order_seq_cst)) {
+    readers.fetch_sub(1, std::memory_order_seq_cst);
+    return false;
+  }
+  return true;
+}
+
+void ColumnStoreEngine::ColumnEpochGuard::EndRead() {
+  readers.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+bool ColumnStoreEngine::ColumnEpochGuard::TryBeginWrite() {
+  bool expected = false;
+  if (!writer.compare_exchange_strong(expected, true,
+                                      std::memory_order_seq_cst)) {
+    return false;  // another append holds the column
+  }
+  if (readers.load(std::memory_order_seq_cst) != 0) {
+    writer.store(false, std::memory_order_seq_cst);
+    return false;  // a scan is in flight
+  }
+  return true;
+}
+
+void ColumnStoreEngine::ColumnEpochGuard::EndWrite() {
+  writer.store(false, std::memory_order_seq_cst);
+}
+
+ColumnStoreEngine::ColumnEpochGuard* ColumnStoreEngine::EpochGuardFor(
+    uint64_t column_id) {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  std::unique_ptr<ColumnEpochGuard>& slot = epoch_guards_[column_id];
+  if (slot == nullptr) slot = std::make_unique<ColumnEpochGuard>();
+  return slot.get();
+}
+
 void ColumnStoreEngine::ParallelOverRows(
     int64_t num_rows, const std::function<void(int64_t, int64_t, int)>& fn) {
   const int parts = partitions();
@@ -56,6 +100,15 @@ Result<std::vector<uint8_t>> ColumnStoreEngine::EvalStringFilter(
   if (column.type() != ValueType::kString) {
     return Status::InvalidArgument("string filter over non-string column");
   }
+  ColumnEpochGuard* epoch = EpochGuardFor(column.id());
+  if (!epoch->TryBeginRead()) {
+    return Status::Overloaded(
+        "ingest in progress on the scanned column; retry the scan");
+  }
+  struct ReadRelease {
+    ColumnEpochGuard* g;
+    ~ReadRelease() { g->EndRead(); }
+  } epoch_release{epoch};
   // The cost-model strategy: predict each candidate's runtime and rewrite
   // the spec to the cheapest one before execution.
   StringFilterSpec effective = spec;
@@ -321,6 +374,18 @@ Result<uint64_t> ColumnStoreEngine::AppendToColumn(
   if (col->type() != ValueType::kString) {
     return Status::InvalidArgument("AppendToColumn requires a string column");
   }
+  // Epoch guard: an append reallocates the BAT's offsets/heap, so it must
+  // not overlap a scan of the same column. The conflict is surfaced as a
+  // typed, retryable error rather than a blocking wait (or a race).
+  ColumnEpochGuard* epoch = EpochGuardFor(col->id());
+  if (!epoch->TryBeginWrite()) {
+    return Status::Overloaded(
+        "scan in flight over the target column; retry the append");
+  }
+  struct WriteRelease {
+    ColumnEpochGuard* g;
+    ~WriteRelease() { g->EndWrite(); }
+  } epoch_release{epoch};
   for (const std::string& value : values) {
     DOPPIO_RETURN_NOT_OK(col->AppendString(value));
   }
@@ -348,6 +413,133 @@ const InvertedIndex* ColumnStoreEngine::contains_index(
     const Bat* column) const {
   auto it = contains_indexes_.find(column);
   return it == contains_indexes_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+std::string SegmentedKey(const std::string& table, const std::string& column) {
+  return table + '\x1f' + column;
+}
+}  // namespace
+
+Pager* ColumnStoreEngine::pager() {
+  if (options_.hal == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(segmented_mutex_);
+  if (pager_ == nullptr) {
+    PagerOptions popts;
+    if (options_.pager_budget_bytes > 0) {
+      popts.budget_bytes = options_.pager_budget_bytes;
+    }
+    pager_ = std::make_unique<Pager>(options_.hal->arena(), popts);
+  }
+  return pager_.get();
+}
+
+Status ColumnStoreEngine::CreateSegmentedColumn(const std::string& table,
+                                                const std::string& column) {
+  if (options_.hal == nullptr) {
+    return Status::InvalidArgument(
+        "segmented columns require a HAL-enabled engine");
+  }
+  Pager* p = pager();  // construct outside segmented_mutex_
+  std::lock_guard<std::mutex> lock(segmented_mutex_);
+  const std::string key = SegmentedKey(table, column);
+  if (segmented_.count(key) > 0) {
+    return Status::AlreadyExists("segmented column '" + table + "." + column +
+                                 "' already exists");
+  }
+  const int64_t target = options_.segment_target_bytes > 0
+                             ? options_.segment_target_bytes
+                             : kSharedPageBytes;
+  segmented_[key] = std::make_unique<SegmentedColumn>(p, target);
+  return Status::OK();
+}
+
+SegmentedColumn* ColumnStoreEngine::segmented_column(
+    const std::string& table, const std::string& column) {
+  std::lock_guard<std::mutex> lock(segmented_mutex_);
+  auto it = segmented_.find(SegmentedKey(table, column));
+  return it == segmented_.end() ? nullptr : it->second.get();
+}
+
+Result<uint64_t> ColumnStoreEngine::AppendToSegmented(
+    const std::string& table, const std::string& column,
+    const std::vector<std::string>& values, bool seal) {
+  SegmentedColumn* col = segmented_column(table, column);
+  if (col == nullptr) {
+    return Status::NotFound("no segmented column '" + table + "." + column +
+                            "'");
+  }
+  for (const std::string& value : values) {
+    DOPPIO_RETURN_NOT_OK(col->Append(value));
+  }
+  if (seal) DOPPIO_RETURN_NOT_OK(col->Seal());
+  // No result-cache invalidation: sealed segments are immutable and cached
+  // per (segment id, version), so pre-append blocks stay exactly valid.
+  return col->version();
+}
+
+Result<std::vector<uint8_t>> ColumnStoreEngine::EvalSegmentedFilter(
+    const std::string& table, const std::string& column,
+    const StringFilterSpec& spec, QueryStats* stats) {
+  if (options_.hal == nullptr) {
+    return Status::InvalidArgument(
+        "segmented scans require a HAL-enabled engine");
+  }
+  SegmentedColumn* col = segmented_column(table, column);
+  if (col == nullptr) {
+    return Status::NotFound("no segmented column '" + table + "." + column +
+                            "'");
+  }
+  switch (spec.op) {
+    case StringFilterSpec::Op::kRegexpFpga:
+    case StringFilterSpec::Op::kHybrid:
+    case StringFilterSpec::Op::kAuto:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "segmented columns are scanned by the streaming executor; use "
+          "REGEXP_FPGA (or AUTO)");
+  }
+  CompileOptions copts;
+  copts.case_insensitive = spec.case_insensitive;
+  DOPPIO_ASSIGN_OR_RETURN(
+      RegexConfig config,
+      CompileRegexConfig(spec.pattern, options_.hal->device_config(), copts));
+
+  // The scan runs over the sealed snapshot taken here; rows still staged
+  // in the open segment are invisible by design (segment-granular
+  // visibility), so a concurrent AppendToSegmented cannot perturb it.
+  const SegmentSnapshot snapshot = col->Snapshot();
+  StreamOptions sopts;
+  if (options_.result_cache != nullptr) {
+    sopts.result_cache = options_.result_cache;
+    const std::vector<uint8_t>& fp = config.vector.bytes();
+    sopts.fingerprint.assign(fp.begin(), fp.end());
+  }
+  DOPPIO_ASSIGN_OR_RETURN(
+      HudfResult hw,
+      RegexpFpgaStreamed(options_.hal, pager(), snapshot, config, sopts));
+
+  std::vector<uint8_t> bits(static_cast<size_t>(snapshot.rows), 0);
+  for (int64_t i = 0; i < snapshot.rows; ++i) {
+    bits[static_cast<size_t>(i)] = hw.result->GetInt16(i) != 0 ? 1 : 0;
+  }
+  int64_t matched = 0;
+  if (spec.negated) {
+    for (auto& b : bits) b = b == 0 ? 1 : 0;
+  }
+  for (uint8_t b : bits) matched += b;
+  if (stats != nullptr) {
+    hw.stats.rows_scanned = 0;  // volumes counted once, below
+    hw.stats.rows_matched = 0;
+    stats->Accumulate(hw.stats);
+    stats->rows_scanned += snapshot.rows;
+    stats->rows_matched += matched;
+    if (spec.op == StringFilterSpec::Op::kAuto) {
+      stats->strategy = "auto->" + stats->strategy;
+    }
+  }
+  return bits;
 }
 
 }  // namespace doppio

@@ -11,8 +11,10 @@
 //    it, as the paper does for the modified MonetDB build.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "common/thread_pool.h"
 #include "db/engine_stats.h"
 #include "hal/hal.h"
+#include "store/pager.h"
+#include "store/segmented_column.h"
 #include "text/inverted_index.h"
 
 namespace doppio {
@@ -60,6 +64,12 @@ class ColumnStoreEngine {
     /// (AppendToColumn) invalidates the mutated column explicitly. Null =
     /// exact pre-cache behaviour.
     sched::ResultCache* result_cache = nullptr;
+    /// Byte budget for the out-of-core pager's resident working set
+    /// (segmented columns only; docs/STORAGE.md). 0 = pager default.
+    int64_t pager_budget_bytes = 0;
+    /// Target sealed-segment payload size for segmented columns.
+    /// 0 = one shared-arena page (2 MiB).
+    int64_t segment_target_bytes = 0;
   };
 
   explicit ColumnStoreEngine(const Options& options);
@@ -77,7 +87,12 @@ class ColumnStoreEngine {
   BufferAllocator* allocator() const;
 
   /// Evaluates a string predicate over a column; returns one byte per row
-  /// (1 = row satisfies the predicate, after negation is applied).
+  /// (1 = row satisfies the predicate, after negation is applied). Holds
+  /// the column's epoch guard in read mode for the duration of the scan;
+  /// a concurrent AppendToColumn on the same column observes the guard
+  /// and fails with Overloaded instead of reallocating the BAT under the
+  /// scan. A scan arriving while an append holds the guard fails the same
+  /// way (both are retryable).
   Result<std::vector<uint8_t>> EvalStringFilter(const Bat& column,
                                                 const StringFilterSpec& spec,
                                                 QueryStats* stats);
@@ -87,11 +102,55 @@ class ColumnStoreEngine {
   /// snapshot-keyed result caches stop serving pre-append entries; when a
   /// result cache is attached (Options::result_cache) the column is also
   /// invalidated explicitly, freeing its budget immediately. Returns the
-  /// column's post-append version. Callers must serialize ingest against
-  /// in-flight scans of the same column (the BAT may reallocate).
+  /// column's post-append version. Ingest is serialized against in-flight
+  /// scans by the column's epoch guard: an append racing a scan of the
+  /// same column returns Overloaded (typed, retryable) instead of
+  /// reallocating the BAT under it. Segmented columns (AppendToSegmented)
+  /// do not need the guard — scans there run over immutable sealed
+  /// snapshots.
   Result<uint64_t> AppendToColumn(const std::string& table,
                                   const std::string& column,
                                   const std::vector<std::string>& values);
+
+  // ---- Out-of-core segmented columns (src/store, docs/STORAGE.md) ----
+
+  /// The engine's segment pager, lazily constructed over the HAL arena
+  /// with Options::pager_budget_bytes. Null when the engine has no HAL.
+  Pager* pager();
+
+  /// Registers an out-of-core segmented string column named
+  /// `table.column`. Segmented columns live beside the resident BAT
+  /// catalog: rows arrive through AppendToSegmented, seal into immutable
+  /// spill-backed segments, and are scanned by streaming windows through
+  /// the device (EvalSegmentedFilter). Requires a HAL.
+  Status CreateSegmentedColumn(const std::string& table,
+                               const std::string& column);
+
+  /// Looks up a segmented column registered by CreateSegmentedColumn.
+  SegmentedColumn* segmented_column(const std::string& table,
+                                    const std::string& column);
+
+  /// Streaming ingest into a segmented column. Visibility is
+  /// segment-granular: rows become scannable when their segment seals
+  /// (automatically at the segment-size target, or immediately when
+  /// `seal` is set). Scans snapshot the sealed chain, so ingest never
+  /// conflicts with an in-flight scan — no epoch guard, no Overloaded.
+  /// Sealed segments are immutable with stable (id, version) identity,
+  /// so cached per-segment result blocks survive the append (nothing to
+  /// invalidate). Returns the column's post-append version.
+  Result<uint64_t> AppendToSegmented(const std::string& table,
+                                     const std::string& column,
+                                     const std::vector<std::string>& values,
+                                     bool seal = false);
+
+  /// Evaluates a string predicate over a segmented column's sealed
+  /// snapshot via the double-buffered streaming executor. Returns one
+  /// byte per sealed row, bit-identical to EvalStringFilter over a
+  /// resident BAT holding the same strings. Only the FPGA strategies
+  /// stream (kRegexpFpga / kHybrid / kAuto all route there).
+  Result<std::vector<uint8_t>> EvalSegmentedFilter(
+      const std::string& table, const std::string& column,
+      const StringFilterSpec& spec, QueryStats* stats);
 
   /// Builds (or rebuilds) the CONTAINS index for table.column.
   Status BuildContainsIndex(const std::string& table,
@@ -107,6 +166,21 @@ class ColumnStoreEngine {
   const class OperatorCostModel& cost_model();
 
  private:
+  /// Ingest/query epoch guard for one resident column (keyed by Bat id).
+  /// A Dekker-style try-rwlock: scans take the read side, AppendToColumn
+  /// the write side, and a conflict returns false (mapped to Overloaded)
+  /// instead of blocking — sequential consistency guarantees at least one
+  /// of two racing sides observes the other.
+  struct ColumnEpochGuard {
+    std::atomic<int32_t> readers{0};
+    std::atomic<bool> writer{false};
+    bool TryBeginRead();
+    void EndRead();
+    bool TryBeginWrite();
+    void EndWrite();
+  };
+  ColumnEpochGuard* EpochGuardFor(uint64_t column_id);
+
   Result<std::vector<uint8_t>> EvalLike(const Bat& column,
                                         const StringFilterSpec& spec);
   Result<std::vector<uint8_t>> EvalRegexp(const Bat& column,
@@ -126,6 +200,13 @@ class ColumnStoreEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::map<const Bat*, std::unique_ptr<InvertedIndex>> contains_indexes_;
   std::unique_ptr<class OperatorCostModel> cost_model_;
+
+  std::mutex epoch_mutex_;  // guards the guard map, not the guards
+  std::map<uint64_t, std::unique_ptr<ColumnEpochGuard>> epoch_guards_;
+
+  std::mutex segmented_mutex_;  // guards pager_ construction + registry
+  std::unique_ptr<Pager> pager_;
+  std::map<std::string, std::unique_ptr<SegmentedColumn>> segmented_;
 };
 
 }  // namespace doppio

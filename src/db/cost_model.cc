@@ -112,6 +112,30 @@ Result<double> OperatorCostModel::PredictFpga(const std::string& pattern,
   return est.seconds;
 }
 
+Result<double> OperatorCostModel::PredictFpgaStreamed(
+    const std::string& pattern, const TableStats& stats, int windows,
+    int64_t resident_bytes, bool overlap) const {
+  DOPPIO_RETURN_NOT_OK(CompileRegexConfig(pattern, device_).status());
+  if (windows <= 0) windows = 1;
+  PerfEstimate est =
+      EstimateJob(device_, stats.rows, stats.heap_bytes, /*engines=*/1);
+  // Payload = offsets + heap, exactly what the pager moves per window.
+  const int64_t payload =
+      stats.rows * 4 + stats.heap_bytes;
+  const int64_t paged = std::max<int64_t>(0, payload - resident_bytes);
+  const double d_w = est.seconds / static_cast<double>(windows);
+  const double t_w =
+      paged > 0 ? TransferSeconds(device_, paged / windows) : 0.0;
+  if (!overlap) {
+    return est.seconds + t_w * static_cast<double>(windows);
+  }
+  // Uniform-window closed form of the double-buffering recurrence: the
+  // first transfer and last execution are exposed, every other window
+  // hides the smaller of (transfer, execute) behind the larger.
+  return t_w + d_w +
+         static_cast<double>(windows - 1) * std::max(t_w, d_w);
+}
+
 Result<double> OperatorCostModel::PredictHybrid(
     const std::string& pattern, const TableStats& stats,
     double prefix_selectivity) const {

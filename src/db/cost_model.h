@@ -55,6 +55,19 @@ class OperatorCostModel {
   /// Fails with CapacityExceeded when the pattern cannot be mapped.
   Result<double> PredictFpga(const std::string& pattern,
                              const TableStats& stats) const;
+  /// Segment-aware prediction for the out-of-core streaming executor
+  /// (docs/STORAGE.md): the column is scanned in `windows` equal
+  /// segment-windows, each paying a modeled QPI transfer for the bytes
+  /// not already resident (`resident_bytes` of the payload are pinned
+  /// and transfer-free). With `overlap` the double-buffering recurrence
+  /// hides the smaller of transfer/execute per window; without it the
+  /// windows are serial page-then-scan. `windows` <= 1 and everything
+  /// resident degenerates to PredictFpga exactly. Fails with
+  /// CapacityExceeded when the pattern cannot be mapped.
+  Result<double> PredictFpgaStreamed(const std::string& pattern,
+                                     const TableStats& stats, int windows,
+                                     int64_t resident_bytes = 0,
+                                     bool overlap = true) const;
   /// `prefix_selectivity`: expected fraction the CPU post-processes.
   Result<double> PredictHybrid(const std::string& pattern,
                                const TableStats& stats,

@@ -38,6 +38,8 @@ void QueryStats::Accumulate(const QueryStats& other) {
   job_retries += other.job_retries;
   faults_recovered += other.faults_recovered;
   fallback_rows += other.fallback_rows;
+  windows_streamed += other.windows_streamed;
+  page_in_seconds += other.page_in_seconds;
   if (strategy.empty()) {
     strategy = other.strategy;
   } else if (!other.strategy.empty() && other.strategy != strategy) {

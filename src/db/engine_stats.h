@@ -36,6 +36,11 @@ struct QueryStats {
   int64_t fallback_rows = 0;    // rows re-matched in software after the
                                 // hardware path gave up
 
+  // Out-of-core streaming accounting (store/stream_executor; zero on the
+  // resident path, so baseline figure output is unchanged).
+  int32_t windows_streamed = 0;   // segment windows scanned by this query
+  double page_in_seconds = 0;     // modeled QPI time paying segment faults
+
   /// Which execution strategy served the string predicate.
   std::string strategy;
 

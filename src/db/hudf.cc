@@ -71,9 +71,9 @@ struct QueryRun {
 Status DemuxSetOutputs(Hal* hal, FpgaBatchQuery& q) {
   if (q.streams <= 1) return Status::OK();
   const int streams = q.streams;
-  // q.rows was normalized in Phase 0: the admission snapshot, not
-  // whatever the input has grown to by demux time.
-  const int64_t n = q.rows;
+  // q.rows/q.first_row were normalized in Phase 0: the admission snapshot
+  // span, not whatever the input has grown to by demux time.
+  const int64_t n = q.rows - q.first_row;
   q.set_outputs.clear();
   q.set_outputs.resize(static_cast<size_t>(streams));
   const uint8_t* staging = q.out.result->tail_data();
@@ -212,20 +212,23 @@ Status RegexpFpgaBatch(Hal* hal,
     if (q->rows < 0 || q->rows > q->input->count()) {
       q->rows = q->input->count();
     }
+    if (q->first_row < 0) q->first_row = 0;
+    if (q->first_row > q->rows) q->first_row = q->rows;
+    const int64_t span = q->rows - q->first_row;
     HudfResult& out = q->out;
     out.stats.trace_id = run.trace;
     // Partitioning is internal to the operator; a set-compiled config
     // surfaces as its own strategy so demuxed streams are attributable.
     out.stats.strategy = q->streams > 1 ? "fpga-set" : "fpga";
-    out.stats.rows_scanned = q->rows;
+    out.stats.rows_scanned = span;
 
     // streams > 1: the result BAT is the row-major staging area for every
     // stream; DemuxSetOutputs splits it per member after the wave.
-    auto result = Bat::New(ValueType::kInt16, q->rows * q->streams,
-                           hal->bat_allocator());
+    auto result =
+        Bat::New(ValueType::kInt16, span * q->streams, hal->bat_allocator());
     if (!result.ok()) return fail(result.status());
     out.result = std::move(*result);
-    Status st = out.result->AppendZeros(q->rows * q->streams);
+    Status st = out.result->AppendZeros(span * q->streams);
     if (!st.ok()) return fail(st);
   }
 
@@ -234,20 +237,22 @@ Status RegexpFpgaBatch(Hal* hal,
   for (QueryRun& run : runs) {
     FpgaBatchQuery& q = *run.query;
     const Bat& input = *q.input;
-    const int64_t limit = q.rows;  // admission snapshot (Phase 0)
-    if (limit == 0) continue;      // degenerate: no rows, no slices
+    const int64_t base = q.first_row;  // admission snapshot (Phase 0)
+    const int64_t limit = q.rows;
+    const int64_t span = limit - base;
+    if (span == 0) continue;  // degenerate: no rows, no slices
 
     int partitions = q.partitions;
     if (partitions <= 0) partitions = num_engines;
     partitions = static_cast<int>(
-        std::min<int64_t>(partitions, std::max<int64_t>(limit, 1)));
+        std::min<int64_t>(partitions, std::max<int64_t>(span, 1)));
 
     Stopwatch hal_watch;
-    const int64_t chunk = (limit + partitions - 1) / partitions;
+    const int64_t chunk = (span + partitions - 1) / partitions;
     const uint32_t* all_offsets =
         reinterpret_cast<const uint32_t*>(input.tail_data());
     for (int p = 0; p < partitions; ++p) {
-      const int64_t first = p * chunk;
+      const int64_t first = base + p * chunk;
       if (first >= limit) break;
       const int64_t rows = std::min<int64_t>(chunk, limit - first);
       if (rows <= 0) continue;
@@ -256,7 +261,8 @@ Status RegexpFpgaBatch(Hal* hal,
       JobParams& params = slice.params;
       params.offsets = input.tail_data() + first * input.offset_width();
       params.heap = input.heap()->data();
-      params.result = q.out.result->mutable_tail_data() + first * 2 * q.streams;
+      params.result =
+          q.out.result->mutable_tail_data() + (first - base) * 2 * q.streams;
       params.count = rows;
       params.streams = q.streams;
       params.offset_width = static_cast<int32_t>(input.offset_width());
@@ -288,7 +294,7 @@ Status RegexpFpgaBatch(Hal* hal,
     FpgaBatchQuery& q = *run.query;
     HudfResult& out = q.out;
 
-    if (q.rows == 0) {
+    if (q.rows - q.first_row == 0) {
       Status st = DemuxSetOutputs(hal, q);
       if (!st.ok()) return fail(st);
       out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();
@@ -426,15 +432,18 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     if (q->rows < 0 || q->rows > q->input->count()) {
       q->rows = q->input->count();
     }
+    if (q->first_row < 0) q->first_row = 0;
+    if (q->first_row > q->rows) q->first_row = q->rows;
+    const int64_t span = q->rows - q->first_row;
     HudfResult& out = q->out;
     out.stats.trace_id = run.trace;
     out.stats.strategy = q->streams > 1 ? "fpga-set" : "fpga";
-    out.stats.rows_scanned = q->rows;
-    auto result = Bat::New(ValueType::kInt16, q->rows * q->streams,
-                           hal->bat_allocator());
+    out.stats.rows_scanned = span;
+    auto result =
+        Bat::New(ValueType::kInt16, span * q->streams, hal->bat_allocator());
     if (!result.ok()) return fail(result.status());
     out.result = std::move(*result);
-    Status st = out.result->AppendZeros(q->rows * q->streams);
+    Status st = out.result->AppendZeros(span * q->streams);
     if (!st.ok()) return fail(st);
   }
 
@@ -447,20 +456,22 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     QueryRun& run = runs[qi];
     FpgaBatchQuery& q = *run.query;
     const Bat& input = *q.input;
-    const int64_t limit = q.rows;  // admission snapshot (Phase 0)
-    if (limit == 0) continue;
+    const int64_t base = q.first_row;  // admission snapshot (Phase 0)
+    const int64_t limit = q.rows;
+    const int64_t span = limit - base;
+    if (span == 0) continue;
 
     int partitions = q.partitions;
     if (partitions <= 0) partitions = pool->total_engines();
     partitions = static_cast<int>(
-        std::min<int64_t>(partitions, std::max<int64_t>(limit, 1)));
+        std::min<int64_t>(partitions, std::max<int64_t>(span, 1)));
 
     Stopwatch hal_watch;
-    const int64_t chunk = (limit + partitions - 1) / partitions;
+    const int64_t chunk = (span + partitions - 1) / partitions;
     const uint32_t* all_offsets =
         reinterpret_cast<const uint32_t*>(input.tail_data());
     for (int p = 0; p < partitions; ++p) {
-      const int64_t first = p * chunk;
+      const int64_t first = base + p * chunk;
       if (first >= limit) break;
       const int64_t rows = std::min<int64_t>(chunk, limit - first);
       if (rows <= 0) continue;
@@ -470,7 +481,8 @@ Status RegexpFpgaBatchPooled(Hal* hal,
       JobParams& params = slice.params;
       params.offsets = input.tail_data() + first * input.offset_width();
       params.heap = input.heap()->data();
-      params.result = q.out.result->mutable_tail_data() + first * 2 * q.streams;
+      params.result =
+          q.out.result->mutable_tail_data() + (first - base) * 2 * q.streams;
       params.count = rows;
       params.streams = q.streams;
       params.offset_width = static_cast<int32_t>(input.offset_width());
@@ -654,7 +666,7 @@ Status RegexpFpgaBatchPooled(Hal* hal,
     QueryRun& run = runs[qi];
     FpgaBatchQuery& q = *run.query;
     HudfResult& out = q.out;
-    if (q.rows == 0) {
+    if (q.rows - q.first_row == 0) {
       Status st = DemuxSetOutputs(hal, q);
       if (!st.ok()) return fail(st);
       out.stats.udf_software_seconds = run.udf_watch.ElapsedSeconds();

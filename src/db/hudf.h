@@ -78,6 +78,13 @@ struct FpgaBatchQuery {
   /// and wave execution cannot leak post-snapshot rows into the result.
   /// Normalized to min(rows, input->count()) during Phase-0 validation.
   int64_t rows = -1;
+  /// First row to scan (partial-extent execution): the device scans rows
+  /// [first_row, rows) and `out.result` holds exactly that span. 0 = the
+  /// classic full scan, byte-identical to before this field existed. The
+  /// scheduler sets it when a cached prefix block already answers
+  /// [0, first_row) so only a grown column's appended tail is re-scanned.
+  /// Clamped to [0, rows] during Phase-0 validation.
+  int64_t first_row = 0;
   /// Output streams of `config` (1..64). 1 = the classic single-pattern
   /// scan, byte-identical to before streams existed. > 1 = `config` is a
   /// set-compiled program (CompileRegexSetConfig) with that many tagged

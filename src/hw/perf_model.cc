@@ -46,6 +46,12 @@ PerfEstimate EstimateJob(const DeviceConfig& config, int64_t count,
   return est;
 }
 
+double TransferSeconds(const DeviceConfig& config, int64_t bytes) {
+  if (bytes <= 0) return 0;
+  return static_cast<double>(bytes) / config.qpi_peak_bytes_per_sec +
+         config.qpi_latency_sec;
+}
+
 double SaturatedQueriesPerSec(const DeviceConfig& config, int64_t count,
                               int64_t heap_bytes, int engines_used,
                               bool ideal) {

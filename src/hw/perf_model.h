@@ -27,6 +27,12 @@ PerfEstimate EstimateJob(const DeviceConfig& config, int64_t count,
                          int64_t heap_bytes, int active_engines = 1,
                          bool ideal = false);
 
+/// Modeled wall time to move `bytes` across the QPI link at its peak rate
+/// plus one link latency. Used by the out-of-core streaming layer to cost
+/// paging a column segment into the shared arena (store/stream_executor,
+/// db/cost_model); 0 bytes costs 0 (already-resident window).
+double TransferSeconds(const DeviceConfig& config, int64_t bytes);
+
 /// Steady-state aggregate device throughput in queries/sec for a saturated
 /// closed-loop workload of identical jobs (Fig. 8 / Fig. 11 FPGA lines).
 double SaturatedQueriesPerSec(const DeviceConfig& config, int64_t count,

@@ -68,6 +68,12 @@ std::vector<double> MbpsBuckets() {
   return b;
 }
 
+std::vector<double> BytesBuckets() {
+  std::vector<double> b;
+  for (double v = 4096.0; v < 5.0e9; v *= 4.0) b.push_back(v);
+  return b;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

@@ -81,6 +81,8 @@ std::vector<double> LatencySecondsBuckets();
 std::vector<double> DepthBuckets();
 /// Throughput buckets in MB/s, 1 .. ~16k.
 std::vector<double> MbpsBuckets();
+/// Byte-size buckets, 4 KiB .. ~4 GiB (segment/page-in sizes).
+std::vector<double> BytesBuckets();
 
 class MetricsRegistry {
  public:

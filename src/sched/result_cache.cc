@@ -15,6 +15,13 @@ obs::Counter* HitsCounter() {
   return c;
 }
 
+obs::Counter* PartialHitsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "doppio.sched.result_cache.partial_hits",
+      "lookups served partially: cached prefix block + appended-tail scan");
+  return c;
+}
+
 obs::Counter* MissesCounter() {
   static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
       "doppio.sched.result_cache.misses",
@@ -72,6 +79,7 @@ ResultCache::ResultCache(int64_t max_bytes)
   // Touch every instrument once so a scrape sees the full series even
   // before the first lookup.
   HitsCounter();
+  PartialHitsCounter();
   MissesCounter();
   EvictionsCounter();
   IncompleteCounter();
@@ -115,6 +123,42 @@ std::shared_ptr<const CachedResultBlock> ResultCache::Get(
   bytes_saved_ += it->second->block->bytes();
   BytesSavedCounter()->Add(it->second->block->bytes());
   return it->second->block;
+}
+
+std::shared_ptr<const CachedResultBlock> ResultCache::GetPrefix(
+    std::string_view fingerprint, uint64_t column_id, int64_t rows) {
+  // Keys are fingerprint \x1f column \x1f version; match on the
+  // fingerprint-and-column prefix so any cached version of this program
+  // over this column qualifies.
+  std::string want;
+  want.reserve(fingerprint.size() + 24);
+  want.append(fingerprint);
+  want.push_back('\x1f');
+  want.append(std::to_string(column_id));
+  want.push_back('\x1f');
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::list<Entry>::iterator best = lru_.end();
+  auto range = by_column_.equal_range(column_id);
+  for (auto c = range.first; c != range.second; ++c) {
+    if (c->second.compare(0, want.size(), want) != 0) continue;
+    auto entry = index_.find(c->second);
+    if (entry == index_.end()) continue;
+    const int64_t have = entry->second->block->rows();
+    // Strictly smaller: an equal extent is an exact hit Get() already
+    // handles; a larger one covers rows the caller's snapshot does not.
+    if (have <= 0 || have >= rows) continue;
+    if (best == lru_.end() || have > best->block->rows()) {
+      best = entry->second;
+    }
+  }
+  if (best == lru_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, best);
+  ++partial_hits_;
+  PartialHitsCounter()->Add();
+  bytes_saved_ += best->block->bytes();
+  BytesSavedCounter()->Add(best->block->bytes());
+  return best->block;
 }
 
 bool ResultCache::Put(std::string_view fingerprint, uint64_t column_id,
@@ -227,6 +271,11 @@ void ResultCache::CountPrefilterReject() {
 int64_t ResultCache::hits() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return hits_;
+}
+
+int64_t ResultCache::partial_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return partial_hits_;
 }
 
 int64_t ResultCache::misses() const {

@@ -79,6 +79,17 @@ class ResultCache {
                                                uint64_t column_version,
                                                int64_t rows);
 
+  /// Partial-extent reuse (ROADMAP item-5 follow-on): returns the LARGEST
+  /// cached block for this fingerprint × column whose row extent is
+  /// strictly below `rows`. Columns are append-only, so a complete block
+  /// over an earlier version is still row-identical over the prefix it
+  /// covers — the caller serves those rows from cache and scans only the
+  /// appended tail [block->rows(), rows). A find promotes the entry and
+  /// counts a partial hit (never a miss — callers try Get() first and
+  /// that already counted). Thread-safe.
+  std::shared_ptr<const CachedResultBlock> GetPrefix(
+      std::string_view fingerprint, uint64_t column_id, int64_t rows);
+
   /// Inserts a completed scan's result block. Returns false — caching
   /// nothing — when the block is empty, `degraded` (any slice fell back
   /// to software or the run was timing-only), or fails the completeness
@@ -105,6 +116,7 @@ class ResultCache {
 
   // Lifetime counters (mirrored under doppio.sched.result_cache.*).
   int64_t hits() const;
+  int64_t partial_hits() const;
   int64_t misses() const;
   int64_t evictions() const;
   int64_t invalidations() const;
@@ -142,6 +154,7 @@ class ResultCache {
   std::unordered_multimap<uint64_t, std::string> by_column_;
   int64_t bytes_ = 0;
   int64_t hits_ = 0;
+  int64_t partial_hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
   int64_t invalidations_ = 0;

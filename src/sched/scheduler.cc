@@ -165,6 +165,14 @@ struct Request {
   bool cache_checked = false;
   /// The cached block serving this request (Route::kCache only).
   std::shared_ptr<const CachedResultBlock> cached;
+  /// Partial-extent serve (docs/RESULT_CACHE.md): a cached block from a
+  /// shorter, earlier version of this append-only column. It answers rows
+  /// [0, prefix->rows()) verbatim; execution scans only the appended tail
+  /// [prefix->rows(), admit_rows) and the merged block re-enters the
+  /// cache under the current version. Null = full scan.
+  std::shared_ptr<const CachedResultBlock> prefix;
+  /// One GetPrefix probe per request, mirroring cache_checked.
+  bool prefix_checked = false;
 
   // --- Completion state ---------------------------------------------------
   bool done = false;
@@ -437,7 +445,20 @@ QueryScheduler::Wave QueryScheduler::PickWaveLocked() {
         auto block =
             results_->Get(head->program->fingerprint, head->column_id,
                           head->admit_version, head->admit_rows);
-        if (block == nullptr) continue;
+        if (block == nullptr) {
+          // Exact miss: remember the largest cached block of an earlier
+          // (shorter) version of this append-only column, if any. The
+          // request still scans — but only the appended tail, with the
+          // prefix served from this block at merge time. Probed once per
+          // request; the request stays queued with normal DRR charging.
+          if (!head->prefix_checked) {
+            head->prefix_checked = true;
+            head->prefix = results_->GetPrefix(
+                head->program->fingerprint, head->column_id,
+                head->admit_rows);
+          }
+          continue;
+        }
         head->cached = std::move(block);
         wave.cached.push_back(std::move(head));
         queue.pop_front();
@@ -639,6 +660,13 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
       std::vector<std::vector<Request*>> groups;
       for (auto& request : wave->fpga) {
         Request* raw = request.get();
+        if (raw->prefix != nullptr) {
+          // Partial-extent requests scan a private [first_row, rows)
+          // span; a set slot shares ONE full scan, so they get their own
+          // classic slot instead of joining (or seeding) a group.
+          slots.push_back(Slot{{raw}, nullptr});
+          continue;
+        }
         bool placed = false;
         for (auto& group : groups) {
           // A set slot shares ONE scan, so members must agree on the
@@ -702,6 +730,12 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
       queries[i].partitions = partitions;
       queries[i].timing_only = lead.timing_only;
       queries[i].rows = lead.admit_rows;  // admission snapshot
+      if (slot.set == nullptr && lead.prefix != nullptr) {
+        // Tail-only scan: the cached prefix already answers
+        // [0, prefix->rows()); the device scans the appended remainder.
+        queries[i].first_row =
+            std::min(lead.prefix->rows(), lead.admit_rows);
+      }
       if (slot.set != nullptr) {
         queries[i].config = &slot.set->config;
         queries[i].streams =
@@ -728,6 +762,9 @@ void QueryScheduler::ExecuteWave(Wave* wave) {
         Request& request = *slot.members.front();
         request.hudf = std::move(queries[i].out);
         request.batch_width = batch_width;
+        if (request.prefix != nullptr && request.status.ok()) {
+          MergePrefixResult(&request);
+        }
         continue;
       }
       ++set_slots;
@@ -795,18 +832,24 @@ void QueryScheduler::RunCpuRequest(Request* request) {
     // chosen host backend — results bit-identical to the hardware
     // functional pass by construction.
     out.stats.strategy = "sched_cpu";
+    // Partial-extent serve: the cached prefix block answers [0, first);
+    // the host backend scans only the appended tail.
+    const int64_t first =
+        request->prefix != nullptr ? std::min(request->prefix->rows(), rows)
+                                   : 0;
     auto result = Bat::New(ValueType::kInt16, rows);
     if (result.ok()) {
       out.result = std::move(*result);
       status = out.result->AppendZeros(rows);
-      if (status.ok() && rows > 0) {
+      if (status.ok() && rows > first) {
         const uint32_t* all_offsets =
             reinterpret_cast<const uint32_t*>(input.tail_data());
         JobParams params;
-        params.offsets = input.tail_data();
+        params.offsets = input.tail_data() + first * input.offset_width();
         params.heap = input.heap()->data();
-        params.result = out.result->mutable_tail_data();
-        params.count = rows;
+        params.result =
+            out.result->mutable_tail_data() + first * sizeof(uint16_t);
+        params.count = rows - first;
         params.offset_width = static_cast<int32_t>(input.offset_width());
         params.heap_bytes = rows < input.count()
                                 ? static_cast<int64_t>(all_offsets[rows])
@@ -821,6 +864,13 @@ void QueryScheduler::RunCpuRequest(Request* request) {
         } else {
           status = matches.status();
         }
+      }
+      if (status.ok() && first > 0) {
+        std::memcpy(out.result->mutable_tail_data(),
+                    request->prefix->values.data(),
+                    static_cast<size_t>(first) * sizeof(uint16_t));
+        out.stats.rows_matched += request->prefix->rows_matched;
+        out.stats.strategy = "sched_cpu+cache_prefix";
       }
     } else {
       status = result.status();
@@ -886,6 +936,41 @@ void QueryScheduler::ServeCachedRequest(Request* request) {
   } else {
     request->status = status;
   }
+}
+
+void QueryScheduler::MergePrefixResult(Request* request) {
+  // Stitch the tail-only scan back to full column extent: cached prefix
+  // values for [0, first_row), the scanned tail behind them. The merged
+  // column is bit-identical to a full scan of the snapshot (append-only
+  // columns: the prefix rows' strings are unchanged), so MaybeCacheResult
+  // can cache it under the current version afterwards.
+  const CachedResultBlock& prefix = *request->prefix;
+  const int64_t first = std::min(prefix.rows(), request->admit_rows);
+  HudfResult& hudf = request->hudf;
+  if (hudf.result == nullptr ||
+      hudf.result->count() != request->admit_rows - first) {
+    return;  // degenerate/unknown layout; leave the raw tail untouched
+  }
+  auto full = Bat::New(ValueType::kInt16, request->admit_rows,
+                       hal_->bat_allocator());
+  Status status = full.ok() ? Status::OK() : full.status();
+  if (status.ok()) status = (*full)->AppendZeros(request->admit_rows);
+  if (!status.ok()) {
+    request->status = status;
+    return;
+  }
+  std::memcpy((*full)->mutable_tail_data(), prefix.values.data(),
+              static_cast<size_t>(first) * sizeof(uint16_t));
+  if (request->admit_rows > first) {
+    std::memcpy((*full)->mutable_tail_data() + first * sizeof(uint16_t),
+                hudf.result->tail_data(),
+                static_cast<size_t>(request->admit_rows - first) *
+                    sizeof(uint16_t));
+  }
+  hudf.result = std::move(*full);
+  hudf.stats.rows_matched += prefix.rows_matched;
+  hudf.stats.rows_scanned = request->admit_rows;  // like a cache serve
+  hudf.stats.strategy += "+cache_prefix";
 }
 
 void QueryScheduler::MaybeCacheResult(Request* request) {

@@ -244,6 +244,9 @@ class QueryScheduler {
   /// cache is off or the result is ineligible: degraded, timing-only,
   /// saturated — the completeness guard lives in ResultCache::Put).
   void MaybeCacheResult(internal::Request* request);
+  /// Stitches a tail-only scan (partial-extent cache serve) back to the
+  /// full admission extent: cached prefix values + scanned tail.
+  void MergePrefixResult(internal::Request* request);
 
   Hal* const hal_;
   const Options options_;

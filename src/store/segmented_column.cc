@@ -1,0 +1,72 @@
+#include "store/segmented_column.h"
+
+#include "bat/bat.h"
+#include "bat/string_heap.h"
+#include "common/logging.h"
+
+namespace doppio {
+
+SegmentedColumn::SegmentedColumn(Pager* pager, int64_t segment_target_bytes)
+    : pager_(pager),
+      segment_target_bytes_(segment_target_bytes),
+      id_(AcquireColumnId()) {
+  DOPPIO_CHECK(pager_ != nullptr);
+  DOPPIO_CHECK(segment_target_bytes_ > kHeapHeaderBytes);
+  open_ = std::make_shared<Segment>(AcquireColumnId());
+}
+
+Status SegmentedColumn::Append(std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Seal first when this append would overflow the target (worst case:
+  // value + terminator + padding in the heap, 4 offset bytes + pad).
+  const int64_t worst_case =
+      open_->payload_bytes() + static_cast<int64_t>(value.size()) +
+      kHeapAlignment + 64 + static_cast<int64_t>(sizeof(uint32_t));
+  if (open_->rows() > 0 && worst_case > segment_target_bytes_) {
+    DOPPIO_RETURN_NOT_OK(SealLocked());
+  }
+  return open_->Append(value);
+}
+
+Status SegmentedColumn::Seal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_->rows() == 0) return Status::OK();
+  return SealLocked();
+}
+
+Status SegmentedColumn::SealLocked() {
+  DOPPIO_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, open_->Seal());
+  DOPPIO_RETURN_NOT_OK(pager_->AdoptSealed(open_.get(), payload));
+  sealed_rows_ += open_->rows();
+  sealed_.push_back(std::move(open_));
+  ++version_;
+  open_ = std::make_shared<Segment>(AcquireColumnId());
+  return Status::OK();
+}
+
+SegmentSnapshot SegmentedColumn::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SegmentSnapshot snap;
+  snap.column_id = id_;
+  snap.version = version_;
+  snap.rows = sealed_rows_;
+  snap.segments = sealed_;
+  return snap;
+}
+
+int64_t SegmentedColumn::sealed_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_rows_;
+}
+
+int64_t SegmentedColumn::staged_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_->rows();
+}
+
+uint64_t SegmentedColumn::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+}  // namespace doppio

@@ -1,0 +1,87 @@
+// A string column as a chain of sealed segments plus one open staging
+// segment (ROADMAP item 4: out-of-core columns + streaming ingest).
+//
+// Appends land in the open segment, invisible to queries. When the open
+// segment reaches the target payload size (or Seal() is called), it is
+// frozen, written once to the pager's spill file, and becomes part of the
+// queryable chain — this is segment-granular visibility: a query admitted
+// mid-ingest takes a Snapshot() and sees exactly the segments sealed at
+// that instant, a stable segment-boundary prefix of the column, no matter
+// how much the ingest thread appends afterwards. Sealed segments carry a
+// stable (id, version=1) identity so the result cache (sched/result_cache)
+// can key per-segment match blocks that survive column growth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "store/pager.h"
+#include "store/segment.h"
+
+namespace doppio {
+
+/// An immutable view of a column's sealed prefix, taken at admission time.
+/// Segments are shared_ptrs: the snapshot stays valid however the column
+/// grows (sealed segments are never mutated or dropped).
+struct SegmentSnapshot {
+  uint64_t column_id = 0;
+  /// Column version at snapshot time: 1 + number of sealed segments, so
+  /// (column_id, version) names this prefix for whole-column cache keys
+  /// exactly like a Bat's (id, version).
+  uint64_t version = 1;
+  int64_t rows = 0;  // total rows across `segments`
+  std::vector<std::shared_ptr<Segment>> segments;
+};
+
+class SegmentedColumn {
+ public:
+  /// `segment_target_bytes` bounds the open segment's payload before it
+  /// auto-seals — default one arena page, the paper platform's 2 MB
+  /// allocation granule. Small values are useful in tests to force many
+  /// windows cheaply.
+  explicit SegmentedColumn(Pager* pager,
+                           int64_t segment_target_bytes = kSharedPageBytes);
+
+  DOPPIO_DISALLOW_COPY_AND_ASSIGN(SegmentedColumn);
+
+  uint64_t id() const { return id_; }
+  int64_t segment_target_bytes() const { return segment_target_bytes_; }
+
+  /// Appends one string to the open segment; seals it first when the
+  /// append would push the payload past the target. Safe to call
+  /// concurrently with Snapshot() from query threads.
+  Status Append(std::string_view value);
+
+  /// Seals the open segment (no-op when it is empty), making its rows
+  /// visible to subsequent snapshots.
+  Status Seal();
+
+  /// The sealed prefix as of now. Lock-held copy of shared_ptrs only.
+  SegmentSnapshot Snapshot() const;
+
+  /// Rows visible to a snapshot taken now.
+  int64_t sealed_rows() const;
+  /// Rows appended but not yet visible (open segment).
+  int64_t staged_rows() const;
+  uint64_t version() const;
+
+ private:
+  Status SealLocked();
+
+  Pager* const pager_;
+  const int64_t segment_target_bytes_;
+  const uint64_t id_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Segment>> sealed_;  // guarded by mutex_
+  std::shared_ptr<Segment> open_;                 // guarded by mutex_
+  int64_t sealed_rows_ = 0;                       // guarded by mutex_
+  uint64_t version_ = 1;                          // bumped per seal
+};
+
+}  // namespace doppio

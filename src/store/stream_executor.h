@@ -1,0 +1,72 @@
+// Double-buffered streaming execution over a segmented column (ROADMAP
+// item 4): the out-of-core counterpart of db/hudf's batch executors.
+//
+// A SegmentSnapshot is scanned one segment-window at a time. Each window
+// is pinned into the shared arena through the pager, sliced across the
+// device pool's engines exactly like a resident scan (placement via
+// ShardCounts, per-slice fault degradation via RunHostSlice), and its
+// results land in the window's disjoint row range of one result BAT — so
+// the stitched column of match values is bit-identical to scanning the
+// same rows fully resident.
+//
+// Timing follows the repo's virtual-time discipline. A window that had to
+// be paged in pays the modeled QPI transfer (TransferSeconds over its
+// payload bytes, honoring the link model); its PU execution time is the
+// measured per-clock-domain extent of its jobs. With `overlap` on, the
+// windows are stitched under the classic double-buffering recurrence —
+// window N+1's transfer proceeds while window N executes:
+//
+//   done_in[w] = max(start[w-1], done_in[w-1]) + t_in[w]
+//   start[w]   = max(end[w-1], done_in[w])
+//   end[w]     = start[w] + d[w]
+//
+// (one transfer in flight, one window executing), versus the serial
+// page-then-scan sum of (t_in[w] + d[w]). The chosen stitched total is
+// the query's hw_seconds; page_in_seconds and windows_streamed land in
+// QueryStats, page-in instants and per-job records in the tracer.
+//
+// Sealed segments have stable (id, version=1) identity, so when a result
+// cache is supplied each window's clean block is cached per segment and a
+// repeat scan skips both the transfer AND the execution of hit windows —
+// the cache composes with paging instead of fighting it.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "db/hudf.h"
+#include "hal/hal.h"
+#include "store/pager.h"
+#include "store/segmented_column.h"
+
+namespace doppio {
+
+namespace sched {
+class ResultCache;
+}  // namespace sched
+
+struct StreamOptions {
+  /// Slices per window (0 = one per engine across the pool).
+  int partitions = 0;
+  /// Double-buffer: overlap window N+1's page-in with window N's
+  /// execution. Off = serial page-then-scan (the bench's baseline).
+  bool overlap = true;
+  const char* span_name = "regexp_fpga_streamed";
+  /// Optional per-segment result caching. Windows whose (fingerprint,
+  /// segment id, version 1, rows) block is cached are served without
+  /// pinning or scanning; clean scanned windows are offered back.
+  sched::ResultCache* result_cache = nullptr;
+  /// Compiled-program fingerprint keying the per-segment blocks.
+  /// Required when result_cache is set.
+  std::string fingerprint;
+};
+
+/// Streams `snapshot` through the device(s) window by window. The result
+/// BAT covers snapshot.rows rows in segment order — bit-identical to a
+/// resident scan of the same strings.
+Result<HudfResult> RegexpFpgaStreamed(Hal* hal, Pager* pager,
+                                      const SegmentSnapshot& snapshot,
+                                      const RegexConfig& config,
+                                      const StreamOptions& options = {});
+
+}  // namespace doppio

@@ -204,6 +204,33 @@ TEST(ResultCacheTest, InvalidateColumnDropsAllItsVersionsOnly) {
   ASSERT_NE(cache.Get("fpA", 2, 1, 2), nullptr);
 }
 
+TEST(ResultCacheTest, GetPrefixReturnsLargestStrictlySmallerBlock) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("fp", 7, 1, {0, 5}, false));               // 2 rows
+  ASSERT_TRUE(cache.Put("fp", 7, 2, {0, 5, 9, 0}, false));         // 4 rows
+  ASSERT_TRUE(cache.Put("other", 7, 3, {0, 5, 9, 0, 1, 2}, false));
+  ASSERT_TRUE(cache.Put("fp", 8, 2, {0, 5, 9, 0, 1}, false));
+
+  // Largest strictly-smaller extent for (fp, column 7) wins: the 4-row
+  // block, not the 2-row one — and never another fingerprint or column.
+  auto block = cache.GetPrefix("fp", 7, 6);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->rows(), 4);
+  EXPECT_EQ(block->values[2], 9);
+  EXPECT_EQ(cache.partial_hits(), 1);
+
+  // "Strictly below": an equal extent is Get()'s exact-hit territory.
+  auto equal = cache.GetPrefix("fp", 7, 4);
+  ASSERT_NE(equal, nullptr);
+  EXPECT_EQ(equal->rows(), 2);
+  EXPECT_EQ(cache.GetPrefix("fp", 7, 2), nullptr);
+  EXPECT_EQ(cache.GetPrefix("fp", 99, 10), nullptr);
+
+  // A fruitless probe is NOT a miss — Get() already counted that.
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.partial_hits(), 2);
+}
+
 // --- Scheduler integration --------------------------------------------------
 
 TEST(SchedulerCacheTest, RepeatQueryServedFromCacheBitIdentical) {
@@ -279,6 +306,74 @@ TEST(SchedulerCacheTest, AppendBumpsVersionAndInvalidatesEntries) {
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->route, Route::kCache);
   ExpectSameColumn(expected, *warm->hudf.result);
+}
+
+TEST(SchedulerCacheTest, AppendedTailServedFromCachedPrefix) {
+  // Partial-extent reuse: after ingest grows a cached column, the rescan
+  // pays the device only for the appended tail — the prefix rows replay
+  // from the pre-append block, and the merged full-extent result is
+  // cached under the current version so the NEXT repeat is an exact hit.
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 64);
+
+  QueryScheduler scheduler(&hal, CacheOn());
+  Session* session = scheduler.CreateSession();
+  auto cold = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->route, Route::kFpga);
+  ASSERT_EQ(scheduler.result_cache()->size(), 1);
+
+  ASSERT_TRUE(input.AppendString("55 Neue Strasse|80001").ok());
+  ASSERT_TRUE(input.AppendString("no match here").ok());
+  const std::vector<int16_t> expected = DirectResult(&hal, input, "Strasse");
+
+  auto tail = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ(tail->route, Route::kFpga);
+  EXPECT_EQ(tail->hudf.stats.strategy, "fpga+cache_prefix");
+  ExpectSameColumn(expected, *tail->hudf.result);
+  // The stitched result reports the full admitted extent and the merged
+  // match count.
+  EXPECT_EQ(tail->hudf.stats.rows_scanned, input.count());
+  EXPECT_EQ(scheduler.result_cache()->partial_hits(), 1);
+
+  // The merged block was re-cached under the post-append version: the
+  // third scan is an exact engine-free hit.
+  auto warm = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->route, Route::kCache);
+  EXPECT_EQ(warm->hudf.stats.strategy, "fpga-cache");
+  ExpectSameColumn(expected, *warm->hudf.result);
+}
+
+TEST(SchedulerCacheTest, CpuRoutedTailReusesCachedPrefix) {
+  // The CPU program route honors the same prefix contract: the pool
+  // worker scans only [prefix rows, admitted rows) and stitches the
+  // cached prefix in front, bit-identical to a full rescan.
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 48);  // under cpu_route_max_rows: routes to the host
+
+  QueryScheduler::Options options;
+  options.result_cache = true;  // cost_routing stays on
+  QueryScheduler scheduler(&hal, options);
+  Session* session = scheduler.CreateSession();
+
+  auto cold = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cold->route, Route::kCpuProgram);
+  ASSERT_EQ(scheduler.result_cache()->size(), 1);
+
+  ASSERT_TRUE(input.AppendString("55 Neue Strasse|80001").ok());
+  const std::vector<int16_t> expected = DirectResult(&hal, input, "Strasse");
+
+  auto tail = scheduler.Execute(session, input, "Strasse");
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ(tail->route, Route::kCpuProgram);
+  EXPECT_EQ(tail->hudf.stats.strategy, "sched_cpu+cache_prefix");
+  ExpectSameColumn(expected, *tail->hudf.result);
+  EXPECT_EQ(scheduler.result_cache()->partial_hits(), 1);
 }
 
 TEST(SchedulerCacheTest, SaturatedRowsNeverCachedAcrossShardCounts) {
@@ -468,6 +563,38 @@ TEST(HybridCacheTest, CachedCoarserScanSubsumesRefiningPattern) {
   // now serves straight from cache.
   auto warm =
       ExecuteHybrid(&hal, input, "Berner.*Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.strategy, "fpga-cache");
+  ExpectSameColumn(expected, *warm->result);
+}
+
+TEST(HybridCacheTest, AppendedTailReusesCachedPrefixExtent) {
+  // Partial-extent reuse on the schedulerless hybrid path: a pre-append
+  // block serves the prefix rows and the device scans only the appended
+  // tail, stitched bit-identical to the full rescan.
+  Hal hal(TestHal());
+  Bat input(ValueType::kString, hal.bat_allocator());
+  FillInput(&input, 64);
+
+  ResultCache cache(1 << 20);
+  auto cold = ExecuteHybrid(&hal, input, "Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cache.size(), 1);
+
+  ASSERT_TRUE(input.AppendString("55 Neue Strasse|80001").ok());
+  ASSERT_TRUE(input.AppendString("nothing to see").ok());
+  const std::vector<int16_t> expected = DirectResult(&hal, input, "Strasse");
+
+  auto tail = ExecuteHybrid(&hal, input, "Strasse", {}, nullptr, &cache);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ(tail->stats.strategy, "fpga+cache_prefix");
+  ExpectSameColumn(expected, *tail->result);
+  EXPECT_EQ(cache.partial_hits(), 1);
+  // Only the tail hit the device.
+  EXPECT_EQ(tail->stats.rows_scanned, 2);
+
+  // The merged block went back into the cache under the new version.
+  auto warm = ExecuteHybrid(&hal, input, "Strasse", {}, nullptr, &cache);
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->stats.strategy, "fpga-cache");
   ExpectSameColumn(expected, *warm->result);
